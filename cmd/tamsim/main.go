@@ -1,0 +1,163 @@
+// Command tamsim runs one benchmark under one TAM implementation and
+// reports instruction counts, granularity and cache behaviour:
+//
+//	tamsim -prog ss -arg 100 -impl md
+//	tamsim -prog mmt -arg 20 -impl am -cache 8 -assoc 4 -block 64
+//	tamsim -prog qs -impl am -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"jmtam"
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+	"jmtam/internal/isa"
+	"jmtam/internal/programs"
+)
+
+func main() {
+	prog := flag.String("prog", "ss", "benchmark: mmt|qs|dtw|paraffins|wavefront|ss")
+	arg := flag.Int("arg", 0, "problem size (0 = paper argument)")
+	implName := flag.String("impl", "md", "implementation: am|md|am-enabled|oam")
+	sizeKB := flag.Int("cache", 8, "cache size in Kbytes (I and D)")
+	assoc := flag.Int("assoc", 4, "set associativity")
+	block := flag.Int("block", 64, "block size in bytes")
+	dump := flag.Bool("dump", false, "print disassembly instead of running")
+	hist := flag.Bool("hist", false, "also print the quantum-size histogram and instruction mix")
+	flag.Parse()
+
+	var impl core.Impl
+	switch *implName {
+	case "am":
+		impl = core.ImplAM
+	case "md":
+		impl = core.ImplMD
+	case "am-enabled":
+		impl = core.ImplAMEnabled
+	case "oam":
+		impl = core.ImplOAM
+	default:
+		fail(fmt.Errorf("unknown -impl %q", *implName))
+	}
+
+	spec, err := programs.ByName(*prog)
+	if err != nil {
+		fail(err)
+	}
+	n := *arg
+	if n == 0 {
+		n = spec.Arg
+	}
+
+	if *dump {
+		sim, err := core.Build(impl, spec.Build(n), core.Options{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("; --- system code ---")
+		fmt.Print(sim.RT.Sys.Dump())
+		fmt.Println("; --- user code ---")
+		fmt.Print(sim.RT.User.Dump())
+		return
+	}
+
+	geom := cache.Config{SizeBytes: *sizeKB * 1024, BlockBytes: *block, Assoc: *assoc}
+	sim, err := core.Build(impl, spec.Build(n), core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	if _, err := sim.Collector.AddPair(geom); err != nil {
+		fail(err)
+	}
+	if err := sim.Run(); err != nil {
+		fail(err)
+	}
+	res := resultOf(sim, geom)
+
+	fmt.Printf("%s %d under %v\n", spec.Name, n, impl)
+	fmt.Printf("  %s\n\n", spec.Doc)
+	fmt.Printf("  instructions      %12d\n", res.Instructions)
+	fmt.Printf("  data reads        %12d\n", res.Reads)
+	fmt.Printf("  data writes       %12d\n", res.Writes)
+	fmt.Printf("  threads           %12d\n", res.Threads)
+	fmt.Printf("  quanta            %12d\n", res.Quanta)
+	fmt.Printf("  threads/quantum   %12.1f\n", res.TPQ)
+	fmt.Printf("  instrs/thread     %12.1f\n", res.IPT)
+	fmt.Printf("  instrs/quantum    %12.1f\n\n", res.IPQ)
+	c := res.Caches[0]
+	fmt.Printf("  cache %v\n", c.Config)
+	fmt.Printf("  I-misses          %12d\n", c.IMisses)
+	fmt.Printf("  D-misses          %12d\n", c.DMisses)
+	fmt.Printf("  writebacks        %12d\n", c.Writebacks)
+	for _, p := range []int{12, 24, 48} {
+		fmt.Printf("  cycles (miss=%2d)  %12d\n", p, res.Cycles(0, p))
+	}
+
+	if *hist {
+		fmt.Println("\n  quantum-size histogram (threads per quantum, log2 buckets)")
+		for b, count := range sim.Gran.QuantumHist {
+			if count == 0 {
+				continue
+			}
+			lo := 1 << b
+			hi := 1<<(b+1) - 1
+			fmt.Printf("    %6d-%-8d %10d\n", lo, hi, count)
+		}
+		fmt.Printf("    largest quantum: %d threads\n", sim.Gran.MaxQuantum)
+		fmt.Println("\n  dynamic opcode counts (top 12)")
+		type oc struct {
+			op    isa.Op
+			count uint64
+		}
+		counts := sim.M.OpCounts()
+		var all []oc
+		for op := isa.Op(0); op < isa.NumOps; op++ {
+			if counts[op] > 0 {
+				all = append(all, oc{op, counts[op]})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].count > all[j].count })
+		if len(all) > 12 {
+			all = all[:12]
+		}
+		for _, e := range all {
+			fmt.Printf("    %-8v %10d (%4.1f%%)\n", e.op, e.count,
+				100*float64(e.count)/float64(res.Instructions))
+		}
+	}
+}
+
+// resultOf converts a finished simulation into the public Result shape.
+func resultOf(sim *core.Sim, geom cache.Config) *jmtam.Result {
+	res := &jmtam.Result{
+		Program:      sim.Prog.Name,
+		Impl:         sim.Impl,
+		Instructions: sim.M.Instructions(),
+		Reads:        sim.Collector.TotalReads(),
+		Writes:       sim.Collector.TotalWrites(),
+		Threads:      sim.Gran.Threads,
+		Quanta:       sim.Gran.Quanta,
+		TPQ:          sim.Gran.TPQ(),
+		IPT:          sim.Gran.IPT(),
+		IPQ:          sim.Gran.IPQ(),
+	}
+	for _, pr := range sim.Collector.Pairs {
+		res.Caches = append(res.Caches, experiments.CacheStats{
+			Config:     pr.I.Config(),
+			IMisses:    pr.I.Stats().Misses,
+			DMisses:    pr.D.Stats().Misses,
+			Writebacks: pr.D.Stats().Writebacks,
+		})
+	}
+	return res
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tamsim:", err)
+	os.Exit(1)
+}

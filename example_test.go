@@ -1,0 +1,57 @@
+package jmtam_test
+
+import (
+	"fmt"
+	"log"
+
+	"jmtam"
+)
+
+// ExampleRun compares the two implementations on selection sort, the
+// paper's coarsest-grained benchmark.
+func ExampleRun() {
+	geom := jmtam.CacheConfig{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+	md, err := jmtam.Run(jmtam.MD, jmtam.Benchmark("ss", 100), jmtam.Options{}, geom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := jmtam.Run(jmtam.AM, jmtam.Benchmark("ss", 100), jmtam.Options{}, geom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MD executed fewer instructions:", md.Instructions < am.Instructions)
+	fmt.Println("whole sort is one quantum:", md.Quanta == 1)
+	fmt.Println("MD wins on cycles at miss=24:", md.Cycles(0, 24) < am.Cycles(0, 24))
+	// Output:
+	// MD executed fewer instructions: true
+	// whole sort is one quantum: true
+	// MD wins on cycles at miss=24: true
+}
+
+// ExampleCompareAt computes the paper's headline metric for quicksort.
+func ExampleCompareAt() {
+	geom := jmtam.CacheConfig{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+	ratio, err := jmtam.CompareAt(func() *jmtam.Program { return jmtam.Benchmark("qs", 100) },
+		geom, 24, jmtam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("message-driven implementation wins:", ratio < 1)
+	// Output:
+	// message-driven implementation wins: true
+}
+
+// ExampleBenchmarkNames lists the paper's six benchmarks in Table 2
+// order.
+func ExampleBenchmarkNames() {
+	for _, n := range jmtam.BenchmarkNames() {
+		fmt.Println(n)
+	}
+	// Output:
+	// mmt
+	// qs
+	// dtw
+	// paraffins
+	// wavefront
+	// ss
+}

@@ -1,0 +1,52 @@
+// Cachesweep: evaluate one benchmark across the paper's cache parameter
+// space (sizes 1K-128K, associativities 1/2/4) and chart the MD/AM cycle
+// ratio — a single-program slice of Figures 4 and 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jmtam"
+	"jmtam/internal/experiments"
+	"jmtam/internal/report"
+)
+
+func main() {
+	prog := flag.String("prog", "qs", "benchmark: mmt|qs|dtw|paraffins|wavefront|ss")
+	arg := flag.Int("arg", 0, "problem size (0 = paper argument)")
+	penalty := flag.Int("penalty", 24, "miss penalty in cycles")
+	flag.Parse()
+
+	sw := jmtam.NewQuickSweep()
+	// Narrow the sweep to the one requested workload.
+	for _, w := range experiments.PaperWorkloads() {
+		if w.Name == *prog {
+			if *arg != 0 {
+				w.Arg = *arg
+			}
+			sw.Workloads = []jmtam.Workload{w}
+		}
+	}
+	if len(sw.Workloads) != 1 {
+		log.Fatalf("unknown benchmark %q", *prog)
+	}
+
+	ds, err := sw.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var series []jmtam.Series
+	for _, a := range sw.Assocs {
+		s := jmtam.Series{Label: fmt.Sprintf("%d-way", a), SizesKB: sw.SizesKB}
+		for _, kb := range sw.SizesKB {
+			s.Ratios = append(s.Ratios, ds.Ratio(sw.Workloads[0].Name, kb, a, *penalty))
+		}
+		series = append(series, s)
+	}
+	title := fmt.Sprintf("%s %d: MD/AM cycle ratio vs cache size (miss=%d cycles)",
+		sw.Workloads[0].Name, sw.Workloads[0].Arg, *penalty)
+	fmt.Print(report.Chart(title, series))
+}

@@ -1,0 +1,3 @@
+module jmtam
+
+go 1.22

@@ -1,0 +1,90 @@
+// Package cluster executes several simulated machines against a mesh
+// network, modelling the J-Machine as a multicomputer. One tick
+// corresponds to one instruction slot per node; messages sent to remote
+// nodes travel through the netsim mesh and are buffered into the
+// destination's hardware queue on arrival, exactly like local sends.
+//
+// The paper's measurements are uniprocessor; the cluster is the
+// substrate for its "our systems can run on multiple processors"
+// remark, and is exercised by hand-written multi-node programs (see
+// examples/multinode) rather than by the TAM backends, whose runtime
+// state (heap, frames, ready queue) is per-node.
+package cluster
+
+import (
+	"fmt"
+
+	"jmtam/internal/machine"
+	"jmtam/internal/netsim"
+	"jmtam/internal/word"
+)
+
+// Cluster drives N machines and one network in lockstep.
+type Cluster struct {
+	Net      *netsim.Network
+	Machines []*machine.Machine
+
+	tick uint64
+}
+
+// New wires the machines' routers to a fresh mesh. Each machine must
+// have been constructed with its own memory (code stores may be
+// shared); machine i becomes node i.
+func New(machines []*machine.Machine, cfg netsim.Config) (*Cluster, error) {
+	net := netsim.New(cfg)
+	if len(machines) > net.Nodes() {
+		return nil, fmt.Errorf("cluster: %d machines exceed %d-node mesh", len(machines), net.Nodes())
+	}
+	c := &Cluster{Net: net, Machines: machines}
+	for i, m := range machines {
+		node := i
+		m.SetRouter(node, func(dst, pri int, ws []word.Word) error {
+			return c.Net.Send(node, dst, pri, ws, c.tick)
+		})
+	}
+	return c, nil
+}
+
+// Tick returns the current cluster time.
+func (c *Cluster) Tick() uint64 { return c.tick }
+
+// Run executes until global quiescence (every machine idle, no messages
+// in flight) or until maxTicks elapses; zero means no limit.
+func (c *Cluster) Run(maxTicks uint64) error {
+	for {
+		progress := false
+		for _, m := range c.Machines {
+			ok, err := m.StepOne()
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		c.tick++
+		if err := c.deliverDue(); err != nil {
+			return err
+		}
+		if !progress {
+			if c.Net.Pending() == 0 {
+				return nil
+			}
+			// Everyone is idle waiting on the network: fast-forward to
+			// the next delivery.
+			if due, ok := c.Net.NextDue(); ok && due > c.tick {
+				c.tick = due
+			}
+			if err := c.deliverDue(); err != nil {
+				return err
+			}
+		}
+		if maxTicks != 0 && c.tick >= maxTicks {
+			return fmt.Errorf("cluster: tick limit %d exceeded", maxTicks)
+		}
+	}
+}
+
+func (c *Cluster) deliverDue() error {
+	return c.Net.Deliver(c.tick, func(m *netsim.Message) error {
+		return c.Machines[m.Dst].Inject(m.Pri, m.Words)
+	})
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"testing"
+
+	"jmtam/internal/asm"
+	"jmtam/internal/isa"
+	"jmtam/internal/machine"
+	"jmtam/internal/mem"
+	"jmtam/internal/netsim"
+	"jmtam/internal/word"
+)
+
+// Per-node globals used by the hand-written multi-node programs.
+const (
+	gNext   = mem.SysDataBase + 0x100 // node id to forward to
+	gResult = mem.SysDataBase + 0x104
+	gAccum  = mem.SysDataBase + 0x108
+	gCount  = mem.SysDataBase + 0x10c
+	gNPeers = mem.SysDataBase + 0x110
+)
+
+// buildRing assembles the token-ring program: a handler receives a
+// counter, and either forwards counter+1 to the next node (read from a
+// per-node global) or stores it when the limit is reached.
+func buildRing(t *testing.T, limit int64) *machine.CodeStore {
+	t.Helper()
+	sys := asm.NewSys()
+	sys.Halt()
+	user := asm.NewUser()
+	user.Label("ring")
+	user.LD(0, isa.RMsg, 4) // counter
+	user.MovI(1, limit)
+	user.BLT(0, 1, "ring.fwd")
+	user.STAbs(gResult, 0)
+	user.Suspend()
+	user.Label("ring.fwd")
+	user.AddI(0, 0, 1)
+	user.LDAbs(1, gNext)
+	user.MsgI(machine.Low)
+	user.MsgDest(1)
+	user.SendWALabel("ring")
+	user.SendW(0)
+	user.SendE()
+	user.Suspend()
+	if err := sys.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return machine.NewCodeStore(sys.Code(), user.Code())
+}
+
+func newNodes(t *testing.T, n int, code *machine.CodeStore) []*machine.Machine {
+	t.Helper()
+	ms := make([]*machine.Machine, n)
+	for i := range ms {
+		ms[i] = machine.NewMachine(mem.NewDefault(), code, machine.Config{MaxInstructions: 1_000_000})
+	}
+	return ms
+}
+
+func TestTokenRing(t *testing.T) {
+	const n, laps = 4, 3
+	const limit = int64(n * laps)
+	code := buildRing(t, limit)
+	ms := newNodes(t, n, code)
+	for i, m := range ms {
+		m.Mem.Store(gNext, word.Int(int64((i+1)%n)))
+	}
+	c, err := New(ms, netsim.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kick node 0 with counter 0; the token makes laps full circles and
+	// stops wherever the count hits the limit (node 0 again).
+	ringAddr := word.Ptr(mem.UserCodeBase)
+	if err := ms[0].Inject(machine.Low, []word.Word{ringAddr, word.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ms[0].Mem.LoadInt(gResult); got != limit {
+		t.Errorf("result = %d, want %d", got, limit)
+	}
+	if c.Net.Sent != uint64(limit) {
+		t.Errorf("network sent %d messages, want %d", c.Net.Sent, limit)
+	}
+	if c.Net.Delivered != c.Net.Sent {
+		t.Errorf("delivered %d != sent %d", c.Net.Delivered, c.Net.Sent)
+	}
+	// Each hop pays at least the base+perHop latency; the elapsed time
+	// must reflect the network, not just instruction counts.
+	cfg := netsim.DefaultConfig(n)
+	if c.Tick() < uint64(limit)*(cfg.Base+cfg.PerHop) {
+		t.Errorf("elapsed %d ticks implausibly fast", c.Tick())
+	}
+}
+
+// TestScatterGather has node 0 send one value to every peer; each peer
+// doubles it and replies; node 0 accumulates and counts the replies.
+func TestScatterGather(t *testing.T) {
+	const n = 6
+	sys := asm.NewSys()
+	sys.Halt()
+	user := asm.NewUser()
+	// Peer handler: [h, value, replyNode] -> send 2*value back.
+	user.Label("work")
+	user.LD(0, isa.RMsg, 4)
+	user.MulI(0, 0, 2)
+	user.LD(1, isa.RMsg, 8)
+	user.MsgI(machine.Low)
+	user.MsgDest(1)
+	user.SendWALabel("gather")
+	user.SendW(0)
+	user.SendE()
+	user.Suspend()
+	// Gather handler on node 0: accumulate, count.
+	user.Label("gather")
+	user.LD(0, isa.RMsg, 4)
+	user.LDAbs(1, gAccum)
+	user.Add(1, 1, 0)
+	user.STAbs(gAccum, 1)
+	user.LDAbs(0, gCount)
+	user.AddI(0, 0, 1)
+	user.STAbs(gCount, 0)
+	user.LDAbs(1, gNPeers)
+	user.BNE(0, 1, "gather.more")
+	user.LDAbs(1, gAccum)
+	user.STAbs(gResult, 1)
+	user.Label("gather.more")
+	user.Suspend()
+	// Scatter loop on node 0: [h, nextPeer] sends value=peer to each
+	// peer 1..n-1 by self-forwarding.
+	user.Label("scatter")
+	user.LD(0, isa.RMsg, 4) // peer index
+	user.LDAbs(1, gNPeers)
+	user.BGT(0, 1, "scatter.done")
+	user.MsgI(machine.Low)
+	user.MsgDest(0)
+	user.SendWALabel("work")
+	user.SendW(0)  // value = peer id
+	user.SendWI(0) // reply to node 0
+	user.SendE()
+	user.AddI(0, 0, 1)
+	user.MsgI(machine.Low)
+	user.SendWALabel("scatter") // local self-message
+	user.SendW(0)
+	user.SendE()
+	user.Label("scatter.done")
+	user.Suspend()
+	if err := sys.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	code := machine.NewCodeStore(sys.Code(), user.Code())
+	ms := newNodes(t, n, code)
+	ms[0].Mem.Store(gNPeers, word.Int(n-1))
+	c, err := New(ms, netsim.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms[0].Inject(machine.Low, []word.Word{word.Ptr(user.Addr("scatter")), word.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for p := 1; p < n; p++ {
+		want += int64(2 * p)
+	}
+	if got := ms[0].Mem.LoadInt(gResult); got != want {
+		t.Errorf("gathered sum = %d, want %d", got, want)
+	}
+}
+
+func TestTooManyMachines(t *testing.T) {
+	code := buildRing(t, 1)
+	ms := newNodes(t, 3, code)
+	if _, err := New(ms, netsim.Config{Width: 1, Height: 2, Base: 1}); err == nil {
+		t.Error("oversized cluster accepted")
+	}
+}
+
+func TestTickLimit(t *testing.T) {
+	// Two nodes ping-pong forever; the tick limit must fire.
+	code := buildRing(t, 1<<40)
+	ms := newNodes(t, 2, code)
+	for i, m := range ms {
+		m.Mem.Store(gNext, word.Int(int64((i+1)%2)))
+	}
+	c, err := New(ms, netsim.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms[0].Inject(machine.Low, []word.Word{word.Ptr(mem.UserCodeBase), word.Int(0)})
+	if err := c.Run(5000); err == nil {
+		t.Error("tick limit did not fire")
+	}
+}

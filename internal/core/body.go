@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+
+	"jmtam/internal/asm"
+	"jmtam/internal/isa"
+	"jmtam/internal/machine"
+)
+
+// Body builds the code of one inlet or thread. It embeds the user-code
+// segment, so all plain compute instructions (ALU, loads/stores,
+// branches) are available directly; the methods defined on Body are the
+// TAM-level macros whose expansion differs between the AM and MD
+// backends.
+//
+// Register conventions inside bodies: R0-R2 are free for program use (R5
+// additionally in threads; in inlets R5 is the message base), R3/R4 are
+// clobbered by macros, R6 is the frame pointer, and macros that call
+// library routines (Post/PostEnd under the AM backends, Fork under OAM)
+// clobber R1, R2 and R7.
+type Body struct {
+	*asm.Segment
+	rt     *Runtime
+	cb     *Codeblock
+	thread *Thread
+	inlet  *Inlet
+
+	terminated    bool
+	pushed        bool // this body pushed onto the continuation vector
+	fallthroughTo *Thread
+	fallBRPC      uint32 // PC just after the candidate fall-through branch
+}
+
+func (b *Body) impl() Impl { return b.rt.Impl }
+
+// directStyle reports whether DirectOnly threads are entered by a direct
+// control transfer with registers intact: the MD implementation (when
+// the §2.3 optimizations are on) and the OAM hybrid's short-thread path.
+func (b *Body) directStyle() bool {
+	switch b.impl() {
+	case ImplMD:
+		return b.rt.mdOpt
+	case ImplOAM:
+		return true
+	}
+	return false
+}
+
+func (b *Body) mustInlet(macro string) {
+	if b.inlet == nil {
+		panic(fmt.Sprintf("core: %s used outside an inlet", macro))
+	}
+}
+
+func (b *Body) mustThread(macro string) {
+	if b.thread == nil {
+		panic(fmt.Sprintf("core: %s used outside a thread", macro))
+	}
+}
+
+func (b *Body) mustLive(macro string) {
+	if b.terminated {
+		panic(fmt.Sprintf("core: %s after body terminated", macro))
+	}
+}
+
+// --- Frame and argument access ---------------------------------------------
+
+// Arg loads message argument i (0-based, following the handler address
+// and frame pointer words) into rd. Arguments are read directly from
+// message-queue memory through the message base register.
+func (b *Body) Arg(rd uint8, i int) {
+	b.mustInlet("Arg")
+	b.LD(rd, isa.RMsg, int64(4*(2+i)))
+}
+
+// LDSlot loads general frame slot i into rd.
+func (b *Body) LDSlot(rd uint8, slot int) {
+	b.LD(rd, isa.RFP, b.cb.slotOff(b.impl(), slot))
+}
+
+// STSlot stores rs into general frame slot i.
+func (b *Body) STSlot(slot int, rs uint8) {
+	b.ST(isa.RFP, b.cb.slotOff(b.impl(), slot), rs)
+}
+
+// SlotOff returns the byte offset of a general frame slot, for indexed
+// addressing relative to the frame pointer.
+func (b *Body) SlotOff(slot int) int64 { return b.cb.slotOff(b.impl(), slot) }
+
+// TakeArg receives message argument i destined for thread t. Under the
+// AM backend (and for threads that are not DirectOnly) the value is
+// copied into the frame slot; under the MD backend with a DirectOnly
+// target the value simply stays in rd, eliminating the frame store (the
+// paper's §2.3 example: removing line I2).
+func (b *Body) TakeArg(i int, slot int, rd uint8, t *Thread) {
+	b.mustInlet("TakeArg")
+	b.Arg(rd, i)
+	if b.directStyle() && t.DirectOnly {
+		return
+	}
+	b.STSlot(slot, rd)
+}
+
+// ReloadArg makes an argument previously received with TakeArg available
+// in rd inside the thread body. Under MD with a DirectOnly thread the
+// value is already in the register (eliminating line T1 of §2.3);
+// otherwise it is reloaded from the frame slot.
+func (b *Body) ReloadArg(rd uint8, slot int) {
+	b.mustThread("ReloadArg")
+	if b.directStyle() && b.thread.DirectOnly {
+		return
+	}
+	b.LDSlot(rd, slot)
+}
+
+// StoreResult writes rs into word i of the host-visible result area.
+func (b *Body) StoreResult(i int, rs uint8) {
+	if i < 0 || i >= ResultWords {
+		panic(fmt.Sprintf("core: result index %d out of range", i))
+	}
+	b.STAbs(GResultBase+uint32(4*i), rs)
+}
+
+// --- Continuation-vector pushes ---------------------------------------------
+
+// pushCV appends the thread's address to the continuation vector: the
+// frame-resident ready list under AM, the global LCV under MD.
+func (b *Body) pushCV(t *Thread) {
+	b.pushed = true
+	b.MovALabel(4, t.Label())
+	if b.impl() == ImplMD {
+		b.LDAbs(3, GLCVTop)
+		b.STPost(3, 4)
+		b.STAbs(GLCVTop, 3)
+	} else {
+		b.LD(3, isa.RFP, fhRCVTail)
+		b.STPost(3, 4)
+		b.ST(isa.RFP, fhRCVTail, 3)
+	}
+}
+
+// decCount emits the entry-count decrement for a synchronizing thread,
+// leaving the new count in R3.
+func (b *Body) decCount(t *Thread) {
+	off := b.cb.countOff(b.impl(), t.Sync)
+	b.LD(3, isa.RFP, off)
+	b.SubI(3, 3, 1)
+	b.ST(isa.RFP, off, 3)
+}
+
+// guard wraps continuation-vector manipulation in a DI/EI window under
+// the enabled-AM variant, which otherwise leaves interrupts on during
+// thread execution (§2.4, Figure 2b).
+func (b *Body) guard(f func()) {
+	if b.impl() == ImplAMEnabled && b.thread != nil {
+		b.DI()
+		f()
+		b.EI()
+		return
+	}
+	f()
+}
+
+// --- Fork / Post / Stop -----------------------------------------------------
+
+// Fork enables thread t from within a thread body (non-tail position):
+// the entry count is decremented (for synchronizing threads) and the
+// thread address is pushed on the continuation vector when enabled.
+func (b *Body) Fork(t *Thread) {
+	b.mustThread("Fork")
+	b.mustLive("Fork")
+	noteTarget(t, b)
+	if b.impl() == ImplOAM {
+		// A directly-running thread is outside any activation, so the
+		// fork must go through the post routine, which also links the
+		// frame into the ready queue.
+		b.postBody(t)
+		return
+	}
+	b.guard(func() {
+		if t.Sync >= 0 {
+			skip := b.rt.uniq(t.Label() + ".fk")
+			b.decCount(t)
+			b.BNZ(3, skip)
+			b.pushCV(t)
+			b.Label(skip)
+		} else {
+			b.pushCV(t)
+		}
+	})
+}
+
+// ForkEnd enables thread t as the thread's final action. For
+// non-synchronizing targets the compiler converts the fork into a direct
+// branch; synchronizing targets branch when the count reaches zero and
+// otherwise stop.
+func (b *Body) ForkEnd(t *Thread) {
+	b.mustThread("ForkEnd")
+	b.mustLive("ForkEnd")
+	noteTarget(t, b)
+	if t.Sync < 0 {
+		if b.impl() == ImplAMEnabled {
+			b.DI() // leaving the thread; the target re-enables
+		}
+		b.BR(t.Label())
+		b.terminated = true
+		return
+	}
+	if b.impl() == ImplAMEnabled {
+		b.DI()
+	}
+	b.decCount(t)
+	b.BZ(3, t.Label())
+	b.stopTail()
+	b.terminated = true
+}
+
+// Stop ends the thread: under AM control returns to the scheduler's pop
+// loop; under MD the next LCV entry is popped, or the task suspends so
+// the hardware dispatches the next message.
+func (b *Body) Stop() {
+	b.mustThread("Stop")
+	b.mustLive("Stop")
+	if b.impl() == ImplAMEnabled {
+		b.DI()
+	}
+	b.stopTail()
+	b.terminated = true
+}
+
+// stopTail emits the backend's end-of-task sequence (without marking the
+// body terminated, so ForkEnd can reuse it for the not-enabled path).
+func (b *Body) stopTail() {
+	if b.impl() == ImplOAM {
+		if (b.thread != nil && b.thread.DirectOnly) || b.inlet != nil {
+			// Directly-executed code: the task simply ends; pending
+			// frames run via the scheduling message.
+			b.Suspend()
+		} else {
+			b.BRA(b.rt.popAddr)
+		}
+		return
+	}
+	if b.impl() != ImplMD {
+		b.BRA(b.rt.popAddr)
+		return
+	}
+	// MD: when the LCV is statically known to be empty, the stop
+	// converts to a suspend (§2.3).
+	if b.rt.mdOpt {
+		if b.thread != nil && b.thread.DirectOnly && b.thread.entryLCVEmpty && !b.pushed {
+			b.Suspend()
+			return
+		}
+		if b.inlet != nil && !b.pushed {
+			// Inlets are dispatched only when low priority is idle,
+			// so the LCV is empty at inlet entry.
+			b.Suspend()
+			return
+		}
+	}
+	b.mdPopSeq()
+}
+
+// mdPopSeq emits the MD stop: pop the next thread address from the LCV,
+// or suspend when it is empty.
+func (b *Body) mdPopSeq() {
+	susp := b.rt.uniq("md.susp")
+	b.LDAbs(3, GLCVTop)
+	b.LDPre(4, 3)
+	b.BZ(4, susp) // hit the bottom sentinel
+	b.STAbs(GLCVTop, 3)
+	b.JMP(4)
+	b.Label(susp)
+	b.Suspend()
+}
+
+// Post enables thread t from within an inlet (non-tail position).
+// Under AM this calls the post library routine (which also manages the
+// ready-frame queue); under MD the count is handled inline and the
+// thread address pushed on the LCV.
+func (b *Body) Post(t *Thread) {
+	b.mustInlet("Post")
+	b.mustLive("Post")
+	noteTarget(t, b)
+	b.postBody(t)
+}
+
+func (b *Body) postBody(t *Thread) {
+	if b.impl() != ImplMD {
+		b.MovALabel(1, t.Label())
+		if t.Sync >= 0 {
+			b.LEA(2, isa.RFP, b.cb.countOff(b.impl(), t.Sync))
+		} else {
+			b.MovI(2, 0)
+		}
+		b.JALA(7, b.rt.postAddr)
+		return
+	}
+	if t.Sync >= 0 {
+		skip := b.rt.uniq(t.Label() + ".po")
+		b.decCount(t)
+		b.BNZ(3, skip)
+		b.pushCV(t)
+		b.Label(skip)
+	} else {
+		b.pushCV(t)
+	}
+}
+
+// PostEnd enables thread t as the inlet's final action. Under AM the
+// post is followed by a handler suspend. Under MD control transfers
+// directly to the thread — falling through when the thread can be placed
+// immediately after the inlet, which is the control-locality benefit the
+// paper attributes to the message-driven style.
+func (b *Body) PostEnd(t *Thread) {
+	b.mustInlet("PostEnd")
+	b.mustLive("PostEnd")
+	noteTarget(t, b)
+	if b.impl() == ImplOAM && t.DirectOnly {
+		// Short thread: pass control directly, MD-style.
+		b.jumpOrFall(t)
+		b.terminated = true
+		return
+	}
+	if b.impl() != ImplMD {
+		b.postBody(t)
+		b.Suspend()
+		b.terminated = true
+		return
+	}
+	t.entryLCVEmpty = !b.pushed
+	if t.Sync >= 0 {
+		if !b.pushed {
+			b.cb.needSusp = true
+			b.decCount(t)
+			b.BNZ(3, b.cb.suspLabel)
+			b.jumpOrFall(t)
+		} else {
+			b.decCount(t)
+			b.BZ(3, t.Label())
+			b.mdPopSeq()
+		}
+		b.terminated = true
+		return
+	}
+	b.jumpOrFall(t)
+	b.terminated = true
+}
+
+// jumpOrFall transfers control to t. A branch is always emitted; if it
+// turns out to be the inlet's final instruction and t has not been
+// placed yet, the emitter deletes the branch and lays t out immediately
+// after the inlet (a true fall-through), which is safe even when the
+// inlet has further Case paths after the PostEnd.
+func (b *Body) jumpOrFall(t *Thread) {
+	b.BR(t.Label())
+	if (b.rt.mdOpt || b.impl() == ImplOAM) && !t.emitted && b.fallthroughTo == nil {
+		b.fallthroughTo = t
+		b.fallBRPC = b.Segment.PC()
+	}
+}
+
+// Case defines a local label that is the start of an alternate exit path
+// (the target of a conditional branch emitted earlier in the body) and
+// reopens the body for emission. Compiled TAM threads routinely have
+// several exits, each ending in its own fork or stop.
+func (b *Body) Case(label string) {
+	b.Segment.Label(label)
+	b.terminated = false
+}
+
+// EndInlet terminates an inlet that does not end with a post. Under the
+// AM backends the handler suspends (handlers run at high priority and
+// must never enter the scheduler); under MD any threads the inlet pushed
+// are drained from the LCV.
+func (b *Body) EndInlet() {
+	b.mustInlet("EndInlet")
+	b.mustLive("EndInlet")
+	if b.impl() != ImplMD {
+		b.Suspend()
+	} else {
+		b.stopTail()
+	}
+	b.terminated = true
+}
+
+// noteTarget validates fork/post targets: the thread must belong to the
+// current codeblock, and a DirectOnly thread may be enabled only through
+// a single PostEnd.
+func noteTarget(t *Thread, b *Body) {
+	if t.cb != b.cb {
+		panic(fmt.Sprintf("core: thread %s enabled from codeblock %s", t.Label(), b.cb.Name))
+	}
+	if !t.DirectOnly {
+		return
+	}
+	if b.inlet == nil {
+		panic(fmt.Sprintf("core: DirectOnly thread %s enabled from a thread", t.Label()))
+	}
+	if t.postCount > 0 {
+		panic(fmt.Sprintf("core: DirectOnly thread %s enabled from multiple sites", t.Label()))
+	}
+	t.postCount++
+}
+
+// --- Split-phase operations and system calls --------------------------------
+
+// IFetch issues a split-phase I-structure read of the heap cell whose
+// address is in addrReg; the value is delivered to in (an inlet of the
+// current codeblock) as its argument.
+func (b *Body) IFetch(addrReg uint8, in *Inlet) {
+	b.mustLive("IFetch")
+	b.MsgI(machine.High)
+	b.SendWA(b.rt.ireadAddr)
+	b.SendW(addrReg)
+	b.SendWI(b.impl().inletPri())
+	b.SendWALabel(in.Label())
+	b.SendW(isa.RFP)
+	b.SendE()
+}
+
+// IStore issues a split-phase I-structure write of valReg to the heap
+// cell whose address is in addrReg, waking any deferred readers.
+func (b *Body) IStore(addrReg, valReg uint8) {
+	b.mustLive("IStore")
+	b.MsgI(machine.High)
+	b.SendWA(b.rt.iwriteAddr)
+	b.SendW(addrReg)
+	b.SendW(valReg)
+	b.SendE()
+}
+
+// FAlloc requests a frame for codeblock target; the new frame pointer is
+// delivered to replyInlet (an inlet of the current codeblock).
+func (b *Body) FAlloc(target *Codeblock, replyInlet *Inlet) {
+	b.mustLive("FAlloc")
+	if target.descAddr == 0 {
+		panic(fmt.Sprintf("core: FAlloc target %s not laid out", target.Name))
+	}
+	b.MsgI(machine.High)
+	b.SendWA(b.rt.fallocAddr)
+	b.SendWA(target.descAddr)
+	b.SendWI(b.impl().inletPri())
+	b.SendWALabel(replyInlet.Label())
+	b.SendW(isa.RFP)
+	b.SendE()
+}
+
+// HAlloc requests a heap allocation of the number of words held in
+// wordsReg; the base address is delivered to replyInlet. The words are
+// initialized to the I-structure empty state.
+func (b *Body) HAlloc(wordsReg uint8, replyInlet *Inlet) {
+	b.mustLive("HAlloc")
+	b.MsgI(machine.High)
+	b.SendWA(b.rt.hallocAddr)
+	b.SendW(wordsReg)
+	b.SendWI(b.impl().inletPri())
+	b.SendWALabel(replyInlet.Label())
+	b.SendW(isa.RFP)
+	b.SendE()
+}
+
+// SetCountImm resets entry-count slot i to v. Loop bodies that reuse a
+// synchronizing thread must re-arm its entry count each iteration, as the
+// TAM compiler does for k-bounded loops.
+func (b *Body) SetCountImm(i int, v int64) {
+	b.MovI(3, v)
+	b.ST(isa.RFP, b.cb.countOff(b.impl(), i), 3)
+}
+
+// ReleaseFrame returns the current frame to its codeblock's free list.
+// The body must not touch the frame afterwards.
+func (b *Body) ReleaseFrame() {
+	b.mustLive("ReleaseFrame")
+	b.MsgI(machine.High)
+	b.SendWA(b.rt.releaseAddr)
+	b.SendW(isa.RFP)
+	b.SendE()
+}
+
+// SendMsg sends values to a statically-known inlet of the codeblock
+// activation whose frame pointer is in frameReg.
+func (b *Body) SendMsg(in *Inlet, frameReg uint8, vals ...uint8) {
+	b.mustLive("SendMsg")
+	b.MsgI(b.impl().inletPri())
+	b.SendWALabel(in.Label())
+	b.SendW(frameReg)
+	for _, v := range vals {
+		b.SendW(v)
+	}
+	b.SendE()
+}
+
+// BeginMsg starts a message to a statically-known inlet at the backend's
+// inlet priority. The body must then append the destination frame
+// pointer and the argument words with SendW (loads may be interleaved
+// with the sends, as MDP code does) and finish with SendE. Do not call
+// Post, Fork, FAlloc or any other message-sending macro between BeginMsg
+// and SendE: the hardware has one send buffer per priority level.
+func (b *Body) BeginMsg(in *Inlet) {
+	b.mustLive("BeginMsg")
+	b.MsgI(b.impl().inletPri())
+	b.SendWALabel(in.Label())
+}
+
+// BeginMsgDyn starts a message to the inlet whose code address is in
+// inletReg; see BeginMsg.
+func (b *Body) BeginMsgDyn(inletReg uint8) {
+	b.mustLive("BeginMsgDyn")
+	b.MsgI(b.impl().inletPri())
+	b.SendW(inletReg)
+}
+
+// SendMsgDyn sends values to the inlet whose code address is in
+// inletReg, belonging to the activation whose frame is in frameReg; used
+// for parent continuations passed as arguments.
+func (b *Body) SendMsgDyn(inletReg, frameReg uint8, vals ...uint8) {
+	b.mustLive("SendMsgDyn")
+	b.MsgI(b.impl().inletPri())
+	b.SendW(inletReg)
+	b.SendW(frameReg)
+	for _, v := range vals {
+		b.SendW(v)
+	}
+	b.SendE()
+}
+
+// InletAddr loads the code address of an inlet into rd, so it can be
+// passed to a child activation as a return continuation.
+func (b *Body) InletAddr(rd uint8, in *Inlet) {
+	b.MovALabel(rd, in.Label())
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"jmtam/internal/isa"
+	"jmtam/internal/machine"
+	"jmtam/internal/mem"
+	"jmtam/internal/stats"
+	"jmtam/internal/trace"
+	"jmtam/internal/word"
+)
+
+// Options tunes simulation construction.
+type Options struct {
+	// QueueCapWords bounds the hardware message queues (0 = default).
+	QueueCapWords int
+	// MaxInstructions aborts runaway simulations (0 = no limit).
+	MaxInstructions uint64
+	// NoQueueWriteTrace disables charging hardware message buffering
+	// as data writes (see the paper's §1.1.2 footnote; enabled by
+	// default because buffering consumes memory bandwidth either way).
+	NoQueueWriteTrace bool
+	// NoMDOptimize disables the §2.3 static optimizations in the MD
+	// backend (keeping argument values in registers across a direct
+	// post, placing threads immediately after their posting inlet, and
+	// converting pops of a statically-empty LCV into suspends). Used
+	// by the optimization ablation; the paper presents these as the
+	// conventional optimizations the direct control transfer opens up.
+	NoMDOptimize bool
+}
+
+// Sim is one ready-to-run simulation: a program compiled by one backend,
+// loaded on a machine, with a trace collector and granularity observer
+// attached at Run time.
+type Sim struct {
+	Impl Impl
+	Prog *Program
+	RT   *Runtime
+	M    *machine.Machine
+
+	// Collector counts references and feeds attached cache pairs; add
+	// geometries with Collector.AddPair before calling Run.
+	Collector *trace.Collector
+	// Gran accumulates granularity statistics during Run.
+	Gran *stats.Granularity
+	// Host provides untraced access for setup and verification.
+	Host *Host
+
+	ran bool
+}
+
+// Build compiles prog with the given backend and prepares a simulation.
+// Code-generation panics (macro misuse in program bodies) are converted
+// into errors.
+func Build(impl Impl, prog *Program, opt Options) (sim *Sim, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sim, err = nil, fmt.Errorf("core: building %s/%v: %v", prog.Name, impl, r)
+		}
+	}()
+	if err := prog.validate(); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(impl)
+	rt.mdOpt = !opt.NoMDOptimize
+
+	// Lay out every descriptor before emitting code: FAlloc sites need
+	// target descriptor addresses.
+	addr := uint32(descAreaBase)
+	for _, cb := range prog.Blocks {
+		fw, rcvOff := cb.layout(impl)
+		cb.frameWords = fw
+		_ = rcvOff
+		cb.descAddr = addr
+		addr += uint32(4+cb.NumCounts) * mem.WordBytes
+		if addr > descAreaEnd {
+			return nil, fmt.Errorf("core: descriptor area overflow in %s", prog.Name)
+		}
+		// Reset per-build codegen state (a Program may be compiled by
+		// several backends in one process).
+		cb.needSusp = false
+		cb.suspLabel = cb.Name + ".$susp"
+		for _, t := range cb.threads {
+			t.emitted = false
+			t.entryLCVEmpty = false
+			t.postCount = 0
+			t.addr = 0
+		}
+		for _, in := range cb.inlets {
+			in.addr = 0
+		}
+	}
+
+	for _, cb := range prog.Blocks {
+		rt.emitCodeblock(cb)
+	}
+	if err := rt.User.Finish(); err != nil {
+		return nil, err
+	}
+
+	m := mem.NewDefault()
+	code := machine.NewCodeStore(rt.Sys.Code(), rt.User.Code())
+	mach := machine.NewMachine(m, code, machine.Config{
+		QueueCapWords:    opt.QueueCapWords,
+		CountQueueWrites: !opt.NoQueueWriteTrace,
+		MaxInstructions:  opt.MaxInstructions,
+	})
+
+	// Initialize runtime globals and materialize descriptors (untraced:
+	// the loader, not the simulated program, performs these writes).
+	m.Store(GFrameBump, word.Ptr(mem.FrameBase))
+	m.Store(GNodeBump, word.Ptr(nodePoolBase))
+	m.Store(GHeapBump, word.Ptr(mem.HeapBase))
+	m.Store(GNodeFree, word.Int(0))
+	m.Store(GReadyHead, word.Int(0))
+	m.Store(GReadyTail, word.Int(0))
+	m.Store(GLCVBase, word.Int(0)) // LCV bottom sentinel
+	m.Store(GLCVTop, word.Ptr(GLCVBase+4))
+	for _, cb := range prog.Blocks {
+		_, rcvOff := cb.layout(impl)
+		m.Store(cb.descAddr+dFrameWords, word.Int(int64(cb.frameWords)))
+		m.Store(cb.descAddr+dNumCounts, word.Int(int64(cb.NumCounts)))
+		m.Store(cb.descAddr+dFreeHead, word.Int(0))
+		m.Store(cb.descAddr+dRCVOff, word.Int(rcvOff))
+		for i, c := range cb.InitCounts {
+			m.Store(cb.descAddr+dCounts+uint32(4*i), word.Int(c))
+		}
+	}
+
+	sim = &Sim{
+		Impl:      impl,
+		Prog:      prog,
+		RT:        rt,
+		M:         mach,
+		Collector: &trace.Collector{},
+		Gran:      &stats.Granularity{},
+	}
+	sim.Host = &Host{sim: sim, heapBump: mem.HeapBase}
+
+	if prog.Setup != nil {
+		if err := prog.Setup(sim.Host); err != nil {
+			return nil, fmt.Errorf("core: %s setup: %w", prog.Name, err)
+		}
+	}
+	if impl == ImplAM || impl == ImplAMEnabled {
+		// The AM backends run their scheduler as a background loop;
+		// the MD and OAM backends are driven entirely by messages.
+		mach.Boot(rt.schedAddr)
+	}
+	return sim, nil
+}
+
+// emitCodeblock emits all inlets (with fall-through threads placed
+// immediately after their posting inlet under MD) followed by the
+// remaining threads and the shared suspend stub.
+func (rt *Runtime) emitCodeblock(cb *Codeblock) {
+	for _, in := range cb.inlets {
+		b := rt.emitInlet(in)
+		if t := b.fallthroughTo; t != nil && !t.emitted && rt.User.PC() == b.fallBRPC {
+			// The branch to t was the inlet's last instruction: delete
+			// it and lay the thread out adjacently (true fall-through).
+			// If a label pins the branch, keep it — the thread is still
+			// placed adjacently, so the branch is one wasted cycle.
+			rt.User.PopLast()
+			rt.emitThread(t)
+		}
+	}
+	for _, t := range cb.threads {
+		if !t.emitted {
+			rt.emitThread(t)
+		}
+	}
+	if cb.needSusp {
+		rt.User.Label(cb.suspLabel)
+		rt.User.Suspend()
+	}
+}
+
+// emitInlet assembles one inlet: mark, frame-pointer load, body.
+func (rt *Runtime) emitInlet(in *Inlet) *Body {
+	s := rt.User
+	in.addr = s.Label(in.Label())
+	b := &Body{Segment: s, rt: rt, cb: in.cb, inlet: in}
+	s.Mark(isa.MarkInletStart)
+	s.LD(isa.RFP, isa.RMsg, 4)
+	in.Body(b)
+	if !b.terminated {
+		panic(fmt.Sprintf("core: inlet %s does not terminate", in.Label()))
+	}
+	return b
+}
+
+// emitThread assembles one thread: mark, interrupt window, body.
+func (rt *Runtime) emitThread(t *Thread) {
+	s := rt.User
+	t.emitted = true
+	t.addr = s.Label(t.Label())
+	b := &Body{Segment: s, rt: rt, cb: t.cb, thread: t}
+	s.Mark(isa.MarkThreadStart)
+	switch rt.Impl {
+	case ImplAM:
+		// Unenabled AM: interrupts are enabled only briefly at the top
+		// of each thread (Figure 2a).
+		s.EI()
+		s.DI()
+	case ImplAMEnabled:
+		// Enabled AM: interrupts stay on except around CV access.
+		s.EI()
+	}
+	t.Body(b)
+	if !b.terminated {
+		panic(fmt.Sprintf("core: thread %s does not terminate", t.Label()))
+	}
+}
+
+// Run executes the simulation to quiescence and verifies the result.
+func (s *Sim) Run() error {
+	if s.ran {
+		return fmt.Errorf("core: %s/%s already ran", s.Prog.Name, s.Impl)
+	}
+	s.ran = true
+	s.M.SetTracer(s.Collector)
+	s.M.SetObserver(s.Gran)
+	if err := s.M.Run(); err != nil {
+		return fmt.Errorf("core: %s/%s: %w", s.Prog.Name, s.Impl, err)
+	}
+	s.Gran.TotalInstrs = s.M.Instructions()
+	s.Gran.Finish()
+	if s.Prog.Verify != nil {
+		if err := s.Prog.Verify(s.Host); err != nil {
+			return fmt.Errorf("core: %s/%s verify: %w", s.Prog.Name, s.Impl, err)
+		}
+	}
+	return nil
+}
+
+// Host gives programs untraced (loader/debugger) access to the simulated
+// machine for setup and verification.
+type Host struct {
+	sim      *Sim
+	heapBump uint32
+}
+
+// AllocData reserves words of heap and returns its base address. The
+// memory is zero-initialized (integer zeros).
+func (h *Host) AllocData(words int) uint32 {
+	a := h.heapBump
+	h.heapBump += uint32(words) * mem.WordBytes
+	if h.heapBump > mem.TopOfMemory {
+		panic("core: heap exhausted")
+	}
+	// Keep the runtime's dynamic allocator downstream of host data.
+	h.sim.M.Mem.Store(GHeapBump, word.Ptr(h.heapBump))
+	return a
+}
+
+// AllocIStruct reserves words of heap initialized to the I-structure
+// empty state.
+func (h *Host) AllocIStruct(words int) uint32 {
+	a := h.AllocData(words)
+	for i := 0; i < words; i++ {
+		h.sim.M.Mem.Store(a+uint32(4*i), word.Empty())
+	}
+	return a
+}
+
+// Poke writes a word of simulated memory without tracing.
+func (h *Host) Poke(addr uint32, w word.Word) { h.sim.M.Mem.Store(addr, w) }
+
+// PokeInt writes an integer word.
+func (h *Host) PokeInt(addr uint32, v int64) { h.Poke(addr, word.Int(v)) }
+
+// PokeFloat writes a float word.
+func (h *Host) PokeFloat(addr uint32, v float64) { h.Poke(addr, word.Float(v)) }
+
+// Peek reads a word of simulated memory without tracing.
+func (h *Host) Peek(addr uint32) word.Word { return h.sim.M.Mem.Load(addr) }
+
+// Result returns word i of the program result area.
+func (h *Host) Result(i int) word.Word {
+	return h.Peek(GResultBase + uint32(4*i))
+}
+
+// AllocFrame allocates and initializes a frame for cb exactly as the
+// frame-allocation handler would, but untraced; used to create the root
+// activation.
+func (h *Host) AllocFrame(cb *Codeblock) uint32 {
+	m := h.sim.M.Mem
+	f := m.Load(GFrameBump).Addr()
+	m.Store(GFrameBump, word.Ptr(f+uint32(cb.frameWords)*mem.WordBytes))
+	m.Store(f+fhDesc, word.Ptr(cb.descAddr))
+	impl := h.sim.Impl
+	if impl != ImplMD {
+		_, rcvOff := cb.layout(impl)
+		m.Store(f+uint32(rcvOff), word.Int(0)) // bottom sentinel
+		m.Store(f+fhRCVTail, word.Ptr(f+uint32(rcvOff)+4))
+		m.Store(f+fhFlags, word.Int(0))
+	}
+	for i, c := range cb.InitCounts {
+		m.Store(f+uint32(impl.headerWords()*4+4*i), word.Int(c))
+	}
+	return f
+}
+
+// Start injects a message invoking the given inlet of the activation at
+// frame, with the given arguments, at the backend's inlet priority.
+func (h *Host) Start(in *Inlet, frame uint32, args ...word.Word) error {
+	if in.addr == 0 {
+		return fmt.Errorf("core: inlet %s has no address (not emitted?)", in.Label())
+	}
+	ws := make([]word.Word, 0, 2+len(args))
+	ws = append(ws, word.Ptr(in.addr), word.Ptr(frame))
+	ws = append(ws, args...)
+	return h.sim.M.Inject(int(h.sim.Impl.inletPri()), ws)
+}

@@ -1,0 +1,181 @@
+// Package core implements the paper's primary contribution: two
+// implementations of the Berkeley Threaded Abstract Machine (TAM) for a
+// J-Machine-like message-driven processor, differing in their scheduling
+// hierarchy.
+//
+//   - The Active Messages (AM) implementation runs inlets as high-priority
+//     message handlers that write arguments into frames and post threads
+//     through a library routine; a low-priority software scheduler
+//     activates one frame at a time, running all of its enabled threads
+//     (a quantum) to exploit data locality.
+//
+//   - The Message-Driven (MD) implementation uses the hardware message
+//     queue as the task queue: inlets run at low priority and jump
+//     directly to the threads they enable, arguments are consumed straight
+//     from queue memory, and the only high-priority code is the system
+//     handlers (frame allocation, I-structure access).
+//
+// Both backends compile the same TAM program representation (package-level
+// Program/Codeblock/Inlet/Thread types) into simulated machine code, so
+// the differences in instruction counts, memory traffic and cache
+// behaviour measured by the paper arise from real code generation rather
+// than modelling constants.
+package core
+
+import (
+	"fmt"
+
+	"jmtam/internal/machine"
+	"jmtam/internal/mem"
+	"jmtam/internal/queue"
+)
+
+// Impl selects a TAM backend.
+type Impl int
+
+// Backends. ImplAM is the paper's (unenabled) Active Messages
+// implementation: interrupts are enabled only briefly at the top of each
+// thread, which models multiprocessor behaviour most accurately (§2.4).
+// ImplAMEnabled leaves interrupts enabled except around continuation-
+// vector access, exhibiting the uniprocessor anomaly of Figure 2.
+// ImplMD is the message-driven implementation.
+const (
+	ImplAM Impl = iota
+	ImplMD
+	ImplAMEnabled
+	// ImplOAM is the hybrid of §2.4 in the style of Optimistic Active
+	// Messages [KWW+94]: inlets run at low priority and pass control
+	// directly to short (DirectOnly) threads as in the MD
+	// implementation, while long threads go through the AM post/
+	// scheduler machinery — itself driven by scheduling messages on
+	// the low-priority queue rather than a background spin loop.
+	ImplOAM
+)
+
+// String names the backend.
+func (i Impl) String() string {
+	switch i {
+	case ImplAM:
+		return "AM"
+	case ImplMD:
+		return "MD"
+	case ImplAMEnabled:
+		return "AM-enabled"
+	case ImplOAM:
+		return "OAM"
+	}
+	return fmt.Sprintf("Impl(%d)", int(i))
+}
+
+// Short returns the short tag used in tables.
+func (i Impl) Short() string {
+	switch i {
+	case ImplMD:
+		return "MD"
+	case ImplOAM:
+		return "OAM"
+	}
+	return "AM"
+}
+
+// Runtime global addresses in the system-data segment. The first words
+// of system data hold the runtime's globals: the AM ready-frame queue
+// head, the MD local continuation vector and its top pointer, allocator
+// state, and the program result area.
+const (
+	GReadyHead  = mem.SysDataBase + 0  // AM: head of ready-frame list
+	GLCVTop     = mem.SysDataBase + 4  // MD: LCV top pointer (byte addr)
+	GFrameBump  = mem.SysDataBase + 8  // frame-region bump pointer
+	GNodeFree   = mem.SysDataBase + 12 // deferred-node free list
+	GNodeBump   = mem.SysDataBase + 16 // deferred-node bump pointer
+	GHeapBump   = mem.SysDataBase + 20 // heap-region bump pointer
+	GReadyTail  = mem.SysDataBase + 24 // AM: tail of ready-frame list (FIFO)
+	GResultBase = mem.SysDataBase + 256
+	ResultWords = 64
+
+	// The MD implementation's LCV: a small, hot array in system data.
+	GLCVBase     = mem.SysDataBase + 1024
+	LCVCapWords  = 2048
+	descAreaBase = GLCVBase + LCVCapWords*mem.WordBytes
+	descAreaEnd  = mem.SysDataBase + machine.GlobalsWords*mem.WordBytes
+)
+
+// nodePoolBase is where I-structure deferred-reader nodes live: after the
+// runtime globals and the two hardware message queues.
+const nodePoolBase = mem.SysDataBase +
+	machine.GlobalsWords*mem.WordBytes +
+	2*queue.DefaultCapWords*mem.WordBytes
+
+// Frame header layout (byte offsets). The AM implementation keeps the
+// frame's ready-thread list (the "remote continuation vector") inside the
+// frame: fhRCVTail/fhRCVBase delimit it and fhFlags records membership in
+// the ready-frame queue. The MD implementation eliminates the RCV
+// entirely, so its frames carry only the descriptor pointer and free-list
+// link (paper §3.1: "eliminating the remote continuation vector").
+const (
+	fhDesc    = 0
+	fhLink    = 4
+	fhRCVTail = 8
+	fhFlags   = 12
+
+	amHeaderWords = 4
+	mdHeaderWords = 2
+)
+
+// Descriptor layout (byte offsets). Descriptors are materialized in
+// system data and read by the frame-allocation handler.
+const (
+	dFrameWords = 0
+	dNumCounts  = 4
+	dFreeHead   = 8
+	dRCVOff     = 12
+	dCounts     = 16 // initial entry counts, one word each
+)
+
+// deferred-reader node layout (byte offsets), 4 words per node.
+const (
+	nNext  = 0
+	nPri   = 4
+	nInlet = 8
+	nFrame = 12
+
+	nodeBytes = 16
+)
+
+// MappingRow is one row of the paper's Table 1: how each TAM mechanism
+// maps onto the J-Machine under the two implementations.
+type MappingRow struct {
+	Mechanism string
+	AM        string
+	MD        string
+}
+
+// Mapping returns Table 1 of the paper.
+func Mapping() []MappingRow {
+	return []MappingRow{
+		{"inlet", "high priority message handler", "low priority message handler"},
+		{"post from inlet", "place thread in frame", "jump directly to thread"},
+		{"activation of frame", "low priority library routine", "n/a"},
+		{"threads", "low priority code", "low priority code"},
+		{"fork from thread", "jump or push onto LCV", "jump or push onto LCV"},
+		{"system routines", "high priority message handlers", "high priority message handlers"},
+	}
+}
+
+// inletPri returns the hardware priority at which inlets run. Under
+// both the MD implementation and the OAM hybrid, user message handlers
+// run at the same priority as computation.
+func (i Impl) inletPri() int64 {
+	if i == ImplMD || i == ImplOAM {
+		return machine.Low
+	}
+	return machine.High
+}
+
+// headerWords returns the frame header size for the backend.
+func (i Impl) headerWords() int {
+	if i == ImplMD {
+		return mdHeaderWords
+	}
+	return amHeaderWords
+}

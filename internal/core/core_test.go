@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jmtam/internal/word"
+)
+
+// sumLoopProgram builds a single-activation program that sums 1..n with a
+// self-forking loop thread, exercising inlets, TakeArg/ReloadArg,
+// DirectOnly fall-through, ForkEnd loops and multi-exit threads.
+func sumLoopProgram(n int64) *Program {
+	cb := &Codeblock{Name: "sum", NumSlots: 3}
+	var tInit, tLoop *Thread
+	tInit = cb.AddThread("init", -1, func(b *Body) {
+		b.ReloadArg(0, 2) // n
+		b.MovI(1, 0)
+		b.STSlot(0, 1) // acc = 0
+		b.MovI(1, 1)
+		b.STSlot(1, 1) // i = 1
+		b.ForkEnd(tLoop)
+	})
+	tLoop = cb.AddThread("loop", -1, func(b *Body) {
+		b.LDSlot(1, 1) // i
+		b.LDSlot(2, 2) // n
+		b.BGT(1, 2, "sum.loop.done")
+		b.LDSlot(0, 0)
+		b.Add(0, 0, 1)
+		b.STSlot(0, 0)
+		b.AddI(1, 1, 1)
+		b.STSlot(1, 1)
+		b.ForkEnd(tLoop)
+		b.Case("sum.loop.done")
+		b.LDSlot(0, 0)
+		b.StoreResult(0, 0)
+		b.Stop()
+	})
+	start := cb.AddInlet("start", func(b *Body) {
+		b.TakeArg(0, 2, 0, tInit)
+		b.PostEnd(tInit)
+	})
+	return &Program{
+		Name:   "sumloop",
+		Blocks: []*Codeblock{cb},
+		Setup: func(h *Host) error {
+			f := h.AllocFrame(cb)
+			return h.Start(start, f, word.Int(n))
+		},
+		Verify: func(h *Host) error {
+			want := n * (n + 1) / 2
+			if got := h.Result(0).AsInt(); got != want {
+				return fmt.Errorf("sum = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// callProgram builds a two-codeblock program in which main allocates a
+// child activation, sends it an argument and a return continuation, and
+// the child replies with 2n, exercising FAlloc/Release, SendMsg,
+// SendMsgDyn and InletAddr.
+func callProgram(n int64) *Program {
+	child := &Codeblock{Name: "child", NumSlots: 3}
+	var tBody *Thread
+	tBody = child.AddThread("body", -1, func(b *Body) {
+		b.ReloadArg(0, 0) // n
+		b.ReloadArg(1, 1) // return inlet
+		b.ReloadArg(2, 2) // return frame
+		b.MulI(0, 0, 2)
+		b.SendMsgDyn(1, 2, 0)
+		b.ReleaseFrame()
+		b.Stop()
+	})
+	tBody.DirectOnly = true
+	childStart := child.AddInlet("start", func(b *Body) {
+		b.TakeArg(0, 0, 0, tBody)
+		b.TakeArg(1, 1, 1, tBody)
+		b.TakeArg(2, 2, 2, tBody)
+		b.PostEnd(tBody)
+	})
+
+	main := &Codeblock{Name: "main", NumSlots: 3}
+	var tCall, tSend *Thread
+	var iFrame, iResult *Inlet
+	tCall = main.AddThread("call", -1, func(b *Body) {
+		b.FAlloc(child, iFrame)
+		b.Stop()
+	})
+	tSend = main.AddThread("send", -1, func(b *Body) {
+		b.ReloadArg(0, 2) // child frame
+		b.LDSlot(1, 1)    // n
+		b.InletAddr(2, iResult)
+		b.SendMsg(childStart, 0, 1, 2, 6)
+		b.Stop()
+	})
+	tSend.DirectOnly = true
+	start := main.AddInlet("start", func(b *Body) {
+		b.TakeArg(0, 1, 0, tCall)
+		b.PostEnd(tCall)
+	})
+	iFrame = main.AddInlet("gotframe", func(b *Body) {
+		b.TakeArg(0, 2, 0, tSend)
+		b.PostEnd(tSend)
+	})
+	iResult = main.AddInlet("result", func(b *Body) {
+		b.Arg(0, 0)
+		b.StoreResult(0, 0)
+		b.EndInlet()
+	})
+	return &Program{
+		Name:   "callret",
+		Blocks: []*Codeblock{main, child},
+		Setup: func(h *Host) error {
+			f := h.AllocFrame(main)
+			return h.Start(start, f, word.Int(n))
+		},
+		Verify: func(h *Host) error {
+			want := 2 * n
+			if got := h.Result(0).AsInt(); got != want {
+				return fmt.Errorf("result = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// istrProgram exercises split-phase I-structure reads, including the
+// deferred path (the second fetch targets a cell that is written later
+// by a producer thread) and a synchronizing thread with entry count 2.
+func istrProgram(aVal int64) *Program {
+	cb := &Codeblock{Name: "istr", NumCounts: 1, InitCounts: []int64{2}, NumSlots: 4}
+	var tReq, tProd, tSum *Thread
+	var iA, iB *Inlet
+	tReq = cb.AddThread("req", -1, func(b *Body) {
+		b.LDSlot(0, 2)
+		b.IFetch(0, iA)
+		b.LDSlot(0, 3)
+		b.IFetch(0, iB)
+		b.ForkEnd(tProd)
+	})
+	tProd = cb.AddThread("prod", -1, func(b *Body) {
+		b.MovI(0, 99)
+		b.LDSlot(1, 3)
+		b.IStore(1, 0)
+		b.Stop()
+	})
+	tSum = cb.AddThread("sum", 0, func(b *Body) {
+		b.LDSlot(0, 0)
+		b.LDSlot(1, 1)
+		b.Add(0, 0, 1)
+		b.StoreResult(0, 0)
+		b.Stop()
+	})
+	iA = cb.AddInlet("gotA", func(b *Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.PostEnd(tSum)
+	})
+	iB = cb.AddInlet("gotB", func(b *Body) {
+		b.Arg(0, 0)
+		b.STSlot(1, 0)
+		b.PostEnd(tSum)
+	})
+	start := cb.AddInlet("start", func(b *Body) {
+		b.Arg(0, 0)
+		b.STSlot(2, 0)
+		b.Arg(0, 1)
+		b.STSlot(3, 0)
+		b.PostEnd(tReq)
+	})
+	return &Program{
+		Name:   "istr",
+		Blocks: []*Codeblock{cb},
+		Setup: func(h *Host) error {
+			ha := h.AllocIStruct(1)
+			hb := h.AllocIStruct(1)
+			h.PokeInt(ha, aVal) // already present
+			f := h.AllocFrame(cb)
+			return h.Start(start, f, word.Ptr(ha), word.Ptr(hb))
+		},
+		Verify: func(h *Host) error {
+			want := aVal + 99
+			if got := h.Result(0).AsInt(); got != want {
+				return fmt.Errorf("result = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+var allImpls = []Impl{ImplAM, ImplMD, ImplAMEnabled, ImplOAM}
+
+func runProgram(t *testing.T, impl Impl, p *Program) *Sim {
+	t.Helper()
+	sim, err := Build(impl, p, Options{MaxInstructions: 50_000_000})
+	if err != nil {
+		t.Fatalf("Build(%v): %v", impl, err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run(%v): %v", impl, err)
+	}
+	return sim
+}
+
+func TestSumLoop(t *testing.T) {
+	for _, impl := range allImpls {
+		t.Run(impl.String(), func(t *testing.T) {
+			sim := runProgram(t, impl, sumLoopProgram(100))
+			if sim.Gran.Threads < 100 {
+				t.Errorf("threads = %d, want >= 100", sim.Gran.Threads)
+			}
+			if sim.Gran.Quanta == 0 {
+				t.Error("no quanta recorded")
+			}
+		})
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	for _, impl := range allImpls {
+		t.Run(impl.String(), func(t *testing.T) {
+			runProgram(t, impl, callProgram(21))
+		})
+	}
+}
+
+func TestIStructureDeferred(t *testing.T) {
+	for _, impl := range allImpls {
+		t.Run(impl.String(), func(t *testing.T) {
+			runProgram(t, impl, istrProgram(41))
+		})
+	}
+}
+
+func TestMDExecutesFewerInstructions(t *testing.T) {
+	am := runProgram(t, ImplAM, sumLoopProgram(200))
+	md := runProgram(t, ImplMD, sumLoopProgram(200))
+	if md.M.Instructions() >= am.M.Instructions() {
+		t.Errorf("MD executed %d instructions, AM %d; MD should be fewer",
+			md.M.Instructions(), am.M.Instructions())
+	}
+}
+
+func TestMappingTable(t *testing.T) {
+	rows := Mapping()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(rows))
+	}
+	if rows[1].MD != "jump directly to thread" {
+		t.Errorf("post row MD = %q", rows[1].MD)
+	}
+}
+
+func TestImplString(t *testing.T) {
+	cases := map[Impl]string{ImplAM: "AM", ImplMD: "MD", ImplAMEnabled: "AM-enabled", Impl(9): "Impl(9)"}
+	for impl, want := range cases {
+		if got := impl.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(impl), got, want)
+		}
+	}
+	if ImplAMEnabled.Short() != "AM" || ImplMD.Short() != "MD" {
+		t.Error("Short() tags wrong")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jmtam/internal/machine"
+)
+
+func TestOAMSystemCode(t *testing.T) {
+	sim, err := Build(ImplOAM, sumLoopProgram(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sim.RT.Sys.Dump()
+	if !strings.Contains(d, "sys.oamsched:") {
+		t.Error("OAM backend missing its message-driven scheduler")
+	}
+	if !strings.Contains(d, "sys.post:") {
+		t.Error("OAM backend missing the post routine")
+	}
+	if strings.Contains(d, "sys.sched:") {
+		t.Error("OAM backend emitted the AM background scheduler")
+	}
+	// OAM threads need no interrupt windows: user code contains no EI.
+	if u := sim.RT.User.Dump(); strings.Contains(u, "\tei\n") || strings.Contains(u, " ei\n") {
+		t.Error("OAM user code contains interrupt-window instructions")
+	}
+}
+
+func TestOAMInletPriority(t *testing.T) {
+	// Under AM, user inlets dispatch at high priority; under OAM and MD
+	// they dispatch at low priority (only system handlers run high).
+	for _, c := range []struct {
+		impl     Impl
+		wantHigh bool
+	}{
+		{ImplAM, true},
+		{ImplMD, false},
+		{ImplOAM, false},
+	} {
+		sim := runProgram(t, c.impl, sumLoopProgram(20))
+		// sumloop sends no syscall messages, so high-priority
+		// dispatches come only from inlets.
+		high := sim.Gran.Dispatches[machine.High]
+		if c.wantHigh && high == 0 {
+			t.Errorf("%v: no high-priority dispatches", c.impl)
+		}
+		if !c.wantHigh && high != 0 {
+			t.Errorf("%v: %d unexpected high-priority dispatches", c.impl, high)
+		}
+	}
+}
+
+func TestOAMUsesSchedulingMessages(t *testing.T) {
+	// The call/return program posts non-DirectOnly threads, which must
+	// flow through the ready-frame queue and its scheduling message.
+	sim := runProgram(t, ImplOAM, callProgram(5))
+	if sim.Gran.Activations == 0 {
+		t.Error("OAM never activated a frame through its scheduler")
+	}
+}
+
+// TestSumLoopProperty checks all four backends against the closed form
+// on random inputs.
+func TestSumLoopProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int64(raw%60) + 1
+		for _, impl := range allImpls {
+			sim, err := Build(impl, sumLoopProgram(n), Options{MaxInstructions: 10_000_000})
+			if err != nil {
+				return false
+			}
+			if err := sim.Run(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoMDOptimizeAddsInstructions(t *testing.T) {
+	opt, err := Build(ImplMD, callProgram(7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	unopt, err := Build(ImplMD, callProgram(7), Options{NoMDOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unopt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.M.Instructions() >= unopt.M.Instructions() {
+		t.Errorf("optimized MD (%d instrs) not below unoptimized (%d)",
+			opt.M.Instructions(), unopt.M.Instructions())
+	}
+}
+
+func TestOptionsAffectOnlyMD(t *testing.T) {
+	a, err := Build(ImplAM, callProgram(7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ImplAM, callProgram(7), Options{NoMDOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.M.Instructions() != b.M.Instructions() {
+		t.Error("NoMDOptimize changed the AM backend")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import "fmt"
+
+// Program is a TAM program: a set of codeblocks plus host-side setup
+// (heap initialization, start message injection) and verification.
+// Programs are backend-independent; both the AM and MD backends compile
+// the same Program.
+type Program struct {
+	Name string
+	// Blocks lists the program's codeblocks; the order determines code
+	// layout in the user segment.
+	Blocks []*Codeblock
+	// Setup initializes heap data, allocates the root frame and injects
+	// the start message(s) through the Host. It runs after code
+	// generation, outside the simulation (untraced).
+	Setup func(h *Host) error
+	// Verify checks results after the machine halts.
+	Verify func(h *Host) error
+}
+
+// validate checks structural invariants before code generation.
+func (p *Program) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: program without name")
+	}
+	seen := make(map[string]bool)
+	for _, cb := range p.Blocks {
+		if cb.Name == "" {
+			return fmt.Errorf("core: %s: codeblock without name", p.Name)
+		}
+		if seen[cb.Name] {
+			return fmt.Errorf("core: %s: duplicate codeblock %q", p.Name, cb.Name)
+		}
+		seen[cb.Name] = true
+		if err := cb.validate(); err != nil {
+			return fmt.Errorf("core: %s: %w", p.Name, err)
+		}
+	}
+	if p.Setup == nil {
+		return fmt.Errorf("core: %s: missing Setup", p.Name)
+	}
+	return nil
+}
+
+// Codeblock corresponds to a compiled Id codeblock: a frame layout
+// (synchronization counters plus local slots) with a set of inlets
+// (message handlers that receive arguments) and threads (straight-line
+// code scheduled via fork/post).
+type Codeblock struct {
+	Name string
+	// NumCounts is the number of entry-count words in the frame.
+	NumCounts int
+	// InitCounts gives the initial value of each entry count, applied
+	// by the frame-allocation handler. len(InitCounts) == NumCounts.
+	InitCounts []int64
+	// NumSlots is the number of general frame slots (arguments, locals).
+	NumSlots int
+	// RCVCap is the capacity, in words, of the frame's ready-thread
+	// list under the AM implementation. It must be at least the
+	// maximum number of simultaneously enabled threads. Zero selects
+	// DefaultRCVCap.
+	RCVCap int
+
+	inlets  []*Inlet
+	threads []*Thread
+
+	// Assigned during layout/codegen.
+	descAddr   uint32
+	frameWords int
+	suspLabel  string
+	needSusp   bool
+}
+
+// DefaultRCVCap is the default per-frame ready-list capacity (words).
+const DefaultRCVCap = 32
+
+// Inlet declares a message handler of the codeblock. Body is emitted by
+// the backend with backend-specific macro expansions.
+type Inlet struct {
+	Name string
+	// Body emits the inlet's code through the Body builder. It must
+	// end with PostEnd, EndInlet, or another terminating macro.
+	Body func(b *Body)
+
+	cb   *Codeblock
+	addr uint32
+}
+
+// Thread declares a thread of the codeblock.
+type Thread struct {
+	Name string
+	// Sync is the entry-count slot index for synchronizing threads, or
+	// -1 for non-synchronizing threads (implicit entry count of one).
+	Sync int
+	// DirectOnly asserts that the thread is enabled only by a single
+	// inlet's PostEnd and is non-synchronizing, allowing the MD backend
+	// to fall straight through from the inlet and keep argument values
+	// in registers (the §2.3 optimization: eliminating the frame
+	// store, the post, and the reload).
+	DirectOnly bool
+	// Body emits the thread's code. It must end with Stop, ForkEnd, or
+	// another terminating macro.
+	Body func(b *Body)
+
+	cb      *Codeblock
+	addr    uint32
+	emitted bool
+	// entryLCVEmpty records (MD only) that the LCV is provably empty
+	// when the thread is entered, enabling the stop-to-suspend
+	// conversion of §2.3. Set during the posting inlet's emission.
+	entryLCVEmpty bool
+	// postCount counts PostEnd sites targeting a DirectOnly thread.
+	postCount int
+}
+
+// AddInlet registers an inlet and returns it.
+func (cb *Codeblock) AddInlet(name string, body func(b *Body)) *Inlet {
+	in := &Inlet{Name: name, Body: body, cb: cb}
+	cb.inlets = append(cb.inlets, in)
+	return in
+}
+
+// AddThread registers a synchronizing or non-synchronizing thread.
+func (cb *Codeblock) AddThread(name string, sync int, body func(b *Body)) *Thread {
+	t := &Thread{Name: name, Sync: sync, Body: body, cb: cb}
+	cb.threads = append(cb.threads, t)
+	return t
+}
+
+// Label returns the assembler label of the inlet.
+func (in *Inlet) Label() string { return in.cb.Name + "." + in.Name }
+
+// Addr returns the inlet's code address; valid after code generation.
+func (in *Inlet) Addr() uint32 { return in.addr }
+
+// Label returns the assembler label of the thread.
+func (t *Thread) Label() string { return t.cb.Name + "." + t.Name }
+
+func (cb *Codeblock) validate() error {
+	if len(cb.InitCounts) != cb.NumCounts {
+		return fmt.Errorf("codeblock %s: %d InitCounts for %d counts",
+			cb.Name, len(cb.InitCounts), cb.NumCounts)
+	}
+	names := make(map[string]bool)
+	for _, in := range cb.inlets {
+		if in.Body == nil {
+			return fmt.Errorf("codeblock %s: inlet %s without body", cb.Name, in.Name)
+		}
+		if names[in.Name] {
+			return fmt.Errorf("codeblock %s: duplicate name %s", cb.Name, in.Name)
+		}
+		names[in.Name] = true
+	}
+	for _, t := range cb.threads {
+		if t.Body == nil {
+			return fmt.Errorf("codeblock %s: thread %s without body", cb.Name, t.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("codeblock %s: duplicate name %s", cb.Name, t.Name)
+		}
+		names[t.Name] = true
+		if t.Sync >= cb.NumCounts {
+			return fmt.Errorf("codeblock %s: thread %s sync slot %d out of range",
+				cb.Name, t.Name, t.Sync)
+		}
+		if t.DirectOnly && t.Sync >= 0 {
+			return fmt.Errorf("codeblock %s: thread %s is DirectOnly but synchronizing",
+				cb.Name, t.Name)
+		}
+	}
+	return nil
+}
+
+// slotOff returns the byte offset of general slot i for the backend.
+func (cb *Codeblock) slotOff(impl Impl, i int) int64 {
+	if i < 0 || i >= cb.NumSlots {
+		panic(fmt.Sprintf("core: %s: slot %d out of range [0,%d)", cb.Name, i, cb.NumSlots))
+	}
+	return int64(impl.headerWords()+cb.NumCounts+i) * 4
+}
+
+// countOff returns the byte offset of entry-count slot i.
+func (cb *Codeblock) countOff(impl Impl, i int) int64 {
+	if i < 0 || i >= cb.NumCounts {
+		panic(fmt.Sprintf("core: %s: count %d out of range [0,%d)", cb.Name, i, cb.NumCounts))
+	}
+	return int64(impl.headerWords()+i) * 4
+}
+
+// layout computes the frame size and RCV offset for the backend.
+func (cb *Codeblock) layout(impl Impl) (frameWords int, rcvOffBytes int64) {
+	rcv := 0
+	if impl != ImplMD {
+		rcv = cb.RCVCap
+		if rcv == 0 {
+			rcv = DefaultRCVCap
+		}
+		rcv++ // bottom sentinel word terminating the pop loop
+	}
+	base := impl.headerWords() + cb.NumCounts + cb.NumSlots
+	return base + rcv, int64(base) * 4
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"jmtam/internal/asm"
+	"jmtam/internal/isa"
+	"jmtam/internal/word"
+)
+
+// Runtime holds the state of one backend compilation: the two code
+// segments, the addresses of system routines, and the descriptor layout
+// for every codeblock of the program being compiled.
+type Runtime struct {
+	Impl Impl
+	Sys  *asm.Segment
+	User *asm.Segment
+
+	// System routine addresses, valid after emitSystem.
+	fallocAddr  uint32
+	releaseAddr uint32
+	ireadAddr   uint32
+	iwriteAddr  uint32
+	hallocAddr  uint32
+	postAddr    uint32 // AM only
+	schedAddr   uint32 // AM only: scheduler entry (Boot target)
+	popAddr     uint32 // AM only: per-thread pop loop (Stop target)
+
+	// mdOpt enables the §2.3 static optimizations in the MD backend.
+	mdOpt bool
+
+	labelSeq int
+}
+
+// newRuntime creates a runtime for the backend and emits its system code.
+func newRuntime(impl Impl) *Runtime {
+	rt := &Runtime{Impl: impl, mdOpt: true, Sys: asm.NewSys(), User: asm.NewUser()}
+	rt.emitSystem()
+	return rt
+}
+
+// uniq generates a unique local label.
+func (rt *Runtime) uniq(prefix string) string {
+	rt.labelSeq++
+	return prefix + "$" + itoa(rt.labelSeq)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// emitSystem assembles the backend's system code: the frame-allocation,
+// frame-release, I-structure read and I-structure write handlers (high
+// priority in both backends), and — for the AM backends — the post
+// library routine and the background scheduler loop.
+func (rt *Runtime) emitSystem() {
+	s := rt.Sys
+
+	rt.fallocAddr = rt.emitFAlloc()
+	rt.releaseAddr = rt.emitRelease()
+	rt.ireadAddr = rt.emitIRead()
+	rt.iwriteAddr = rt.emitIWrite()
+	rt.hallocAddr = rt.emitHAlloc()
+
+	switch rt.Impl {
+	case ImplAM, ImplAMEnabled:
+		rt.postAddr = rt.emitPost()
+		rt.schedAddr, rt.popAddr = rt.emitScheduler()
+	case ImplOAM:
+		rt.schedAddr, rt.popAddr = rt.emitOAMScheduler()
+		rt.postAddr = rt.emitPost()
+	}
+
+	if err := s.Finish(); err != nil {
+		panic(err)
+	}
+}
+
+// emitFAlloc emits the frame-allocation handler.
+//
+// Request message: [handler, desc, replyPri, replyInlet, replyFrame].
+// Reply message:   [replyInlet, replyFrame, newFrame].
+//
+// The handler pops a frame from the descriptor's free list (or bumps the
+// global frame pointer), initializes the header and the entry counts from
+// the descriptor, and replies with the frame pointer. Under the MD
+// backend the RCV fields do not exist and are not initialized.
+func (rt *Runtime) emitFAlloc() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.falloc")
+	s.LD(0, isa.RMsg, 4)  // R0 = desc
+	s.LD(1, 0, dFreeHead) // R1 = free head
+	s.BNZ(1, "fa.reuse")
+	s.LDAbs(1, GFrameBump)
+	s.LD(2, 0, dFrameWords)
+	s.MulI(2, 2, 4)
+	s.Add(2, 1, 2)
+	s.STAbs(GFrameBump, 2)
+	s.BR("fa.init")
+	s.Label("fa.reuse")
+	s.LD(2, 1, fhLink)
+	s.ST(0, dFreeHead, 2)
+	s.Label("fa.init")
+	s.ST(1, fhDesc, 0)
+	if rt.Impl != ImplMD {
+		s.LD(2, 0, dRCVOff)
+		s.Add(2, 1, 2)
+		s.MovI(3, 0)
+		s.ST(2, 0, 3) // bottom sentinel terminating the pop loop
+		s.AddI(2, 2, 4)
+		s.ST(1, fhRCVTail, 2)
+		s.ST(1, fhFlags, 3)
+	}
+	// Initialize entry counts from the descriptor.
+	s.LD(2, 0, dNumCounts)
+	s.MovI(3, 0)
+	s.Label("fa.loop")
+	s.BGE(3, 2, "fa.done")
+	s.MulI(4, 3, 4)
+	s.Add(6, 0, 4)
+	s.LD(6, 6, dCounts)
+	s.Add(7, 1, 4)
+	s.ST(7, int64(rt.Impl.headerWords())*4, 6)
+	s.AddI(3, 3, 1)
+	s.BR("fa.loop")
+	s.Label("fa.done")
+	s.LD(2, isa.RMsg, 8) // replyPri
+	s.MsgR(2)
+	s.LD(3, isa.RMsg, 12)
+	s.SendW(3)
+	s.LD(4, isa.RMsg, 16)
+	s.SendW(4)
+	s.SendW(1)
+	s.SendE()
+	s.Suspend()
+	return addr
+}
+
+// emitRelease emits the frame-release handler.
+// Request message: [handler, frame].
+func (rt *Runtime) emitRelease() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.release")
+	s.LD(0, isa.RMsg, 4) // frame
+	s.LD(1, 0, fhDesc)
+	s.LD(2, 1, dFreeHead)
+	s.ST(0, fhLink, 2)
+	s.ST(1, dFreeHead, 0)
+	s.Suspend()
+	return addr
+}
+
+// emitIRead emits the I-structure read handler.
+//
+// Request message: [handler, heapAddr, replyPri, replyInlet, replyFrame].
+// If the cell is present, the value is sent to the continuation inlet;
+// otherwise the continuation is chained onto the cell's deferred-reader
+// list (paper's split-phase global reads).
+func (rt *Runtime) emitIRead() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.iread")
+	s.LD(0, isa.RMsg, 4) // heap addr
+	s.LD(1, 0, 0)        // cell
+	s.BTag(1, uint8(word.TagEmpty), "ir.empty")
+	s.BTag(1, uint8(word.TagDefer), "ir.chain")
+	s.LD(2, isa.RMsg, 8) // replyPri
+	s.MsgR(2)
+	s.LD(3, isa.RMsg, 12)
+	s.SendW(3)
+	s.LD(4, isa.RMsg, 16)
+	s.SendW(4)
+	s.SendW(1)
+	s.SendE()
+	s.Suspend()
+	s.Label("ir.empty")
+	s.MovI(2, 0)
+	s.BR("ir.alloc")
+	s.Label("ir.chain")
+	s.TagSet(2, 1, uint8(word.TagPtr))
+	s.Label("ir.alloc")
+	s.LDAbs(3, GNodeFree)
+	s.BNZ(3, "ir.pop")
+	s.LDAbs(3, GNodeBump)
+	s.LEA(4, 3, nodeBytes)
+	s.STAbs(GNodeBump, 4)
+	s.BR("ir.fill")
+	s.Label("ir.pop")
+	s.LD(4, 3, nNext)
+	s.STAbs(GNodeFree, 4)
+	s.Label("ir.fill")
+	s.ST(3, nNext, 2)
+	s.LD(4, isa.RMsg, 8)
+	s.ST(3, nPri, 4)
+	s.LD(4, isa.RMsg, 12)
+	s.ST(3, nInlet, 4)
+	s.LD(4, isa.RMsg, 16)
+	s.ST(3, nFrame, 4)
+	s.TagSet(2, 3, uint8(word.TagDefer))
+	s.ST(0, 0, 2)
+	s.Suspend()
+	return addr
+}
+
+// emitIWrite emits the I-structure write handler.
+//
+// Request message: [handler, heapAddr, value]. Writing a present cell is
+// an error (single-assignment); writing a deferred cell drains the
+// deferred-reader chain, sending the value to every waiting continuation.
+func (rt *Runtime) emitIWrite() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.iwrite")
+	s.LD(0, isa.RMsg, 4)
+	s.LD(1, 0, 0)
+	s.BTag(1, uint8(word.TagDefer), "iw.drain")
+	s.BTag(1, uint8(word.TagEmpty), "iw.store")
+	s.Trap(TrapDoubleWrite)
+	s.Label("iw.store")
+	s.LD(2, isa.RMsg, 8)
+	s.ST(0, 0, 2)
+	s.Suspend()
+	s.Label("iw.drain")
+	s.LD(2, isa.RMsg, 8)
+	s.ST(0, 0, 2)
+	s.TagSet(3, 1, uint8(word.TagPtr))
+	s.Label("iw.loop")
+	s.BZ(3, "iw.done")
+	s.LD(4, 3, nPri)
+	s.MsgR(4)
+	s.LD(4, 3, nInlet)
+	s.SendW(4)
+	s.LD(4, 3, nFrame)
+	s.SendW(4)
+	s.SendW(2)
+	s.SendE()
+	s.LD(4, 3, nNext)
+	s.LDAbs(6, GNodeFree)
+	s.ST(3, nNext, 6)
+	s.STAbs(GNodeFree, 3)
+	s.Mov(3, 4)
+	s.BR("iw.loop")
+	s.Label("iw.done")
+	s.Suspend()
+	return addr
+}
+
+// Trap codes raised by system code.
+const (
+	TrapDoubleWrite = 1 // I-structure written twice
+)
+
+// emitHAlloc emits the heap-allocation handler, used for I-structure
+// arrays whose size is known only at run time (e.g. quicksort partition
+// arrays).
+//
+// Request message: [handler, words, replyPri, replyInlet, replyFrame].
+// Reply message:   [replyInlet, replyFrame, base].
+//
+// Every allocated word is initialized to the I-structure empty state, so
+// split-phase reads of not-yet-written cells defer correctly.
+func (rt *Runtime) emitHAlloc() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.halloc")
+	s.LD(0, isa.RMsg, 4) // words
+	s.LDAbs(1, GHeapBump)
+	s.MulI(2, 0, 4)
+	s.Add(2, 1, 2)
+	s.STAbs(GHeapBump, 2)
+	s.TagSet(3, isa.RZ, uint8(word.TagEmpty)) // empty word
+	s.Mov(2, 1)
+	s.MovI(4, 0)
+	s.Label("ha.loop")
+	s.BGE(4, 0, "ha.done")
+	s.ST(2, 0, 3)
+	s.AddI(2, 2, 4)
+	s.AddI(4, 4, 1)
+	s.BR("ha.loop")
+	s.Label("ha.done")
+	s.LD(2, isa.RMsg, 8)
+	s.MsgR(2)
+	s.LD(3, isa.RMsg, 12)
+	s.SendW(3)
+	s.LD(4, isa.RMsg, 16)
+	s.SendW(4)
+	s.SendW(1)
+	s.SendE()
+	s.Suspend()
+	return addr
+}
+
+// emitPost emits the AM post library routine.
+//
+// Calling convention: R6 = frame, R1 = thread address, R2 = address of
+// the thread's entry count (0 for non-synchronizing threads), R7 = link.
+// If the thread becomes enabled, its address is appended to the frame's
+// ready list and the frame is linked into the global ready-frame queue
+// unless already present. This is the "call to library routines to post
+// threads and manage the queue of inactive frames" whose elimination is
+// one of the MD implementation's main instruction-count benefits (§3.1).
+func (rt *Runtime) emitPost() uint32 {
+	s := rt.Sys
+	addr := s.Label("sys.post")
+	s.BZ(2, "post.ready")
+	s.LD(3, 2, 0)
+	s.SubI(3, 3, 1)
+	s.ST(2, 0, 3)
+	s.BNZ(3, "post.out")
+	s.Label("post.ready")
+	s.LD(3, 6, fhRCVTail)
+	s.STPost(3, 1)
+	s.ST(6, fhRCVTail, 3)
+	s.LD(3, 6, fhFlags)
+	s.BNZ(3, "post.out")
+	s.MovI(3, 1)
+	s.ST(6, fhFlags, 3)
+	// Append the frame to the FIFO ready-frame queue (TAM's global
+	// list of frames with enabled threads). The scheduler detects the
+	// end of the queue by comparing against the tail pointer, so the
+	// link word need not be cleared here.
+	s.LDAbs(3, GReadyTail)
+	s.BZ(3, "post.qempty")
+	s.ST(3, fhLink, 6)
+	s.BR("post.qtail")
+	s.Label("post.qempty")
+	s.STAbs(GReadyHead, 6)
+	if rt.Impl == ImplOAM {
+		// The OAM scheduler is message-driven: when the ready-frame
+		// queue transitions from empty to non-empty, enqueue a
+		// low-priority scheduling message so the queued frames run
+		// after the current task chain drains.
+		s.MsgI(0)
+		s.SendWA(rt.schedAddr)
+		s.SendE()
+	}
+	s.Label("post.qtail")
+	s.STAbs(GReadyTail, 6)
+	s.Label("post.out")
+	s.JMP(7)
+	return addr
+}
+
+// emitOAMScheduler emits the hybrid implementation's scheduler: a
+// low-priority message handler that drains the ready-frame queue (an
+// activation per frame, popping the frame's ready-thread list exactly as
+// the AM scheduler does) and suspends when no frames remain, letting the
+// hardware dispatch the next user message. Unlike the AM background
+// loop it needs no interrupt windows: inlets run at the same priority,
+// so continuation-vector access is naturally atomic.
+func (rt *Runtime) emitOAMScheduler() (sched, pop uint32) {
+	s := rt.Sys
+	sched = s.Label("sys.oamsched")
+	s.Label("oam.next")
+	s.LDAbs(0, GReadyHead)
+	s.BZ(0, "oam.out")
+	s.Mark(isa.MarkActivate)
+	s.Mov(isa.RFP, 0)
+	s.LDAbs(1, GReadyTail)
+	s.BNE(0, 1, "oam.mid")
+	s.MovI(1, 0)
+	s.STAbs(GReadyHead, 1)
+	s.STAbs(GReadyTail, 1)
+	s.BR("oam.pop")
+	s.Label("oam.mid")
+	s.LD(1, isa.RFP, fhLink)
+	s.STAbs(GReadyHead, 1)
+	pop = s.Label("oam.pop")
+	s.LD(1, isa.RFP, fhRCVTail)
+	s.LDPre(3, 1)
+	s.BZ(3, "oam.drained")
+	s.ST(isa.RFP, fhRCVTail, 1)
+	s.JMP(3)
+	s.Label("oam.drained")
+	s.MovI(1, 0)
+	s.ST(isa.RFP, fhFlags, 1)
+	s.BR("oam.next")
+	s.Label("oam.out")
+	s.Suspend()
+	return sched, pop
+}
+
+// emitScheduler emits the AM background scheduler: an idle loop that
+// briefly enables interrupts (so pending inlets run), picks a frame from
+// the ready queue, and pops threads from the frame's ready list until it
+// drains. It returns the loop entry (Boot target) and the pop address
+// that thread Stop macros branch to.
+func (rt *Runtime) emitScheduler() (sched, pop uint32) {
+	s := rt.Sys
+	sched = s.Label("sys.sched")
+	s.DI()
+	s.Label("sched.idle")
+	s.EI()
+	s.DI()
+	s.LDAbs(0, GReadyHead)
+	s.BNZ(0, "sched.go")
+	s.Wait()
+	s.BR("sched.idle")
+	s.Label("sched.go")
+	s.Mark(isa.MarkActivate)
+	s.Mov(isa.RFP, 0)
+	s.LDAbs(1, GReadyTail)
+	s.BNE(0, 1, "sched.mid")
+	// The frame is the last in the queue: clear head and tail.
+	s.MovI(1, 0)
+	s.STAbs(GReadyHead, 1)
+	s.STAbs(GReadyTail, 1)
+	s.BR("sched.pop")
+	s.Label("sched.mid")
+	s.LD(1, isa.RFP, fhLink)
+	s.STAbs(GReadyHead, 1)
+	pop = s.Label("sched.pop")
+	s.LD(1, isa.RFP, fhRCVTail)
+	s.LDPre(3, 1)
+	s.BZ(3, "sched.drained") // hit the bottom sentinel
+	s.ST(isa.RFP, fhRCVTail, 1)
+	s.JMP(3)
+	s.Label("sched.drained")
+	s.MovI(1, 0)
+	s.ST(isa.RFP, fhFlags, 1)
+	s.BR("sched.idle")
+	return sched, pop
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/isa"
+	"jmtam/internal/mem"
+	"jmtam/internal/programs"
+)
+
+// MDOptRow compares the MD implementation with and without the §2.3
+// static optimizations (register argument passing across direct posts,
+// inlet-to-thread fall-through placement, and stop-to-suspend conversion
+// for statically-empty LCVs) on one workload.
+type MDOptRow struct {
+	Program string
+	// Dynamic instruction counts.
+	InstrOpt, InstrUnopt uint64
+	// MD/AM total-cycle ratios at the headline geometry (8K 4-way,
+	// miss 24), with and without the optimizations.
+	RatioOpt, RatioUnopt float64
+}
+
+// OAMRow compares the three schedulable implementations on one workload
+// at the headline geometry (8K 4-way), reporting instruction counts,
+// granularity and MD-relative / AM-relative cycle ratios at miss 24.
+type OAMRow struct {
+	Program                    string
+	InstrMD, InstrOAM, InstrAM uint64
+	TPQMD, TPQOAM, TPQAM       float64
+	OAMOverAM, MDOverAM        float64
+}
+
+// OAMComparison evaluates the Optimistic-Active-Messages-style hybrid of
+// §2.4 ([KWW+94]): message-driven direct control transfer for short
+// threads, Active Messages posting and frame scheduling for long ones,
+// with all user handlers at low priority.
+func OAMComparison(ws []Workload, opt core.Options) ([]OAMRow, error) {
+	geoms := []cache.Config{{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}}
+	var rows []OAMRow
+	for _, w := range ws {
+		var runs [3]*Run
+		for i, impl := range []core.Impl{core.ImplMD, core.ImplOAM, core.ImplAM} {
+			r, err := RunOne(w, impl, geoms, opt)
+			if err != nil {
+				return nil, err
+			}
+			runs[i] = r
+		}
+		amCycles := runs[2].Cycles(0, 24, false)
+		rows = append(rows, OAMRow{
+			Program:   w.Name,
+			InstrMD:   runs[0].Instructions,
+			InstrOAM:  runs[1].Instructions,
+			InstrAM:   runs[2].Instructions,
+			TPQMD:     runs[0].TPQ,
+			TPQOAM:    runs[1].TPQ,
+			TPQAM:     runs[2].TPQ,
+			OAMOverAM: ratio64(runs[1].Cycles(0, 24, false), amCycles),
+			MDOverAM:  ratio64(runs[0].Cycles(0, 24, false), amCycles),
+		})
+	}
+	return rows, nil
+}
+
+// MDOptAblation quantifies what the §2.3 optimizations buy the MD
+// implementation. The paper presents them as the conventional-compiler
+// opportunities that open up once an inlet passes control directly to
+// its thread; this ablation measures their dynamic effect.
+func MDOptAblation(ws []Workload, opt core.Options) ([]MDOptRow, error) {
+	geoms := []cache.Config{{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}}
+	var rows []MDOptRow
+	for _, w := range ws {
+		am, err := RunOne(w, core.ImplAM, geoms, opt)
+		if err != nil {
+			return nil, err
+		}
+		amCycles := am.Cycles(0, 24, false)
+
+		mdOpt, err := RunOne(w, core.ImplMD, geoms, opt)
+		if err != nil {
+			return nil, err
+		}
+		noOpt := opt
+		noOpt.NoMDOptimize = true
+		mdUnopt, err := RunOne(w, core.ImplMD, geoms, noOpt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MDOptRow{
+			Program:    w.Name,
+			InstrOpt:   mdOpt.Instructions,
+			InstrUnopt: mdUnopt.Instructions,
+			RatioOpt:   ratio64(mdOpt.Cycles(0, 24, false), amCycles),
+			RatioUnopt: ratio64(mdUnopt.Cycles(0, 24, false), amCycles),
+		})
+	}
+	return rows, nil
+}
+
+// ClassRow reports one implementation's reference mix by the paper's
+// §3.1 memory division: system code (runtime and library), user code
+// (the program's inlets and threads), system data (message queues,
+// operating-system globals and the LCV), and user data (frames and
+// heap).
+type ClassRow struct {
+	Program string
+	Impl    core.Impl
+	// Fractions of that implementation's own totals.
+	SysFetchFrac           float64
+	SysReadFrac            float64
+	SysWriteFrac           float64
+	Fetches, Reads, Writes uint64
+}
+
+// ClassBreakdown computes the system/user reference mix for both
+// implementations of each workload.
+func ClassBreakdown(ws []Workload, opt core.Options) ([]ClassRow, error) {
+	var rows []ClassRow
+	for _, w := range ws {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			r, err := RunOne(w, impl, nil, opt)
+			if err != nil {
+				return nil, err
+			}
+			c := r.Counts
+			row := ClassRow{
+				Program: w.Name, Impl: impl,
+				Fetches: c.TotalFetches(), Reads: c.TotalReads(), Writes: c.TotalWrites(),
+			}
+			row.SysFetchFrac = frac(c.Fetches[mem.ClassSysCode], row.Fetches)
+			row.SysReadFrac = frac(c.Reads[mem.ClassSysData], row.Reads)
+			row.SysWriteFrac = frac(c.Writes[mem.ClassSysData], row.Writes)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// MixRow reports the dynamic instruction mix of one (workload,
+// implementation) run, grouped into the categories a runtime-systems
+// reader cares about.
+type MixRow struct {
+	Program string
+	Impl    core.Impl
+	Total   uint64
+	// Fractions of Total.
+	Memory, ALU, Float, Control, Message, Machine float64
+}
+
+// InstructionMix computes the dynamic instruction mix for both primary
+// implementations of each workload. The AM implementation's larger
+// control and memory fractions are its scheduling hierarchy at work.
+func InstructionMix(ws []Workload, opt core.Options) ([]MixRow, error) {
+	var rows []MixRow
+	for _, w := range ws {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			spec, err := programs.ByName(w.Name)
+			if err != nil {
+				return nil, err
+			}
+			if opt.MaxInstructions == 0 {
+				opt.MaxInstructions = 2_000_000_000
+			}
+			sim, err := core.Build(impl, spec.Build(w.Arg), opt)
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.Run(); err != nil {
+				return nil, err
+			}
+			counts := sim.M.OpCounts()
+			row := MixRow{Program: w.Name, Impl: impl, Total: sim.M.Instructions()}
+			for op := isa.Op(0); op < isa.NumOps; op++ {
+				f := frac(counts[op], row.Total)
+				switch {
+				case op == isa.OpLD || op == isa.OpST || op == isa.OpLDPre || op == isa.OpSTPost:
+					row.Memory += f
+				case op >= isa.OpAdd && op <= isa.OpShrI:
+					row.ALU += f
+				case op >= isa.OpFAdd && op <= isa.OpFToI:
+					row.Float += f
+				case op >= isa.OpBR && op <= isa.OpBTag:
+					row.Control += f
+				case op >= isa.OpMsgI && op <= isa.OpSendE:
+					row.Message += f
+				case op >= isa.OpEI && op <= isa.OpTrap:
+					row.Machine += f
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PenaltySweep derives, from an existing dataset, the MD/AM cycle ratio
+// as a function of miss penalty at one cache geometry — one series per
+// workload plus the geometric mean. Because penalties are applied
+// analytically to recorded miss counts, any penalty can be evaluated
+// without re-simulation. The X values of the returned Series are the
+// penalties (not cache sizes).
+func PenaltySweep(d *Dataset, sizeKB, assoc int, penalties []int) []Series {
+	var out []Series
+	for _, w := range d.Sweep.Workloads {
+		s := Series{Label: w.Name, SizesKB: penalties}
+		for _, p := range penalties {
+			s.Ratios = append(s.Ratios, d.Ratio(w.Name, sizeKB, assoc, p))
+		}
+		out = append(out, s)
+	}
+	mean := Series{Label: "geomean", SizesKB: penalties}
+	for _, p := range penalties {
+		mean.Ratios = append(mean.Ratios, d.GeoMeanRatio(sizeKB, assoc, p))
+	}
+	out = append(out, mean)
+	return out
+}
+
+// CrossoverPenalty returns the smallest penalty from the candidates at
+// which the workload's MD/AM ratio reaches or exceeds 1 (AM wins), or -1
+// if it never does. The paper finds AM strongest "when miss penalties
+// are high"; this quantifies where that happens in this model.
+func CrossoverPenalty(d *Dataset, name string, sizeKB, assoc int, candidates []int) int {
+	for _, p := range candidates {
+		if d.Ratio(name, sizeKB, assoc, p) >= 1 {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,485 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Table 2 (granularity and cycle ratios), Figures 3-6 (MD/AM cycle
+// ratios across cache geometries), the §3.1 access-count ratios, the
+// Figure 2 enabled/unenabled-AM ablation, and a block-size ablation.
+//
+// One simulation per (program, implementation) feeds every cache
+// geometry simultaneously; total cycles for each miss penalty are then
+// derived from the miss counts, exactly as in a trace-driven simulator
+// where penalties do not affect replacement.
+package experiments
+
+import (
+	"fmt"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/mem"
+	"jmtam/internal/programs"
+	"jmtam/internal/stats"
+	"jmtam/internal/trace"
+)
+
+// Workload names a benchmark instance.
+type Workload struct {
+	Name string
+	Arg  int
+}
+
+// PaperWorkloads returns the six benchmarks at the paper's arguments
+// (MMT 50, QS 100, DTW 10, paraffins 13, wavefront 40, SS 100).
+func PaperWorkloads() []Workload {
+	var ws []Workload
+	for _, s := range programs.All() {
+		ws = append(ws, Workload{s.Name, s.Arg})
+	}
+	return ws
+}
+
+// QuickWorkloads returns reduced-size instances that preserve each
+// benchmark's granularity profile, for fast runs and tests.
+func QuickWorkloads() []Workload {
+	return []Workload{
+		{"mmt", 10}, {"qs", 60}, {"dtw", 8},
+		{"paraffins", 10}, {"wavefront", 16}, {"ss", 60},
+	}
+}
+
+// Sweep describes a full evaluation: which workloads to run and which
+// cache geometries and miss penalties to evaluate.
+type Sweep struct {
+	Workloads []Workload
+	// SizesKB lists cache sizes in Kbytes (paper: 1..128).
+	SizesKB []int
+	// Assocs lists set associativities (paper: 1, 2, 4).
+	Assocs []int
+	// BlockBytes is the line size (paper shows 64, "the size at which
+	// both systems performed best").
+	BlockBytes int
+	// Penalties lists miss costs in cycles (paper: 12, 24, 48).
+	Penalties []int
+	// CountWritebacks charges dirty evictions a memory transaction in
+	// the cycle model (off by default: the paper counts miss
+	// penalties).
+	CountWritebacks bool
+	// Impls defaults to {MD, AM}.
+	Impls []core.Impl
+	// Options passes through to the simulator.
+	Options core.Options
+}
+
+// DefaultSweep returns the paper's full parameter space over the given
+// workloads.
+func DefaultSweep(ws []Workload) *Sweep {
+	return &Sweep{
+		Workloads:  ws,
+		SizesKB:    []int{1, 2, 4, 8, 16, 32, 64, 128},
+		Assocs:     []int{1, 2, 4},
+		BlockBytes: 64,
+		Penalties:  []int{12, 24, 48},
+		Impls:      []core.Impl{core.ImplMD, core.ImplAM},
+	}
+}
+
+// Run holds the outcome of one (workload, implementation) simulation.
+type Run struct {
+	Workload Workload
+	Impl     core.Impl
+
+	Instructions    uint64
+	Counts          trace.Counts
+	TPQ, IPT, IPQ   float64
+	Threads, Quanta uint64
+
+	// Caches holds per-geometry miss statistics, indexed as the
+	// sweep's geometries (size-major, then associativity).
+	Caches []CacheStats
+}
+
+// CacheStats captures one geometry's outcome.
+type CacheStats struct {
+	Config     cache.Config
+	IMisses    uint64
+	DMisses    uint64
+	Writebacks uint64
+}
+
+// Cycles returns total cycles under the given miss penalty.
+func (r *Run) Cycles(geom int, penalty int, countWB bool) uint64 {
+	c := r.Caches[geom]
+	cycles := r.Instructions + uint64(penalty)*(c.IMisses+c.DMisses)
+	if countWB {
+		cycles += uint64(penalty) * c.Writebacks
+	}
+	return cycles
+}
+
+// Dataset is the outcome of a sweep: one Run per workload per
+// implementation, plus the geometry index.
+type Dataset struct {
+	Sweep *Sweep
+	// Geoms lists the cache geometries in index order.
+	Geoms []cache.Config
+	// Runs[workloadName][impl] (impl indexed 0=MD, 1=AM by position
+	// in Sweep.Impls).
+	Runs map[string]map[core.Impl]*Run
+}
+
+// GeomIndex returns the geometry index for (sizeKB, assoc), or -1.
+func (d *Dataset) GeomIndex(sizeKB, assoc int) int {
+	for i, g := range d.Geoms {
+		if g.SizeBytes == sizeKB*1024 && g.Assoc == assoc {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ratio returns the MD/AM total-cycle ratio for one workload at one
+// geometry and penalty — the paper's headline metric.
+func (d *Dataset) Ratio(name string, sizeKB, assoc, penalty int) float64 {
+	g := d.GeomIndex(sizeKB, assoc)
+	if g < 0 {
+		return 0
+	}
+	md := d.Runs[name][core.ImplMD]
+	am := d.Runs[name][core.ImplAM]
+	if md == nil || am == nil {
+		return 0
+	}
+	amc := am.Cycles(g, penalty, d.Sweep.CountWritebacks)
+	if amc == 0 {
+		return 0
+	}
+	return float64(md.Cycles(g, penalty, d.Sweep.CountWritebacks)) / float64(amc)
+}
+
+// GeoMeanRatio returns the geometric mean of the MD/AM ratio across
+// workloads, optionally excluding some programs (Figure 6 excludes
+// selection sort).
+func (d *Dataset) GeoMeanRatio(sizeKB, assoc, penalty int, exclude ...string) float64 {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	var xs []float64
+	for _, w := range d.Sweep.Workloads {
+		if skip[w.Name] {
+			continue
+		}
+		xs = append(xs, d.Ratio(w.Name, sizeKB, assoc, penalty))
+	}
+	return stats.GeoMean(xs)
+}
+
+// Execute runs every workload under every implementation, feeding all
+// cache geometries in a single pass per run.
+func (s *Sweep) Execute() (*Dataset, error) {
+	if len(s.Impls) == 0 {
+		s.Impls = []core.Impl{core.ImplMD, core.ImplAM}
+	}
+	var geoms []cache.Config
+	for _, kb := range s.SizesKB {
+		for _, a := range s.Assocs {
+			geoms = append(geoms, cache.Config{
+				SizeBytes: kb * 1024, BlockBytes: s.BlockBytes, Assoc: a,
+			})
+		}
+	}
+	ds := &Dataset{Sweep: s, Geoms: geoms, Runs: make(map[string]map[core.Impl]*Run)}
+	for _, w := range s.Workloads {
+		ds.Runs[w.Name] = make(map[core.Impl]*Run)
+		for _, impl := range s.Impls {
+			r, err := RunOne(w, impl, geoms, s.Options)
+			if err != nil {
+				return nil, err
+			}
+			ds.Runs[w.Name][impl] = r
+		}
+	}
+	return ds, nil
+}
+
+// RunOne simulates one workload under one implementation with the given
+// cache geometries attached.
+func RunOne(w Workload, impl core.Impl, geoms []cache.Config, opt core.Options) (*Run, error) {
+	spec, err := programs.ByName(w.Name)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxInstructions == 0 {
+		opt.MaxInstructions = 2_000_000_000
+	}
+	sim, err := core.Build(impl, spec.Build(w.Arg), opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range geoms {
+		if _, err := sim.Collector.AddPair(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	r := &Run{
+		Workload:     w,
+		Impl:         impl,
+		Instructions: sim.M.Instructions(),
+		Counts:       sim.Collector.Counts,
+		TPQ:          sim.Gran.TPQ(),
+		IPT:          sim.Gran.IPT(),
+		IPQ:          sim.Gran.IPQ(),
+		Threads:      sim.Gran.Threads,
+		Quanta:       sim.Gran.Quanta,
+	}
+	for _, p := range sim.Collector.Pairs {
+		r.Caches = append(r.Caches, CacheStats{
+			Config:     p.I.Config(),
+			IMisses:    p.I.Stats().Misses,
+			DMisses:    p.D.Stats().Misses,
+			Writebacks: p.D.Stats().Writebacks,
+		})
+	}
+	return r, nil
+}
+
+// --- Table 2 ----------------------------------------------------------------
+
+// Table2Row is one row of Table 2: granularity under both
+// implementations plus the MD/AM cycle ratio at an 8K 4-way cache for
+// miss costs 12, 24 and 48.
+type Table2Row struct {
+	Program                   string
+	TPQMD, TPQAM              float64
+	IPTMD, IPTAM              float64
+	IPQMD, IPQAM              float64
+	Ratio12, Ratio24, Ratio48 float64
+}
+
+// Table2 derives the paper's Table 2 from a dataset. The dataset must
+// include the 8 KB 4-way geometry.
+func Table2(d *Dataset) []Table2Row {
+	var rows []Table2Row
+	for _, w := range d.Sweep.Workloads {
+		md := d.Runs[w.Name][core.ImplMD]
+		am := d.Runs[w.Name][core.ImplAM]
+		rows = append(rows, Table2Row{
+			Program: w.Name,
+			TPQMD:   md.TPQ, TPQAM: am.TPQ,
+			IPTMD: md.IPT, IPTAM: am.IPT,
+			IPQMD: md.IPQ, IPQAM: am.IPQ,
+			Ratio12: d.Ratio(w.Name, 8, 4, 12),
+			Ratio24: d.Ratio(w.Name, 8, 4, 24),
+			Ratio48: d.Ratio(w.Name, 8, 4, 48),
+		})
+	}
+	return rows
+}
+
+// --- Figures 3-6 --------------------------------------------------------------
+
+// Series is one plotted curve: the MD/AM ratio against cache size.
+type Series struct {
+	Label   string
+	SizesKB []int
+	Ratios  []float64
+}
+
+// Figure3 returns the geometric-mean ratio curves of Figure 3: one
+// series per associativity, for each miss penalty. The outer index is
+// the penalty, the inner the associativity.
+func Figure3(d *Dataset) map[int][]Series {
+	out := make(map[int][]Series)
+	for _, p := range d.Sweep.Penalties {
+		for _, a := range d.Sweep.Assocs {
+			s := Series{Label: fmt.Sprintf("%d-way", a), SizesKB: d.Sweep.SizesKB}
+			for _, kb := range d.Sweep.SizesKB {
+				s.Ratios = append(s.Ratios, d.GeoMeanRatio(kb, a, p))
+			}
+			out[p] = append(out[p], s)
+		}
+	}
+	return out
+}
+
+// figurePerProgram returns per-program ratio curves plus the geometric
+// mean at one associativity, for each penalty (Figures 4 and 5).
+func figurePerProgram(d *Dataset, assoc int) map[int][]Series {
+	out := make(map[int][]Series)
+	for _, p := range d.Sweep.Penalties {
+		for _, w := range d.Sweep.Workloads {
+			s := Series{Label: w.Name, SizesKB: d.Sweep.SizesKB}
+			for _, kb := range d.Sweep.SizesKB {
+				s.Ratios = append(s.Ratios, d.Ratio(w.Name, kb, assoc, p))
+			}
+			out[p] = append(out[p], s)
+		}
+		mean := Series{Label: "geomean", SizesKB: d.Sweep.SizesKB}
+		for _, kb := range d.Sweep.SizesKB {
+			mean.Ratios = append(mean.Ratios, d.GeoMeanRatio(kb, assoc, p))
+		}
+		out[p] = append(out[p], mean)
+	}
+	return out
+}
+
+// Figure4 returns the per-program curves for 4-way set-associative
+// caches (plus the geometric mean), keyed by miss penalty.
+func Figure4(d *Dataset) map[int][]Series { return figurePerProgram(d, 4) }
+
+// Figure5 returns the per-program curves for direct-mapped caches (plus
+// the geometric mean), keyed by miss penalty.
+func Figure5(d *Dataset) map[int][]Series { return figurePerProgram(d, 1) }
+
+// Figure6 returns the direct-mapped geometric-mean curves excluding
+// selection sort, one series per miss penalty.
+func Figure6(d *Dataset) []Series {
+	var out []Series
+	for _, p := range d.Sweep.Penalties {
+		s := Series{Label: fmt.Sprintf("%d-cycle miss", p), SizesKB: d.Sweep.SizesKB}
+		for _, kb := range d.Sweep.SizesKB {
+			s.Ratios = append(s.Ratios, d.GeoMeanRatio(kb, 1, p, "ss"))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- §3.1 access ratios --------------------------------------------------------
+
+// AccessRatioRow reports MD/AM reference-count ratios for one program.
+type AccessRatioRow struct {
+	Program                string
+	Reads, Writes, Fetches float64
+}
+
+// AccessRatios derives the §3.1 comparison (paper average: MD performs
+// 86% of the reads, 87% of the writes and 77% of the fetches of AM).
+// The final row, labelled "mean", is the arithmetic mean as in the
+// paper's "on average" phrasing.
+func AccessRatios(d *Dataset) []AccessRatioRow {
+	var rows []AccessRatioRow
+	var sr, sw, sf float64
+	for _, w := range d.Sweep.Workloads {
+		md := d.Runs[w.Name][core.ImplMD]
+		am := d.Runs[w.Name][core.ImplAM]
+		row := AccessRatioRow{
+			Program: w.Name,
+			Reads:   ratio64(md.Counts.TotalReads(), am.Counts.TotalReads()),
+			Writes:  ratio64(md.Counts.TotalWrites(), am.Counts.TotalWrites()),
+			Fetches: ratio64(md.Counts.TotalFetches(), am.Counts.TotalFetches()),
+		}
+		sr += row.Reads
+		sw += row.Writes
+		sf += row.Fetches
+		rows = append(rows, row)
+	}
+	n := float64(len(d.Sweep.Workloads))
+	rows = append(rows, AccessRatioRow{Program: "mean", Reads: sr / n, Writes: sw / n, Fetches: sf / n})
+	return rows
+}
+
+func ratio64(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// --- Figure 2 ablation -----------------------------------------------------------
+
+// EnabledRow compares the unenabled AM implementation with the enabled
+// variant of §2.4 on one workload: on a uniprocessor, servicing local
+// I-structure fetches immediately extends quanta.
+type EnabledRow struct {
+	Program                      string
+	TPQUnenabled, TPQEnabled     float64
+	InstrUnenabled, InstrEnabled uint64
+}
+
+// EnabledAblation runs the Figure 2 comparison for the given workloads.
+func EnabledAblation(ws []Workload, opt core.Options) ([]EnabledRow, error) {
+	var rows []EnabledRow
+	for _, w := range ws {
+		spec, err := programs.ByName(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := EnabledRow{Program: w.Name}
+		for _, impl := range []core.Impl{core.ImplAM, core.ImplAMEnabled} {
+			o := opt
+			if o.MaxInstructions == 0 {
+				o.MaxInstructions = 2_000_000_000
+			}
+			sim, err := core.Build(impl, spec.Build(w.Arg), o)
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.Run(); err != nil {
+				return nil, err
+			}
+			if impl == core.ImplAM {
+				row.TPQUnenabled = sim.Gran.TPQ()
+				row.InstrUnenabled = sim.M.Instructions()
+			} else {
+				row.TPQEnabled = sim.Gran.TPQ()
+				row.InstrEnabled = sim.M.Instructions()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Block-size ablation ------------------------------------------------------------
+
+// BlockRow reports the MD/AM ratio for one block size at the 8K 4-way
+// geometry, penalty 24 — the paper notes 64-byte blocks were best for
+// both systems.
+type BlockRow struct {
+	BlockBytes int
+	Ratio      float64
+	MDCycles   uint64
+	AMCycles   uint64
+}
+
+// BlockSweep evaluates block sizes 8..64 for the given workloads.
+func BlockSweep(ws []Workload, opt core.Options) ([]BlockRow, error) {
+	var rows []BlockRow
+	var geoms []cache.Config
+	blocks := []int{8, 16, 32, 64}
+	for _, bb := range blocks {
+		geoms = append(geoms, cache.Config{SizeBytes: 8 * 1024, BlockBytes: bb, Assoc: 4})
+	}
+	totalMD := make([]uint64, len(blocks))
+	totalAM := make([]uint64, len(blocks))
+	for _, w := range ws {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			r, err := RunOne(w, impl, geoms, opt)
+			if err != nil {
+				return nil, err
+			}
+			for i := range blocks {
+				c := r.Cycles(i, 24, false)
+				if impl == core.ImplMD {
+					totalMD[i] += c
+				} else {
+					totalAM[i] += c
+				}
+			}
+		}
+	}
+	for i, bb := range blocks {
+		rows = append(rows, BlockRow{
+			BlockBytes: bb,
+			Ratio:      ratio64(totalMD[i], totalAM[i]),
+			MDCycles:   totalMD[i],
+			AMCycles:   totalAM[i],
+		})
+	}
+	return rows, nil
+}
+
+// WordBytes re-exports the machine word size for presentation layers.
+const WordBytes = mem.WordBytes

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+)
+
+// tinySweep keeps unit tests fast: two small workloads, four geometries.
+func tinySweep() *Sweep {
+	return &Sweep{
+		Workloads:  []Workload{{"ss", 40}, {"qs", 30}},
+		SizesKB:    []int{1, 8},
+		Assocs:     []int{1, 4},
+		BlockBytes: 64,
+		Penalties:  []int{12, 48},
+	}
+}
+
+func TestExecuteAndRatio(t *testing.T) {
+	ds, err := tinySweep().Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Geoms) != 4 {
+		t.Fatalf("got %d geometries, want 4", len(ds.Geoms))
+	}
+	if ds.GeomIndex(8, 4) < 0 || ds.GeomIndex(1, 1) < 0 {
+		t.Error("geometry index lookup failed")
+	}
+	if ds.GeomIndex(2, 1) != -1 {
+		t.Error("missing geometry not reported as -1")
+	}
+	for _, w := range ds.Sweep.Workloads {
+		r := ds.Ratio(w.Name, 8, 4, 12)
+		if r <= 0 || r > 2 {
+			t.Errorf("%s ratio = %g, implausible", w.Name, r)
+		}
+	}
+	if ds.Ratio("nope", 8, 4, 12) != 0 {
+		t.Error("unknown workload ratio not zero")
+	}
+	gm := ds.GeoMeanRatio(8, 4, 12)
+	if gm <= 0 || gm >= 1.5 {
+		t.Errorf("geomean = %g", gm)
+	}
+	if ex := ds.GeoMeanRatio(8, 4, 12, "ss"); ex == gm {
+		t.Error("exclusion had no effect")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	ds, err := tinySweep().Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table2(ds)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TPQMD <= 0 || r.TPQAM <= 0 || r.IPTMD <= 0 || r.Ratio12 <= 0 {
+			t.Errorf("row %s has zero fields: %+v", r.Program, r)
+		}
+		// Ratios grow with the miss penalty on these MD-friendly
+		// workloads... at minimum they must all be positive and the
+		// ordering r12 <= r48 holds for SS/QS (AM gains with penalty).
+		if r.Ratio48 < r.Ratio12-0.05 {
+			t.Errorf("%s: ratio fell sharply with penalty: %+v", r.Program, r)
+		}
+	}
+}
+
+func TestFigureSeriesShape(t *testing.T) {
+	ds, err := tinySweep().Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := Figure3(ds)
+	if len(f3[12]) != 2 { // one series per associativity
+		t.Fatalf("figure 3 has %d series", len(f3[12]))
+	}
+	for _, s := range f3[12] {
+		if len(s.Ratios) != len(ds.Sweep.SizesKB) {
+			t.Errorf("series %s has %d points", s.Label, len(s.Ratios))
+		}
+	}
+	f4 := Figure4(ds)[48]
+	if f4[len(f4)-1].Label != "geomean" {
+		t.Error("figure 4 missing geometric-mean series")
+	}
+	f5 := Figure5(ds)[48]
+	if len(f5) != 3 { // 2 programs + geomean
+		t.Errorf("figure 5 has %d series", len(f5))
+	}
+	f6 := Figure6(ds)
+	if len(f6) != 2 { // one per penalty
+		t.Errorf("figure 6 has %d series", len(f6))
+	}
+}
+
+func TestAccessRatiosMeanRow(t *testing.T) {
+	ds, err := tinySweep().Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := AccessRatios(ds)
+	if rows[len(rows)-1].Program != "mean" {
+		t.Fatal("missing mean row")
+	}
+	for _, r := range rows {
+		if r.Fetches <= 0 || r.Fetches >= 1.1 {
+			t.Errorf("%s fetch ratio = %g", r.Program, r.Fetches)
+		}
+	}
+	// MD must fetch less than AM on average.
+	if m := rows[len(rows)-1]; m.Fetches >= 1 {
+		t.Errorf("mean fetch ratio %g >= 1", m.Fetches)
+	}
+}
+
+func TestEnabledAblation(t *testing.T) {
+	rows, err := EnabledAblation([]Workload{{"dtw", 6}}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TPQUnenabled <= 0 || r.TPQEnabled <= 0 {
+		t.Fatalf("zero TPQ: %+v", r)
+	}
+	// §2.4: the enabled implementation services local I-structure
+	// fetches immediately, extending quanta on a uniprocessor.
+	if r.TPQEnabled < r.TPQUnenabled {
+		t.Errorf("enabled TPQ %.2f below unenabled %.2f", r.TPQEnabled, r.TPQUnenabled)
+	}
+}
+
+func TestBlockSweep(t *testing.T) {
+	rows, err := BlockSweep([]Workload{{"ss", 40}}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.MDCycles == 0 || r.AMCycles == 0 {
+			t.Errorf("bad row: %+v", r)
+		}
+	}
+	if rows[0].BlockBytes != 8 || rows[3].BlockBytes != 64 {
+		t.Error("block sizes wrong")
+	}
+}
+
+func TestRunCycles(t *testing.T) {
+	r := &Run{
+		Instructions: 1000,
+		Caches: []CacheStats{{
+			Config:  cache.Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1},
+			IMisses: 10, DMisses: 20, Writebacks: 5,
+		}},
+	}
+	if got := r.Cycles(0, 10, false); got != 1000+10*30 {
+		t.Errorf("cycles = %d", got)
+	}
+	if got := r.Cycles(0, 10, true); got != 1000+10*35 {
+		t.Errorf("cycles with WB = %d", got)
+	}
+}
+
+func TestWorkloadSets(t *testing.T) {
+	if len(PaperWorkloads()) != 6 || len(QuickWorkloads()) != 6 {
+		t.Error("workload sets must cover all six benchmarks")
+	}
+	for _, w := range PaperWorkloads() {
+		if w.Name == "mmt" && w.Arg != 50 {
+			t.Errorf("paper MMT arg = %d, want 50", w.Arg)
+		}
+		if w.Name == "ss" && w.Arg != 100 {
+			t.Errorf("paper SS arg = %d, want 100", w.Arg)
+		}
+	}
+}
+
+func TestRunOneUnknownWorkload(t *testing.T) {
+	if _, err := RunOne(Workload{"nope", 1}, core.ImplMD, nil, core.Options{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	// Every defined opcode must have a mnemonic.
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("out-of-range opcode String wrong")
+	}
+}
+
+func TestHasMem(t *testing.T) {
+	reads := map[Op]bool{OpLD: true, OpLDPre: true, OpST: false, OpAdd: false}
+	for op, want := range reads {
+		if got := (Instr{Op: op}).HasMemRead(); got != want {
+			t.Errorf("%v.HasMemRead = %v, want %v", op, got, want)
+		}
+	}
+	writes := map[Op]bool{OpST: true, OpSTPost: true, OpLD: false, OpMov: false}
+	for op, want := range writes {
+		if got := (Instr{Op: op}).HasMemWrite(); got != want {
+			t.Errorf("%v.HasMemWrite = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branchy := []Op{OpBR, OpJMP, OpJAL, OpBEQ, OpBNE, OpBLT, OpBLE, OpBGT,
+		OpBGE, OpFBLT, OpFBLE, OpBZ, OpBNZ, OpBTag}
+	for _, op := range branchy {
+		if !(Instr{Op: op}).IsBranch() {
+			t.Errorf("%v not recognized as branch", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLD, OpSuspend, OpSendE} {
+		if (Instr{Op: op}).IsBranch() {
+			t.Errorf("%v wrongly recognized as branch", op)
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := map[string]Instr{
+		"movi r1, 42":       {Op: OpMovI, Rd: 1, Imm: 42},
+		"movf r2, 1.5":      {Op: OpMovF, Rd: 2, FImm: 1.5},
+		"ld r3, [r6+8]":     {Op: OpLD, Rd: 3, Ra: 6, Imm: 8},
+		"st [r6+12], r0":    {Op: OpST, Ra: 6, Rb: 0, Imm: 12},
+		"ldpre r3, [--r1]":  {Op: OpLDPre, Rd: 3, Ra: 1},
+		"stpost [r3++], r4": {Op: OpSTPost, Ra: 3, Rb: 4},
+		"add r0, r1, r2":    {Op: OpAdd, Rd: 0, Ra: 1, Rb: 2},
+		"br 0x100":          {Op: OpBR, Target: 0x100},
+		"jmp r7":            {Op: OpJMP, Ra: 7},
+		"jal r7, 0x40":      {Op: OpJAL, Rd: 7, Target: 0x40},
+		"beq r0, r1, 0x20":  {Op: OpBEQ, Ra: 0, Rb: 1, Target: 0x20},
+		"bz r5, 0x30":       {Op: OpBZ, Ra: 5, Target: 0x30},
+		"btag r1, 3, 0x10":  {Op: OpBTag, Ra: 1, Imm: 3, Target: 0x10},
+		"msgi 1":            {Op: OpMsgI, Imm: 1},
+		"sendw r2":          {Op: OpSendW, Ra: 2},
+		"sendwi 7":          {Op: OpSendWI, Imm: 7},
+		"sende":             {Op: OpSendE},
+		"suspend":           {Op: OpSuspend},
+		"ld r0, [rz+4096]":  {Op: OpLD, Rd: 0, Ra: RZ, Imm: 4096},
+		"tagset r1, r2, 4":  {Op: OpTagSet, Rd: 1, Ra: 2, Imm: 4},
+		"lea r2, r6, 20":    {Op: OpLEA, Rd: 2, Ra: 6, Imm: 20},
+		"mov r1, r2":        {Op: OpMov, Rd: 1, Ra: 2},
+		"fadd r0, r1, r2":   {Op: OpFAdd, Rd: 0, Ra: 1, Rb: 2},
+		"fblt r0, r1, 0x8":  {Op: OpFBLT, Ra: 0, Rb: 1, Target: 8},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package machine implements the simulated Message-Driven-Processor-like
+// execution engine: two priority levels with separate register files and
+// message queues, hardware message buffering and dispatch-on-suspend,
+// interrupt enable/disable windows for low priority, and trace hooks that
+// feed the cache simulator and granularity statistics.
+package machine
+
+import (
+	"fmt"
+
+	"jmtam/internal/isa"
+	"jmtam/internal/mem"
+)
+
+// CodeStore holds the two instruction segments. Instructions are indexed
+// by byte address (one instruction per word).
+type CodeStore struct {
+	sys     []isa.Instr
+	user    []isa.Instr
+	sysLen  uint32
+	userLen uint32
+}
+
+// NewCodeStore builds a code store from assembled segments.
+func NewCodeStore(sys, user []isa.Instr) *CodeStore {
+	return &CodeStore{
+		sys:     sys,
+		user:    user,
+		sysLen:  uint32(len(sys)) * mem.WordBytes,
+		userLen: uint32(len(user)) * mem.WordBytes,
+	}
+}
+
+// Fetch returns the instruction at byte address addr.
+func (c *CodeStore) Fetch(addr uint32) *isa.Instr {
+	if addr >= mem.UserCodeBase {
+		off := addr - mem.UserCodeBase
+		if off >= c.userLen {
+			panic(fmt.Sprintf("machine: fetch outside user code at %#x", addr))
+		}
+		return &c.user[off/mem.WordBytes]
+	}
+	off := addr - mem.SysCodeBase
+	if off >= c.sysLen {
+		panic(fmt.Sprintf("machine: fetch outside system code at %#x", addr))
+	}
+	return &c.sys[off/mem.WordBytes]
+}
+
+// SysWords and UserWords report segment sizes in instructions.
+func (c *CodeStore) SysWords() int  { return len(c.sys) }
+func (c *CodeStore) UserWords() int { return len(c.user) }

@@ -1,0 +1,279 @@
+package machine
+
+import (
+	"fmt"
+
+	"jmtam/internal/isa"
+	"jmtam/internal/mem"
+	"jmtam/internal/word"
+)
+
+// step executes one instruction at priority pri.
+func (m *Machine) step(pri int) {
+	in := m.Code.Fetch(m.ip[pri])
+	m.tracer.Fetch(m.ip[pri])
+	m.instrs++
+	m.opCounts[in.Op]++
+
+	if in.Mark != isa.MarkNone {
+		fp := m.regs[pri][isa.RFP].Addr()
+		switch in.Mark {
+		case isa.MarkThreadStart:
+			m.observer.ThreadStart(fp, m.instrs)
+		case isa.MarkInletStart:
+			m.observer.InletStart(fp, m.instrs)
+		case isa.MarkActivate:
+			m.observer.Activate(fp, m.instrs)
+		}
+	}
+
+	next := m.ip[pri] + mem.WordBytes
+	r := &m.regs[pri]
+
+	switch in.Op {
+	case isa.OpNop:
+
+	case isa.OpMovI:
+		r[in.Rd] = word.Int(in.Imm)
+	case isa.OpMovA:
+		r[in.Rd] = word.Ptr(uint32(in.Imm))
+	case isa.OpMovF:
+		r[in.Rd] = word.Float(in.FImm)
+	case isa.OpMov:
+		r[in.Rd] = m.reg(pri, in.Ra)
+	case isa.OpLEA:
+		r[in.Rd] = word.Ptr(uint32(m.reg(pri, in.Ra).AsInt() + in.Imm))
+
+	case isa.OpLD:
+		addr := uint32(m.reg(pri, in.Ra).AsInt() + in.Imm)
+		m.tracer.Read(addr)
+		r[in.Rd] = m.Mem.Load(addr)
+	case isa.OpST:
+		addr := uint32(m.reg(pri, in.Ra).AsInt() + in.Imm)
+		m.tracer.Write(addr)
+		m.Mem.Store(addr, m.reg(pri, in.Rb))
+	case isa.OpLDPre:
+		base := m.reg(pri, in.Ra)
+		addr := uint32(base.AsInt() - mem.WordBytes)
+		r[in.Ra] = word.Ptr(addr)
+		m.tracer.Read(addr)
+		r[in.Rd] = m.Mem.Load(addr)
+	case isa.OpSTPost:
+		addr := m.reg(pri, in.Ra).Addr()
+		m.tracer.Write(addr)
+		m.Mem.Store(addr, m.reg(pri, in.Rb))
+		r[in.Ra] = word.Ptr(addr + mem.WordBytes)
+
+	case isa.OpAdd:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() + m.reg(pri, in.Rb).AsInt())
+	case isa.OpSub:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() - m.reg(pri, in.Rb).AsInt())
+	case isa.OpMul:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() * m.reg(pri, in.Rb).AsInt())
+	case isa.OpDiv:
+		b := m.reg(pri, in.Rb).AsInt()
+		if b == 0 {
+			panic("divide by zero")
+		}
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() / b)
+	case isa.OpMod:
+		b := m.reg(pri, in.Rb).AsInt()
+		if b == 0 {
+			panic("modulo by zero")
+		}
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() % b)
+	case isa.OpAnd:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() & m.reg(pri, in.Rb).AsInt())
+	case isa.OpOr:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() | m.reg(pri, in.Rb).AsInt())
+	case isa.OpXor:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() ^ m.reg(pri, in.Rb).AsInt())
+	case isa.OpShl:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() << uint(m.reg(pri, in.Rb).AsInt()))
+	case isa.OpShr:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() >> uint(m.reg(pri, in.Rb).AsInt()))
+
+	case isa.OpAddI:
+		w := m.reg(pri, in.Ra)
+		r[in.Rd] = word.Word{Tag: addTag(w), I: w.AsInt() + in.Imm}
+	case isa.OpSubI:
+		w := m.reg(pri, in.Ra)
+		r[in.Rd] = word.Word{Tag: addTag(w), I: w.AsInt() - in.Imm}
+	case isa.OpMulI:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() * in.Imm)
+	case isa.OpAndI:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() & in.Imm)
+	case isa.OpShlI:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() << uint(in.Imm))
+	case isa.OpShrI:
+		r[in.Rd] = word.Int(m.reg(pri, in.Ra).AsInt() >> uint(in.Imm))
+
+	case isa.OpFAdd:
+		r[in.Rd] = word.Float(m.reg(pri, in.Ra).AsFloat() + m.reg(pri, in.Rb).AsFloat())
+	case isa.OpFSub:
+		r[in.Rd] = word.Float(m.reg(pri, in.Ra).AsFloat() - m.reg(pri, in.Rb).AsFloat())
+	case isa.OpFMul:
+		r[in.Rd] = word.Float(m.reg(pri, in.Ra).AsFloat() * m.reg(pri, in.Rb).AsFloat())
+	case isa.OpFDiv:
+		b := m.reg(pri, in.Rb).AsFloat()
+		r[in.Rd] = word.Float(m.reg(pri, in.Ra).AsFloat() / b)
+	case isa.OpFNeg:
+		r[in.Rd] = word.Float(-m.reg(pri, in.Ra).AsFloat())
+	case isa.OpIToF:
+		r[in.Rd] = word.Float(float64(m.reg(pri, in.Ra).AsInt()))
+	case isa.OpFToI:
+		r[in.Rd] = word.Int(int64(m.reg(pri, in.Ra).AsFloat()))
+
+	case isa.OpBR:
+		next = in.Target
+	case isa.OpJMP:
+		next = m.reg(pri, in.Ra).Addr()
+	case isa.OpJAL:
+		r[in.Rd] = word.Ptr(next)
+		next = in.Target
+	case isa.OpBEQ:
+		if m.reg(pri, in.Ra).AsInt() == m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpBNE:
+		if m.reg(pri, in.Ra).AsInt() != m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpBLT:
+		if m.reg(pri, in.Ra).AsInt() < m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpBLE:
+		if m.reg(pri, in.Ra).AsInt() <= m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpBGT:
+		if m.reg(pri, in.Ra).AsInt() > m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpBGE:
+		if m.reg(pri, in.Ra).AsInt() >= m.reg(pri, in.Rb).AsInt() {
+			next = in.Target
+		}
+	case isa.OpFBLT:
+		if m.reg(pri, in.Ra).AsFloat() < m.reg(pri, in.Rb).AsFloat() {
+			next = in.Target
+		}
+	case isa.OpFBLE:
+		if m.reg(pri, in.Ra).AsFloat() <= m.reg(pri, in.Rb).AsFloat() {
+			next = in.Target
+		}
+	case isa.OpBZ:
+		if m.reg(pri, in.Ra).AsInt() == 0 {
+			next = in.Target
+		}
+	case isa.OpBNZ:
+		if m.reg(pri, in.Ra).AsInt() != 0 {
+			next = in.Target
+		}
+	case isa.OpBTag:
+		if m.reg(pri, in.Ra).Tag == word.Tag(in.Imm) {
+			next = in.Target
+		}
+
+	case isa.OpTagSet:
+		w := m.reg(pri, in.Ra)
+		w.Tag = word.Tag(in.Imm)
+		r[in.Rd] = w
+	case isa.OpTagGet:
+		r[in.Rd] = word.Int(int64(m.reg(pri, in.Ra).Tag))
+
+	case isa.OpMsgI:
+		m.beginMsg(pri, int(in.Imm))
+	case isa.OpMsgR:
+		m.beginMsg(pri, int(m.reg(pri, in.Ra).AsInt()))
+	case isa.OpMsgDest:
+		if !m.building[pri] {
+			panic("MSGDEST without MSGI/MSGR")
+		}
+		m.sendDest[pri] = int(m.reg(pri, in.Ra).AsInt())
+	case isa.OpSendW:
+		m.appendMsg(pri, m.reg(pri, in.Ra))
+	case isa.OpSendWI:
+		m.appendMsg(pri, word.Int(in.Imm))
+	case isa.OpSendWA:
+		m.appendMsg(pri, word.Ptr(uint32(in.Imm)))
+	case isa.OpSendE:
+		m.deliver(pri)
+
+	case isa.OpEI:
+		if pri == Low {
+			m.intEn = true
+		}
+	case isa.OpDI:
+		if pri == Low {
+			m.intEn = false
+		}
+	case isa.OpSuspend:
+		m.suspend(pri)
+		m.ip[pri] = next
+		return
+	case isa.OpWait:
+		if m.quiescent() {
+			m.halted = true
+			return
+		}
+	case isa.OpHalt:
+		m.halted = true
+		return
+	case isa.OpTrap:
+		m.halted = true
+		m.trapErr = fmt.Errorf("%w: trap %d at %#x", ErrTrap, in.Imm, m.ip[pri])
+		return
+
+	default:
+		panic(fmt.Sprintf("unimplemented opcode %v", in.Op))
+	}
+
+	m.ip[pri] = next
+}
+
+// addTag preserves pointerness through ADDI/SUBI so address arithmetic
+// keeps producing pointers.
+func addTag(w word.Word) word.Tag {
+	if w.Tag == word.TagPtr {
+		return word.TagPtr
+	}
+	return word.TagInt
+}
+
+func (m *Machine) beginMsg(pri, destPri int) {
+	if destPri != Low && destPri != High {
+		panic(fmt.Sprintf("bad message priority %d", destPri))
+	}
+	m.sendPri[pri] = destPri
+	m.sendDest[pri] = m.nodeID
+	m.sendBuf[pri] = m.sendBuf[pri][:0]
+	m.building[pri] = true
+}
+
+func (m *Machine) appendMsg(pri int, w word.Word) {
+	if !m.building[pri] {
+		panic("SENDW without MSGI/MSGR")
+	}
+	m.sendBuf[pri] = append(m.sendBuf[pri], w)
+}
+
+func (m *Machine) deliver(pri int) {
+	if !m.building[pri] {
+		panic("SENDE without MSGI/MSGR")
+	}
+	m.building[pri] = false
+	if m.sendDest[pri] != m.nodeID {
+		if m.router == nil {
+			panic(fmt.Sprintf("message to node %d with no router", m.sendDest[pri]))
+		}
+		if err := m.router(m.sendDest[pri], m.sendPri[pri], m.sendBuf[pri]); err != nil {
+			panic(err)
+		}
+		return
+	}
+	if _, err := m.queues[m.sendPri[pri]].Enqueue(m.sendBuf[pri], m.queueStore); err != nil {
+		panic(err)
+	}
+}

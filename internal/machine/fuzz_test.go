@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmtam/internal/asm"
+	"jmtam/internal/mem"
+	"jmtam/internal/rng"
+	"jmtam/internal/word"
+)
+
+// TestRandomProgramsMatchReference generates random straight-line
+// programs over the integer ALU, register moves and scratch-memory
+// loads/stores, runs them on the engine, and compares every register
+// and scratch word against a pure-Go reference interpretation.
+func TestRandomProgramsMatchReference(t *testing.T) {
+	const (
+		scratchBase  = mem.SysDataBase + 0x400
+		scratchWords = 16
+		regs         = 5 // R0-R4
+		steps        = 60
+	)
+
+	runOne := func(seed uint64) bool {
+		src := rng.New(seed)
+
+		// Reference state.
+		var ref [regs]int64
+		var refMem [scratchWords]int64
+
+		sys := asm.NewSys()
+		sys.Halt()
+		u := asm.NewUser()
+		u.Label("main")
+		// Initialize registers deterministically.
+		for r := 0; r < regs; r++ {
+			v := int64(src.Intn(1000)) - 500
+			u.MovI(uint8(r), v)
+			ref[r] = v
+		}
+		for i := 0; i < steps; i++ {
+			rd := uint8(src.Intn(regs))
+			ra := uint8(src.Intn(regs))
+			rb := uint8(src.Intn(regs))
+			switch src.Intn(12) {
+			case 0:
+				u.Add(rd, ra, rb)
+				ref[rd] = ref[ra] + ref[rb]
+			case 1:
+				u.Sub(rd, ra, rb)
+				ref[rd] = ref[ra] - ref[rb]
+			case 2:
+				u.Mul(rd, ra, rb)
+				ref[rd] = ref[ra] * ref[rb]
+			case 3:
+				u.And(rd, ra, rb)
+				ref[rd] = ref[ra] & ref[rb]
+			case 4:
+				u.Or(rd, ra, rb)
+				ref[rd] = ref[ra] | ref[rb]
+			case 5:
+				u.Xor(rd, ra, rb)
+				ref[rd] = ref[ra] ^ ref[rb]
+			case 6:
+				imm := int64(src.Intn(64)) - 32
+				u.AddI(rd, ra, imm)
+				ref[rd] = ref[ra] + imm
+			case 7:
+				imm := int64(src.Intn(64)) - 32
+				u.SubI(rd, ra, imm)
+				ref[rd] = ref[ra] - imm
+			case 8:
+				sh := int64(src.Intn(8))
+				u.ShlI(rd, ra, sh)
+				ref[rd] = ref[ra] << uint(sh)
+			case 9:
+				sh := int64(src.Intn(8))
+				u.ShrI(rd, ra, sh)
+				ref[rd] = ref[ra] >> uint(sh)
+			case 10:
+				slot := src.Intn(scratchWords)
+				u.ST(15 /* RZ */, int64(scratchBase+uint32(4*slot)), rb)
+				refMem[slot] = ref[rb]
+			case 11:
+				slot := src.Intn(scratchWords)
+				u.LD(rd, 15, int64(scratchBase+uint32(4*slot)))
+				ref[rd] = refMem[slot]
+			}
+		}
+		// Dump registers after the scratch area.
+		for r := 0; r < regs; r++ {
+			u.ST(15, int64(scratchBase+uint32(4*(scratchWords+r))), uint8(r))
+		}
+		u.Suspend()
+		if err := sys.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Finish(); err != nil {
+			t.Fatal(err)
+		}
+
+		m := NewMachine(mem.NewDefault(), NewCodeStore(sys.Code(), u.Code()),
+			Config{MaxInstructions: 10000})
+		if err := m.Inject(Low, []word.Word{word.Ptr(u.Addr("main"))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Logf("seed %#x: %v", seed, err)
+			return false
+		}
+		for s := 0; s < scratchWords; s++ {
+			if got := m.Mem.LoadInt(scratchBase + uint32(4*s)); got != refMem[s] {
+				t.Logf("seed %#x: scratch[%d] = %d, want %d", seed, s, got, refMem[s])
+				return false
+			}
+		}
+		for r := 0; r < regs; r++ {
+			if got := m.Mem.LoadInt(scratchBase + uint32(4*(scratchWords+r))); got != ref[r] {
+				t.Logf("seed %#x: r%d = %d, want %d", seed, r, got, ref[r])
+				return false
+			}
+		}
+		return true
+	}
+
+	if err := quick.Check(runOne, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomBranchPrograms checks forward-branch behaviour: a chain of
+// conditional skips over MOVI markers, compared against a reference.
+func TestRandomBranchPrograms(t *testing.T) {
+	runOne := func(seed uint64) bool {
+		src := rng.New(seed)
+		const scratch = mem.SysDataBase + 0x600
+		sys := asm.NewSys()
+		sys.Halt()
+		u := asm.NewUser()
+		u.Label("main")
+
+		acc := int64(0)
+		u.MovI(0, 0) // accumulator R0
+		for i := 0; i < 20; i++ {
+			a := int64(src.Intn(10))
+			b := int64(src.Intn(10))
+			add := int64(1) << uint(i%20)
+			lbl := u.PC() // unique label name derived from position
+			name := labelName(int(lbl), i)
+			u.MovI(1, a)
+			u.MovI(2, b)
+			taken := false
+			switch src.Intn(4) {
+			case 0:
+				u.BEQ(1, 2, name)
+				taken = a == b
+			case 1:
+				u.BNE(1, 2, name)
+				taken = a != b
+			case 2:
+				u.BLT(1, 2, name)
+				taken = a < b
+			case 3:
+				u.BGE(1, 2, name)
+				taken = a >= b
+			}
+			u.AddI(0, 0, add)
+			if !taken {
+				acc += add
+			}
+			u.Label(name)
+		}
+		u.ST(15, int64(scratch), 0)
+		u.Suspend()
+		if err := sys.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(mem.NewDefault(), NewCodeStore(sys.Code(), u.Code()),
+			Config{MaxInstructions: 10000})
+		m.Inject(Low, []word.Word{word.Ptr(u.Addr("main"))})
+		if err := m.Run(); err != nil {
+			t.Logf("seed %#x: %v", seed, err)
+			return false
+		}
+		if got := m.Mem.LoadInt(scratch); got != acc {
+			t.Logf("seed %#x: acc = %d, want %d", seed, got, acc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(runOne, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func labelName(pc, i int) string {
+	const digits = "0123456789abcdef"
+	b := []byte("L")
+	for v := pc*32 + i; v > 0; v /= 16 {
+		b = append(b, digits[v%16])
+	}
+	return string(b)
+}

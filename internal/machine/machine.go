@@ -1,0 +1,313 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"jmtam/internal/isa"
+	"jmtam/internal/mem"
+	"jmtam/internal/queue"
+	"jmtam/internal/word"
+)
+
+// Priority levels.
+const (
+	Low  = 0
+	High = 1
+)
+
+// Tracer receives one event per instruction fetch and per data access.
+// Implementations must be cheap; the engine calls them on every
+// instruction.
+type Tracer interface {
+	Fetch(addr uint32)
+	Read(addr uint32)
+	Write(addr uint32)
+}
+
+// Observer receives runtime-level events driven by instruction marks and
+// dispatch, carrying the current frame pointer and the machine's dynamic
+// instruction count so granularity statistics can be derived.
+type Observer interface {
+	ThreadStart(frame uint32, instrs uint64)
+	InletStart(frame uint32, instrs uint64)
+	Activate(frame uint32, instrs uint64)
+	Dispatch(pri int, instrs uint64)
+}
+
+// nopTracer and nopObserver are used when no consumer is attached.
+type nopTracer struct{}
+
+func (nopTracer) Fetch(uint32) {}
+func (nopTracer) Read(uint32)  {}
+func (nopTracer) Write(uint32) {}
+
+type nopObserver struct{}
+
+func (nopObserver) ThreadStart(uint32, uint64) {}
+func (nopObserver) InletStart(uint32, uint64)  {}
+func (nopObserver) Activate(uint32, uint64)    {}
+func (nopObserver) Dispatch(int, uint64)       {}
+
+// Config controls machine construction.
+type Config struct {
+	// QueueCapWords is the per-priority message queue capacity in
+	// words; zero selects queue.DefaultCapWords.
+	QueueCapWords int
+	// CountQueueWrites controls whether hardware buffering of arriving
+	// message words is charged as data writes. The MDP buffers
+	// messages into on-chip memory, consuming space and bandwidth
+	// (paper §1.1.2 footnote), so the default — set by NewMachine — is
+	// true.
+	CountQueueWrites bool
+	// MaxInstructions aborts runaway simulations; zero means no limit.
+	MaxInstructions uint64
+}
+
+// Queue base addresses inside the system-data segment. The first words
+// of system data are reserved for runtime globals (package core).
+const (
+	GlobalsWords  = 1 << 12 // 4K words of runtime globals
+	queueLowBase  = mem.SysDataBase + GlobalsWords*mem.WordBytes
+	queueAreaSize = queue.DefaultCapWords * mem.WordBytes
+)
+
+// Machine is one simulated node.
+type Machine struct {
+	Mem  *mem.Memory
+	Code *CodeStore
+
+	queues [2]*queue.Queue
+	regs   [2][isa.NumRegs]word.Word
+	ip     [2]uint32
+	run    [2]bool
+	intEn  bool
+
+	sendPri  [2]int
+	sendDest [2]int
+	sendBuf  [2][]word.Word
+	building [2]bool
+
+	nodeID int
+	router Router
+
+	curMsg [2]queue.Msg
+	inMsg  [2]bool
+
+	tracer   Tracer
+	observer Observer
+
+	cfg      Config
+	instrs   uint64
+	opCounts [isa.NumOps]uint64
+	halted   bool
+	trapErr  error
+}
+
+// NewMachine builds a machine around the given memory and code store.
+func NewMachine(m *mem.Memory, code *CodeStore, cfg Config) *Machine {
+	capw := cfg.QueueCapWords
+	if capw == 0 {
+		capw = queue.JMachineCapWords
+	}
+	if capw > queue.DefaultCapWords {
+		capw = queue.DefaultCapWords // fixed storage layout bounds capacity
+	}
+	mach := &Machine{
+		Mem:      m,
+		Code:     code,
+		tracer:   nopTracer{},
+		observer: nopObserver{},
+		cfg:      cfg,
+		intEn:    true,
+	}
+	mach.queues[Low] = queue.New(queueLowBase, capw)
+	mach.queues[High] = queue.New(queueLowBase+queueAreaSize, capw)
+	return mach
+}
+
+// SetTracer attaches t; nil restores the no-op tracer.
+func (m *Machine) SetTracer(t Tracer) {
+	if t == nil {
+		m.tracer = nopTracer{}
+		return
+	}
+	m.tracer = t
+}
+
+// SetObserver attaches o; nil restores the no-op observer.
+func (m *Machine) SetObserver(o Observer) {
+	if o == nil {
+		m.observer = nopObserver{}
+		return
+	}
+	m.observer = o
+}
+
+// Queue returns the message queue at the given priority.
+func (m *Machine) Queue(pri int) *queue.Queue { return m.queues[pri] }
+
+// Instructions returns the number of instructions executed so far.
+func (m *Machine) Instructions() uint64 { return m.instrs }
+
+// OpCounts returns the dynamic execution count of every opcode.
+func (m *Machine) OpCounts() [isa.NumOps]uint64 { return m.opCounts }
+
+// Halted reports whether the machine has reached quiescence or trapped.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Router forwards a message to another node; wired by the cluster
+// driver. A nil router restricts the machine to local delivery.
+type Router func(dst, pri int, ws []word.Word) error
+
+// SetRouter assigns the machine's node id and its outbound network hook.
+func (m *Machine) SetRouter(node int, r Router) {
+	m.nodeID = node
+	m.router = r
+}
+
+// Node returns the machine's node id (0 on a uniprocessor).
+func (m *Machine) Node() int { return m.nodeID }
+
+// StepOne executes at most one instruction, reporting whether progress
+// was made; it does not treat an empty machine as halted, so a cluster
+// driver can keep delivering network messages to it. Simulation faults
+// surface as errors.
+func (m *Machine) StepOne() (progress bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.halted = true
+			err = fmt.Errorf("%w: %v (node %d, low ip=%#x high ip=%#x after %d instructions)",
+				ErrTrap, r, m.nodeID, m.ip[Low], m.ip[High], m.instrs)
+		}
+	}()
+	if m.halted {
+		return false, m.trapErr
+	}
+	pri := m.choose()
+	if pri < 0 {
+		return false, nil
+	}
+	m.step(pri)
+	if m.cfg.MaxInstructions != 0 && m.instrs >= m.cfg.MaxInstructions {
+		m.halted = true
+		return true, fmt.Errorf("%w: instruction limit %d exceeded", ErrTrap, m.cfg.MaxInstructions)
+	}
+	return true, m.trapErr
+}
+
+// Idle reports whether the machine has no runnable task and empty
+// queues (it may still receive network messages).
+func (m *Machine) Idle() bool { return m.quiescent() && !m.run[Low] }
+
+// Inject enqueues a message from the host (outside the simulation), used
+// to bootstrap programs. Queue stores are traced like hardware buffering.
+func (m *Machine) Inject(pri int, ws []word.Word) error {
+	_, err := m.queues[pri].Enqueue(ws, m.queueStore)
+	return err
+}
+
+func (m *Machine) queueStore(addr uint32, w word.Word) {
+	if m.cfg.CountQueueWrites {
+		m.tracer.Write(addr)
+	}
+	m.Mem.Store(addr, w)
+}
+
+// reg reads a register, honouring the RZ pseudo-register.
+func (m *Machine) reg(pri int, r uint8) word.Word {
+	if r == isa.RZ {
+		return word.Word{}
+	}
+	return m.regs[pri][r]
+}
+
+// SetReg writes a register directly (host bootstrap only).
+func (m *Machine) SetReg(pri int, r uint8, w word.Word) { m.regs[pri][r] = w }
+
+// ErrTrap wraps simulated runtime errors.
+var ErrTrap = errors.New("machine trap")
+
+// choose selects the priority level to execute next, dispatching a
+// message if needed. It returns -1 when the machine is quiescent.
+func (m *Machine) choose() int {
+	if m.run[High] {
+		return High
+	}
+	if m.queues[High].Len() > 0 && (!m.run[Low] || m.intEn) {
+		m.dispatch(High)
+		return High
+	}
+	if m.run[Low] {
+		return Low
+	}
+	if m.queues[Low].Len() > 0 {
+		m.dispatch(Low)
+		return Low
+	}
+	return -1
+}
+
+// dispatch begins servicing the oldest message at pri. The hardware
+// reads the handler address from the first message word (a traced read)
+// and loads the message base register.
+func (m *Machine) dispatch(pri int) {
+	msg, ok := m.queues[pri].Front()
+	if !ok {
+		panic("machine: dispatch on empty queue")
+	}
+	m.tracer.Read(msg.Base)
+	handler := m.Mem.Load(msg.Base)
+	m.curMsg[pri] = msg
+	m.inMsg[pri] = true
+	m.run[pri] = true
+	m.ip[pri] = handler.Addr()
+	m.regs[pri][isa.RMsg] = word.Ptr(msg.Base)
+	m.observer.Dispatch(pri, m.instrs)
+}
+
+// suspend ends the current task at pri, consuming its message.
+func (m *Machine) suspend(pri int) {
+	m.run[pri] = false
+	if m.inMsg[pri] {
+		m.queues[pri].Consume()
+		m.inMsg[pri] = false
+	}
+}
+
+// quiescent reports whether nothing can make progress.
+func (m *Machine) quiescent() bool {
+	return !m.run[High] && m.queues[High].Len() == 0 && m.queues[Low].Len() == 0
+}
+
+// Run executes until quiescence, a HALT, a TRAP, or the instruction
+// limit. Simulation faults (bad addresses, queue overflow) surface as
+// errors rather than panics.
+func (m *Machine) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v (at low ip=%#x high ip=%#x after %d instructions)",
+				ErrTrap, r, m.ip[Low], m.ip[High], m.instrs)
+		}
+	}()
+	for !m.halted {
+		pri := m.choose()
+		if pri < 0 {
+			m.halted = true
+			break
+		}
+		m.step(pri)
+		if m.cfg.MaxInstructions != 0 && m.instrs >= m.cfg.MaxInstructions {
+			return fmt.Errorf("%w: instruction limit %d exceeded", ErrTrap, m.cfg.MaxInstructions)
+		}
+	}
+	return m.trapErr
+}
+
+// Boot starts low-priority execution at addr with interrupts disabled,
+// used by the Active Messages backend to enter its scheduler loop.
+func (m *Machine) Boot(addr uint32) {
+	m.ip[Low] = addr
+	m.run[Low] = true
+	m.intEn = false
+}

@@ -1,0 +1,172 @@
+// Package mem models the simulated machine's address space.
+//
+// The address map is segmented so that the trace layer can classify every
+// reference as (system | user) x (code | data), the classification used in
+// §3.1 of the paper. Addresses are byte addresses; every word occupies
+// WordBytes bytes. Code segments hold instructions (one instruction per
+// word address) and are touched only by instruction fetch; data segments
+// hold tagged words.
+package mem
+
+import (
+	"fmt"
+
+	"jmtam/internal/word"
+)
+
+// WordBytes is the size of one machine word in bytes. Instruction fetch
+// and data access granularity is one word; the cache simulator maps byte
+// addresses to blocks of 8-64 bytes.
+const WordBytes = 4
+
+// Segment base addresses. Segments are generously sized and disjoint;
+// nothing depends on their exact values beyond ordering and alignment.
+const (
+	SysCodeBase  uint32 = 0x0000_0000 // runtime/system instructions
+	UserCodeBase uint32 = 0x0010_0000 // program inlets and threads
+	SysDataBase  uint32 = 0x0100_0000 // message queues, LCV, globals
+	FrameBase    uint32 = 0x0200_0000 // activation frames
+	HeapBase     uint32 = 0x0400_0000 // I-structures and arrays
+	TopOfMemory  uint32 = 0x0800_0000
+)
+
+// Segment sizes in words.
+const (
+	SysCodeWords  = (UserCodeBase - SysCodeBase) / WordBytes
+	UserCodeWords = (SysDataBase - UserCodeBase) / WordBytes
+	SysDataWords  = (FrameBase - SysDataBase) / WordBytes
+	FrameWords    = (HeapBase - FrameBase) / WordBytes
+	HeapWords     = (TopOfMemory - HeapBase) / WordBytes
+)
+
+// Class identifies which region of the address map a reference falls in.
+type Class uint8
+
+// Reference classes, following the paper's system/user split: system data
+// comprises the incoming message queues, operating-system globals and the
+// LCV; user data comprises frames and the heap.
+const (
+	ClassSysCode Class = iota
+	ClassUserCode
+	ClassSysData
+	ClassUserData // frames + heap
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassSysCode:
+		return "sys-code"
+	case ClassUserCode:
+		return "user-code"
+	case ClassSysData:
+		return "sys-data"
+	case ClassUserData:
+		return "user-data"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classify maps a byte address to its reference class.
+func Classify(addr uint32) Class {
+	switch {
+	case addr < UserCodeBase:
+		return ClassSysCode
+	case addr < SysDataBase:
+		return ClassUserCode
+	case addr < FrameBase:
+		return ClassSysData
+	default:
+		return ClassUserData
+	}
+}
+
+// IsCode reports whether addr lies in a code segment.
+func IsCode(addr uint32) bool { return addr < SysDataBase }
+
+// Memory is the simulated data memory. Code is stored separately (see
+// package asm); Memory covers only the three data segments. Segments are
+// allocated lazily in fixed-size chunks so that sparse use of the large
+// heap segment stays cheap.
+type Memory struct {
+	sysData []word.Word
+	frames  []word.Word
+	heap    []word.Word
+}
+
+// New returns an empty memory with all data segments allocated to their
+// configured capacities. Sizes are given in words and are clamped to the
+// segment capacities.
+func New(sysDataWords, frameWords, heapWords int) *Memory {
+	clamp := func(n int, max uint32) int {
+		if n < 0 {
+			n = 0
+		}
+		if uint32(n) > max {
+			n = int(max)
+		}
+		return n
+	}
+	return &Memory{
+		sysData: make([]word.Word, clamp(sysDataWords, SysDataWords)),
+		frames:  make([]word.Word, clamp(frameWords, FrameWords)),
+		heap:    make([]word.Word, clamp(heapWords, HeapWords)),
+	}
+}
+
+// Default segment sizes (words): 1 MB of system data (the runtime
+// globals, both hardware queues and the deferred-node pool fit in the
+// first 300 Kbytes), 1 MB of frame memory and 2 MB of heap — ample for
+// every benchmark at the paper's arguments while keeping per-simulation
+// allocation modest. New with larger sizes lifts the limits.
+const (
+	DefaultSysDataWords = 1 << 18
+	DefaultFrameWords   = 1 << 18
+	DefaultHeapWords    = 1 << 19
+)
+
+// NewDefault returns a memory with the default segment sizes.
+func NewDefault() *Memory {
+	return New(DefaultSysDataWords, DefaultFrameWords, DefaultHeapWords)
+}
+
+func (m *Memory) locate(addr uint32) ([]word.Word, uint32) {
+	if addr%WordBytes != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))
+	}
+	switch {
+	case addr >= HeapBase:
+		return m.heap, (addr - HeapBase) / WordBytes
+	case addr >= FrameBase:
+		return m.frames, (addr - FrameBase) / WordBytes
+	case addr >= SysDataBase:
+		return m.sysData, (addr - SysDataBase) / WordBytes
+	default:
+		panic(fmt.Sprintf("mem: data access to code segment at %#x", addr))
+	}
+}
+
+// Load reads the word at byte address addr.
+func (m *Memory) Load(addr uint32) word.Word {
+	seg, i := m.locate(addr)
+	if i >= uint32(len(seg)) {
+		panic(fmt.Sprintf("mem: load beyond segment at %#x", addr))
+	}
+	return seg[i]
+}
+
+// Store writes the word at byte address addr.
+func (m *Memory) Store(addr uint32, w word.Word) {
+	seg, i := m.locate(addr)
+	if i >= uint32(len(seg)) {
+		panic(fmt.Sprintf("mem: store beyond segment at %#x", addr))
+	}
+	seg[i] = w
+}
+
+// LoadInt is a convenience accessor returning the integer view at addr.
+func (m *Memory) LoadInt(addr uint32) int64 { return m.Load(addr).AsInt() }
+
+// StoreInt stores an integer word at addr.
+func (m *Memory) StoreInt(addr uint32, v int64) { m.Store(addr, word.Int(v)) }

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmtam/internal/word"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[uint32]Class{
+		SysCodeBase:      ClassSysCode,
+		UserCodeBase - 4: ClassSysCode,
+		UserCodeBase:     ClassUserCode,
+		SysDataBase - 4:  ClassUserCode,
+		SysDataBase:      ClassSysData,
+		FrameBase - 4:    ClassSysData,
+		FrameBase:        ClassUserData,
+		HeapBase:         ClassUserData,
+		TopOfMemory - 4:  ClassUserData,
+	}
+	for addr, want := range cases {
+		if got := Classify(addr); got != want {
+			t.Errorf("Classify(%#x) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+func TestIsCode(t *testing.T) {
+	if !IsCode(SysCodeBase) || !IsCode(UserCodeBase) {
+		t.Error("code bases not classified as code")
+	}
+	if IsCode(SysDataBase) || IsCode(HeapBase) {
+		t.Error("data bases classified as code")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassSysCode: "sys-code", ClassUserCode: "user-code",
+		ClassSysData: "sys-data", ClassUserData: "user-data",
+		Class(9): "class(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1024, 1024, 1024)
+	for _, addr := range []uint32{SysDataBase, SysDataBase + 4092, FrameBase, HeapBase + 400} {
+		w := word.Float(3.25)
+		m.Store(addr, w)
+		if got := m.Load(addr); got != w {
+			t.Errorf("Load(%#x) = %v, want %v", addr, got, w)
+		}
+	}
+}
+
+func TestLoadStoreProperty(t *testing.T) {
+	m := NewDefault()
+	f := func(off uint16, v int64) bool {
+		addr := HeapBase + uint32(off)*WordBytes
+		m.StoreInt(addr, v)
+		return m.LoadInt(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New(16, 16, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access did not panic")
+		}
+	}()
+	m.Load(SysDataBase + 2)
+}
+
+func TestCodeSegmentAccessPanics(t *testing.T) {
+	m := New(16, 16, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("data access to code segment did not panic")
+		}
+	}()
+	m.Load(SysCodeBase + 4)
+}
+
+func TestOutOfSegmentPanics(t *testing.T) {
+	m := New(4, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("load beyond segment did not panic")
+		}
+	}()
+	m.Load(SysDataBase + 4*WordBytes)
+}
+
+func TestSegmentClamping(t *testing.T) {
+	m := New(-5, 1<<30, 0)
+	// Negative clamps to zero; huge clamps to segment capacity. The
+	// frame segment must accept its full range.
+	m.Store(FrameBase, word.Int(1))
+	if m.LoadInt(FrameBase) != 1 {
+		t.Error("clamped frame segment unusable")
+	}
+}

@@ -1,0 +1,324 @@
+package programs
+
+import (
+	"fmt"
+
+	"jmtam/internal/core"
+	"jmtam/internal/isa"
+	"jmtam/internal/word"
+)
+
+// DTW builds the discrete-time-warp benchmark: dynamic-programming
+// alignment of two length-n float sequences, the kernel of the
+// speech-processing application in the paper. The DP recurrence is
+//
+//	D[i][j] = |x[i]-y[j]| + min(D[i-1][j], D[i][j-1], D[i-1][j-1])
+//
+// with the first row precomputed as a boundary. Each row is an
+// activation; every cell needs two split-phase fetches (the north value
+// from the previous row and y[j]), synchronized by an entry count of two
+// that is re-armed each iteration — finer-grained than wavefront's single
+// fetch per cell, giving DTW its mid-table granularity (TPQ 5.3/6.0).
+//
+// Row frame slots: 0=r, 1=n, 2=dBase, 3=yBase, 4=xval, 5=j, 6=west,
+// 7=nw, 8=north, 9=yval, 10=parent inlet, 11=parent frame.
+func DTW(n int) *core.Program {
+	if n < 2 {
+		panic("dtw: n must be >= 2")
+	}
+
+	row := &core.Codeblock{
+		Name: "dtwrow", NumCounts: 1, InitCounts: []int64{2}, NumSlots: 12,
+	}
+	var tInitJ, tStep, tCell *core.Thread
+	var iX, iNorth, iY *core.Inlet
+
+	tInitJ = row.AddThread("initj", -1, func(b *core.Body) {
+		b.MovI(0, 0)
+		b.STSlot(5, 0) // j = 0
+		b.ForkEnd(tStep)
+	})
+
+	// Issue the two split-phase fetches for cell j.
+	tStep = row.AddThread("step", -1, func(b *core.Body) {
+		b.SetCountImm(0, 2)
+		// north: D[r-1][j]
+		b.LDSlot(0, 0) // r
+		b.SubI(0, 0, 1)
+		b.LDSlot(1, 1) // n
+		b.Mul(0, 0, 1)
+		b.LDSlot(1, 5) // j
+		b.Add(0, 0, 1)
+		b.MulI(0, 0, 4)
+		b.LDSlot(2, 2) // dBase
+		b.Add(0, 0, 2)
+		b.IFetch(0, iNorth)
+		// y[j]
+		b.MulI(1, 1, 4)
+		b.LDSlot(2, 3) // yBase
+		b.Add(1, 1, 2)
+		b.IFetch(1, iY)
+		b.Stop()
+	})
+
+	tCell = row.AddThread("cell", 0, func(b *core.Body) {
+		// cost = |x - y[j]|
+		b.LDSlot(0, 4) // x
+		b.LDSlot(1, 9) // y
+		b.FSub(1, 0, 1)
+		b.MovF(2, 0.0)
+		b.FBLE(2, 1, "dtwrow.abs")
+		b.FNeg(1, 1)
+		b.Case("dtwrow.abs")
+		b.LDSlot(0, 8) // north
+		b.LDSlot(5, 5) // j
+		b.BZ(5, "dtwrow.first")
+		// min(north, west, nw)
+		b.Mov(7, 0)
+		b.LDSlot(2, 6) // west
+		b.FBLE(7, 2, "dtwrow.m1")
+		b.Mov(7, 2)
+		b.Case("dtwrow.m1")
+		b.LDSlot(2, 7) // nw
+		b.FBLE(7, 2, "dtwrow.m2")
+		b.Mov(7, 2)
+		b.Case("dtwrow.m2")
+		b.FAdd(2, 1, 7) // value
+		b.BR("dtwrow.store")
+		b.Case("dtwrow.first")
+		b.FAdd(2, 1, 0) // value = cost + north
+		b.Case("dtwrow.store")
+		b.STSlot(7, 0) // nw = north (for next j)
+		b.STSlot(6, 2) // west = value
+		// D[r][j] = value
+		b.LDSlot(0, 0) // r
+		b.LDSlot(1, 1) // n
+		b.Mul(0, 0, 1)
+		b.Add(0, 0, 5)
+		b.MulI(0, 0, 4)
+		b.LDSlot(1, 2)
+		b.Add(0, 0, 1)
+		b.IStore(0, 2)
+		b.AddI(5, 5, 1)
+		b.STSlot(5, 5)
+		b.LDSlot(1, 1)
+		b.BLT(5, 1, "dtwrow.more")
+		b.LDSlot(0, 10)
+		b.LDSlot(1, 11)
+		b.SendMsgDyn(0, 1, 2)
+		b.ReleaseFrame()
+		b.Stop()
+		b.Case("dtwrow.more")
+		b.ForkEnd(tStep)
+	})
+
+	iX = row.AddInlet("x", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(4, 0)
+		b.PostEnd(tInitJ)
+	})
+	iNorth = row.AddInlet("north", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(8, 0)
+		b.PostEnd(tCell)
+	})
+	iY = row.AddInlet("y", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(9, 0)
+		b.PostEnd(tCell)
+	})
+	rowStart := row.AddInlet("start", func(b *core.Body) {
+		// args: r, n, dBase, xBase, yBase, parentInlet, parentFrame
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.Arg(0, 4)
+		b.STSlot(3, 0)
+		b.Arg(0, 5)
+		b.STSlot(10, 0)
+		b.Arg(0, 6)
+		b.STSlot(11, 0)
+		// Fetch x[r] before entering the cell loop.
+		b.Arg(0, 3) // xBase
+		b.Arg(1, 0) // r
+		b.MulI(1, 1, 4)
+		b.Add(0, 0, 1)
+		b.IFetch(0, iX)
+		b.EndInlet()
+	})
+
+	// Main codeblock. Slots: 0=n, 1=dBase, 2=xBase, 3=yBase, 4=r,
+	// 5=doneCount, 6=child frame.
+	main := &core.Codeblock{Name: "dtwmain", NumSlots: 7}
+	var tMainInit, tAlloc, tSend, tCount *core.Thread
+	var iGotF, iRowDone, iFinal *core.Inlet
+
+	tMainInit = main.AddThread("init", -1, func(b *core.Body) {
+		b.MovI(0, 1)
+		b.STSlot(4, 0)
+		b.MovI(0, 0)
+		b.STSlot(5, 0)
+		b.ForkEnd(tAlloc)
+	})
+	tAlloc = main.AddThread("alloc", -1, func(b *core.Body) {
+		b.LDSlot(0, 4)
+		b.LDSlot(1, 0)
+		b.BGE(0, 1, "dtwmain.spawned")
+		b.FAlloc(row, iGotF)
+		b.Stop()
+		b.Case("dtwmain.spawned")
+		b.Stop()
+	})
+	tSend = main.AddThread("send", -1, func(b *core.Body) {
+		b.ReloadArg(0, 6) // child frame
+		b.BeginMsg(rowStart)
+		b.SendW(0) // destination frame
+		b.LDSlot(1, 4)
+		b.SendW(1) // r
+		b.LDSlot(1, 0)
+		b.SendW(1) // n
+		b.LDSlot(1, 1)
+		b.SendW(1) // dBase
+		b.LDSlot(1, 2)
+		b.SendW(1) // xBase
+		b.LDSlot(1, 3)
+		b.SendW(1) // yBase
+		b.InletAddr(1, iRowDone)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.LDSlot(1, 4)
+		b.AddI(1, 1, 1)
+		b.STSlot(4, 1)
+		b.ForkEnd(tAlloc)
+	})
+	tSend.DirectOnly = true
+	tCount = main.AddThread("count", -1, func(b *core.Body) {
+		b.LDSlot(0, 5)
+		b.AddI(0, 0, 1)
+		b.STSlot(5, 0)
+		b.LDSlot(1, 0)
+		b.SubI(1, 1, 1)
+		b.BEQ(0, 1, "dtwmain.alldone")
+		b.Stop()
+		b.Case("dtwmain.alldone")
+		b.LDSlot(0, 0)
+		b.Mul(1, 0, 0)
+		b.SubI(1, 1, 1)
+		b.MulI(1, 1, 4)
+		b.LDSlot(0, 1)
+		b.Add(0, 0, 1)
+		b.IFetch(0, iFinal)
+		b.Stop()
+	})
+	tCount.DirectOnly = true
+
+	iGotF = main.AddInlet("gotframe", func(b *core.Body) {
+		b.TakeArg(0, 6, 0, tSend)
+		b.PostEnd(tSend)
+	})
+	iRowDone = main.AddInlet("rowdone", func(b *core.Body) {
+		b.PostEnd(tCount)
+	})
+	iFinal = main.AddInlet("final", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.StoreResult(0, 0)
+		b.EndInlet()
+	})
+	mainStart := main.AddInlet("start", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.Arg(0, 3)
+		b.STSlot(3, 0)
+		b.PostEnd(tMainInit)
+	})
+
+	var dBase, xBase, yBase uint32
+	return &core.Program{
+		Name:   fmt.Sprintf("dtw-%d", n),
+		Blocks: []*core.Codeblock{main, row},
+		Setup: func(h *core.Host) error {
+			x, y := dtwInputs(n)
+			dBase = h.AllocIStruct(n * n)
+			xBase = h.AllocData(n)
+			yBase = h.AllocData(n)
+			for i := 0; i < n; i++ {
+				h.PokeFloat(xBase+uint32(4*i), x[i])
+				h.PokeFloat(yBase+uint32(4*i), y[i])
+			}
+			// Boundary row 0.
+			ref := dtwRef(n)
+			for j := 0; j < n; j++ {
+				h.PokeFloat(dBase+uint32(4*j), ref[0][j])
+			}
+			f := h.AllocFrame(main)
+			return h.Start(mainStart, f,
+				word.Int(int64(n)), word.Ptr(dBase), word.Ptr(xBase), word.Ptr(yBase))
+		},
+		Verify: func(h *core.Host) error {
+			ref := dtwRef(n)
+			got := h.Result(0).AsFloat()
+			if want := ref[n-1][n-1]; got != want {
+				return fmt.Errorf("dtw: D[%d][%d] = %g, want %g", n-1, n-1, got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// dtwInputs generates the two deterministic input sequences.
+func dtwInputs(n int) (x, y []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64((i*7)%10) / 2
+		y[i] = float64((i*3)%10) / 2
+	}
+	return
+}
+
+// dtwRef computes the reference DP matrix with the exact operation
+// structure of the simulated code (conditional negation for |.|,
+// sequential min with <= comparisons), so floats match bit-for-bit.
+func dtwRef(n int) [][]float64 {
+	x, y := dtwInputs(n)
+	cost := func(i, j int) float64 {
+		c := x[i] - y[j]
+		if !(0.0 <= c) {
+			c = -c
+		}
+		return c
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	d[0][0] = cost(0, 0)
+	for j := 1; j < n; j++ {
+		d[0][j] = d[0][j-1] + cost(0, j)
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 0 {
+				d[i][0] = cost(i, 0) + d[i-1][0]
+				continue
+			}
+			m := d[i-1][j]
+			if !(m <= d[i][j-1]) {
+				m = d[i][j-1]
+			}
+			if !(m <= d[i-1][j-1]) {
+				m = d[i-1][j-1]
+			}
+			d[i][j] = cost(i, j) + m
+		}
+	}
+	return d
+}

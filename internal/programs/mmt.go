@@ -1,0 +1,294 @@
+package programs
+
+import (
+	"fmt"
+
+	"jmtam/internal/core"
+	"jmtam/internal/isa"
+	"jmtam/internal/word"
+)
+
+// mmtUnroll is the inner-loop unrolling factor of the dot-product
+// kernel: each step thread issues 2*mmtUnroll split-phase fetches and
+// the synchronizing multiply-accumulate thread performs mmtUnroll
+// multiply-adds. The paper's MMT has by far the largest instructions
+// per thread (84-90) of the six benchmarks; the unrolled kernel
+// reproduces that profile. n must be divisible by mmtUnroll.
+const mmtUnroll = 2
+
+// MMT builds matrix multiply test: C = A x B over n x n float matrices,
+// returning the sum of the elements of C. Matrix elements are small
+// integers represented as floats, so every partial sum is exact and the
+// result is independent of the order in which row sums arrive.
+//
+// One activation computes each row of C; each dot product proceeds in
+// groups of mmtUnroll via split-phase fetches of A[i][k..k+4] and
+// B[k..k+4][j], synchronized by an entry count of 10 re-armed per group.
+//
+// Row frame slots: 0=i, 1=n, 2=aBase, 3=bBase, 4=rowSum, 5=j, 6=k,
+// 7=acc, 8=parent inlet, 9=parent frame, 10-14=A values, 15-19=B values.
+func MMT(n int) *core.Program {
+	if n < mmtUnroll || n%mmtUnroll != 0 {
+		panic(fmt.Sprintf("mmt: n must be a positive multiple of %d", mmtUnroll))
+	}
+
+	row := &core.Codeblock{
+		Name: "mrow", NumCounts: 1, InitCounts: []int64{2 * mmtUnroll}, NumSlots: 20,
+	}
+	var tRowInit, tColInit, tStep, tMac *core.Thread
+	var iA, iB [mmtUnroll]*core.Inlet
+
+	tRowInit = row.AddThread("rowinit", -1, func(b *core.Body) {
+		b.MovF(0, 0)
+		b.STSlot(4, 0) // rowSum = 0
+		b.MovI(0, 0)
+		b.STSlot(5, 0) // j = 0
+		b.ForkEnd(tColInit)
+	})
+	tColInit = row.AddThread("colinit", -1, func(b *core.Body) {
+		b.MovF(0, 0)
+		b.STSlot(7, 0) // acc = 0
+		b.MovI(0, 0)
+		b.STSlot(6, 0) // k = 0
+		b.ForkEnd(tStep)
+	})
+
+	// Issue the 2*mmtUnroll fetches for one dot-product group.
+	tStep = row.AddThread("step", -1, func(b *core.Body) {
+		b.SetCountImm(0, 2*mmtUnroll)
+		// &A[i][k]: aBase + (i*n + k)*4, consecutive elements 4 apart.
+		b.LDSlot(0, 0) // i
+		b.LDSlot(1, 1) // n
+		b.Mul(0, 0, 1)
+		b.LDSlot(2, 6) // k
+		b.Add(0, 0, 2)
+		b.MulI(0, 0, 4)
+		b.LDSlot(2, 2) // aBase
+		b.Add(0, 0, 2)
+		for u := 0; u < mmtUnroll; u++ {
+			if u > 0 {
+				b.AddI(0, 0, 4)
+			}
+			b.IFetch(0, iA[u])
+		}
+		// &B[k][j]: bBase + (k*n + j)*4, consecutive elements n*4 apart.
+		b.LDSlot(1, 6) // k
+		b.LDSlot(2, 1) // n
+		b.Mul(1, 1, 2)
+		b.LDSlot(5, 5) // j
+		b.Add(1, 1, 5)
+		b.MulI(1, 1, 4)
+		b.LDSlot(5, 3) // bBase
+		b.Add(1, 1, 5)
+		b.MulI(2, 2, 4) // stride = n*4
+		for u := 0; u < mmtUnroll; u++ {
+			if u > 0 {
+				b.Add(1, 1, 2)
+			}
+			b.IFetch(1, iB[u])
+		}
+		b.Stop()
+	})
+
+	// Multiply-accumulate the group, then advance k, j, or finish.
+	tMac = row.AddThread("mac", 0, func(b *core.Body) {
+		b.LDSlot(0, 7) // acc
+		for u := 0; u < mmtUnroll; u++ {
+			b.LDSlot(1, 10+u)
+			b.LDSlot(2, 15+u)
+			b.FMul(1, 1, 2)
+			b.FAdd(0, 0, 1)
+		}
+		b.LDSlot(1, 6) // k
+		b.AddI(1, 1, mmtUnroll)
+		b.STSlot(6, 1)
+		b.LDSlot(2, 1) // n
+		b.BGE(1, 2, "mrow.eldone")
+		b.STSlot(7, 0) // acc
+		b.ForkEnd(tStep)
+		b.Case("mrow.eldone")
+		// C[i][j] complete: rowSum += acc.
+		b.LDSlot(1, 4)
+		b.FAdd(1, 1, 0)
+		b.STSlot(4, 1)
+		b.LDSlot(1, 5) // j
+		b.AddI(1, 1, 1)
+		b.STSlot(5, 1)
+		b.BGE(1, 2, "mrow.rowdone")
+		b.ForkEnd(tColInit)
+		b.Case("mrow.rowdone")
+		b.LDSlot(0, 8) // parent inlet
+		b.LDSlot(1, 9) // parent frame
+		b.LDSlot(2, 4) // rowSum
+		b.SendMsgDyn(0, 1, 2)
+		b.ReleaseFrame()
+		b.Stop()
+	})
+
+	for u := 0; u < mmtUnroll; u++ {
+		slotA, slotB := 10+u, 15+u
+		iA[u] = row.AddInlet(fmt.Sprintf("a%d", u), func(b *core.Body) {
+			b.Arg(0, 0)
+			b.STSlot(slotA, 0)
+			b.PostEnd(tMac)
+		})
+		iB[u] = row.AddInlet(fmt.Sprintf("b%d", u), func(b *core.Body) {
+			b.Arg(0, 0)
+			b.STSlot(slotB, 0)
+			b.PostEnd(tMac)
+		})
+	}
+	rowStart := row.AddInlet("start", func(b *core.Body) {
+		// args: i, n, aBase, bBase, parentInlet, parentFrame
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.Arg(0, 3)
+		b.STSlot(3, 0)
+		b.Arg(0, 4)
+		b.STSlot(8, 0)
+		b.Arg(0, 5)
+		b.STSlot(9, 0)
+		b.PostEnd(tRowInit)
+	})
+
+	// Main codeblock. Slots: 0=n, 1=aBase, 2=bBase, 3=i, 4=doneCount,
+	// 5=total, 6=child frame.
+	main := &core.Codeblock{Name: "mmtmain", NumSlots: 7}
+	var tMainInit, tAlloc, tSend, tFinish *core.Thread
+	var iGotF, iRowSum *core.Inlet
+
+	tMainInit = main.AddThread("init", -1, func(b *core.Body) {
+		b.MovI(0, 0)
+		b.STSlot(3, 0)
+		b.STSlot(4, 0)
+		b.MovF(0, 0)
+		b.STSlot(5, 0)
+		b.ForkEnd(tAlloc)
+	})
+	tAlloc = main.AddThread("alloc", -1, func(b *core.Body) {
+		b.LDSlot(0, 3)
+		b.LDSlot(1, 0)
+		b.BGE(0, 1, "mmtmain.spawned")
+		b.FAlloc(row, iGotF)
+		b.Stop()
+		b.Case("mmtmain.spawned")
+		b.Stop()
+	})
+	tSend = main.AddThread("send", -1, func(b *core.Body) {
+		b.ReloadArg(0, 6) // child frame
+		b.BeginMsg(rowStart)
+		b.SendW(0)
+		b.LDSlot(1, 3)
+		b.SendW(1) // i
+		b.LDSlot(1, 0)
+		b.SendW(1) // n
+		b.LDSlot(1, 1)
+		b.SendW(1) // aBase
+		b.LDSlot(1, 2)
+		b.SendW(1) // bBase
+		b.InletAddr(1, iRowSum)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.LDSlot(1, 3)
+		b.AddI(1, 1, 1)
+		b.STSlot(3, 1)
+		b.ForkEnd(tAlloc)
+	})
+	tSend.DirectOnly = true
+	tFinish = main.AddThread("finish", -1, func(b *core.Body) {
+		b.LDSlot(0, 5)
+		b.StoreResult(0, 0)
+		b.Stop()
+	})
+	tFinish.DirectOnly = true
+
+	iGotF = main.AddInlet("gotframe", func(b *core.Body) {
+		b.TakeArg(0, 6, 0, tSend)
+		b.PostEnd(tSend)
+	})
+	// Row sums are accumulated in the inlet itself: inlets at one
+	// priority level are serialized, so the read-modify-write is atomic
+	// under both backends.
+	iRowSum = main.AddInlet("rowsum", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.LDSlot(1, 5)
+		b.FAdd(1, 1, 0)
+		b.STSlot(5, 1)
+		b.LDSlot(0, 4)
+		b.AddI(0, 0, 1)
+		b.STSlot(4, 0)
+		b.LDSlot(1, 0)
+		b.BNE(0, 1, "mmtmain.notall")
+		b.PostEnd(tFinish)
+		b.Case("mmtmain.notall")
+		b.EndInlet()
+	})
+	mainStart := main.AddInlet("start", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.PostEnd(tMainInit)
+	})
+
+	return &core.Program{
+		Name:   fmt.Sprintf("mmt-%d", n),
+		Blocks: []*core.Codeblock{main, row},
+		Setup: func(h *core.Host) error {
+			a, bm := mmtInputs(n)
+			aBase := h.AllocIStruct(n * n)
+			bBase := h.AllocIStruct(n * n)
+			for i := 0; i < n*n; i++ {
+				h.PokeFloat(aBase+uint32(4*i), a[i])
+				h.PokeFloat(bBase+uint32(4*i), bm[i])
+			}
+			f := h.AllocFrame(main)
+			return h.Start(mainStart, f,
+				word.Int(int64(n)), word.Ptr(aBase), word.Ptr(bBase))
+		},
+		Verify: func(h *core.Host) error {
+			got := h.Result(0).AsFloat()
+			if want := mmtRef(n); got != want {
+				return fmt.Errorf("mmt: sum = %g, want %g", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// mmtInputs generates the two deterministic matrices (small integers as
+// floats, so all arithmetic is exact).
+func mmtInputs(n int) (a, b []float64) {
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a[i*n+k] = float64((i+k)%7 + 1)
+			b[i*n+k] = float64((i*3+k)%5 + 1)
+		}
+	}
+	return
+}
+
+// mmtRef computes the reference result sum(A x B).
+func mmtRef(n int) float64 {
+	a, b := mmtInputs(n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			total += acc
+		}
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+// Package programs provides the paper's six benchmark programs,
+// hand-compiled from their Id originals into the TAM intermediate
+// representation of package core: matrix multiply (MMT), quicksort (QS),
+// discrete time warp (DTW), paraffins, wavefront, and selection sort
+// (SS). Each builder is parameterized by problem size; the paper's
+// arguments are MMT 50, QS 100, DTW 10, paraffins 13, wavefront 40 and
+// SS 100.
+//
+// Every program verifies its simulated result against a pure-Go
+// reference implementation, so the test suite catches any divergence
+// between the two backends and the semantics of the source programs.
+package programs
+
+import (
+	"fmt"
+	"sort"
+
+	"jmtam/internal/core"
+)
+
+// Spec names a benchmark with its default (paper) argument.
+type Spec struct {
+	Name  string
+	Arg   int
+	Build func(arg int) *core.Program
+	// Doc describes the workload in one line.
+	Doc string
+}
+
+// All returns the paper's six benchmarks in Table 2 order (increasing
+// threads-per-quantum), with the paper's arguments.
+func All() []Spec {
+	return []Spec{
+		{"mmt", 50, MMT, "matrix multiply: multiplies two float matrices and sums the product's elements"},
+		{"qs", 100, QS, "quicksort: sorts an array of pseudo-random integers"},
+		{"dtw", 10, DTW, "discrete time warp: dynamic-programming alignment of two float sequences"},
+		{"paraffins", 13, Paraffins, "paraffins: enumerates the distinct isomers of paraffins"},
+		{"wavefront", 40, Wavefront, "wavefront: successive matrix where each element depends on north and west values"},
+		{"ss", 100, SS, "selection sort: sorts an array of integers originally in reverse order"},
+	}
+}
+
+// ByName returns the named benchmark spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("programs: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names in Table 2 order.
+func Names() []string {
+	specs := All()
+	ns := make([]string, len(specs))
+	for i, s := range specs {
+		ns[i] = s.Name
+	}
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,310 @@
+package programs
+
+import (
+	"fmt"
+	"sort"
+
+	"jmtam/internal/core"
+	"jmtam/internal/isa"
+	"jmtam/internal/rng"
+	"jmtam/internal/word"
+)
+
+// QS builds quicksort over n pseudo-random integers, in the functional
+// style of the Id original: each recursive call is its own activation
+// that reads its input through split-phase fetches, partitions into
+// freshly heap-allocated less/greater-or-equal vectors, writes the pivot
+// into its slice of the result vector, and spawns two child activations.
+// The fine-grained recursion with one fetch per element gives QS a low
+// threads-per-quantum (Table 2: 4.5 MD / 5.7 AM).
+//
+// qs frame slots: 0=src, 1=n, 2=dst, 3=retInlet, 4=retFrame, 5=pivot,
+// 6=j, 7=nl, 8=ng, 9=less, 10=geq, 11=tmp, 12=child frame.
+func QS(n int) *core.Program {
+	qs := &core.Codeblock{
+		Name: "qs", NumCounts: 2, InitCounts: []int64{3, 2}, NumSlots: 13,
+	}
+	var tCheck, tSingle, tLoopInit, tPLoop, tPart, tSpawn, tSend1, tSend2, tDone *core.Thread
+	var iSingle, iPivot, iLess, iGeq, iElem, iC1, iC2, iDone *core.Inlet
+	var qsStart *core.Inlet
+
+	// reply sends the completion message to the parent continuation and
+	// releases the frame.
+	reply := func(b *core.Body) {
+		b.LDSlot(0, 3)
+		b.LDSlot(1, 4)
+		b.MovI(2, 0)
+		b.SendMsgDyn(0, 1, 2)
+		b.ReleaseFrame()
+		b.Stop()
+	}
+
+	tCheck = qs.AddThread("check", -1, func(b *core.Body) {
+		b.LDSlot(0, 1) // n
+		b.BNZ(0, "qs.check.some")
+		reply(b)
+		b.Case("qs.check.some")
+		b.MovI(1, 1)
+		b.BNE(0, 1, "qs.check.many")
+		b.LDSlot(0, 0) // src
+		b.IFetch(0, iSingle)
+		b.Stop()
+		b.Case("qs.check.many")
+		b.SetCountImm(0, 3)
+		b.LDSlot(0, 0)
+		b.IFetch(0, iPivot) // pivot = src[0]
+		b.LDSlot(0, 1)
+		b.SubI(0, 0, 1) // n-1 words for each partition vector
+		b.HAlloc(0, iLess)
+		b.HAlloc(0, iGeq)
+		b.Stop()
+	})
+
+	tSingle = qs.AddThread("single", -1, func(b *core.Body) {
+		b.ReloadArg(0, 11)
+		b.LDSlot(1, 2) // dst
+		b.ST(1, 0, 0)
+		reply(b)
+	})
+	tSingle.DirectOnly = true
+
+	tLoopInit = qs.AddThread("loopinit", 0, func(b *core.Body) {
+		b.MovI(0, 1)
+		b.STSlot(6, 0) // j = 1
+		b.MovI(0, 0)
+		b.STSlot(7, 0) // nl = 0
+		b.STSlot(8, 0) // ng = 0
+		b.ForkEnd(tPLoop)
+	})
+
+	tPLoop = qs.AddThread("ploop", -1, func(b *core.Body) {
+		b.LDSlot(0, 6) // j
+		b.LDSlot(1, 1) // n
+		b.BLT(0, 1, "qs.ploop.more")
+		b.ForkEnd(tSpawn)
+		b.Case("qs.ploop.more")
+		b.MulI(0, 0, 4)
+		b.LDSlot(1, 0) // src
+		b.Add(0, 0, 1)
+		b.IFetch(0, iElem)
+		b.Stop()
+	})
+
+	tPart = qs.AddThread("part", -1, func(b *core.Body) {
+		b.ReloadArg(0, 11) // element value
+		b.LDSlot(1, 5)     // pivot
+		b.BLT(0, 1, "qs.part.less")
+		b.LDSlot(1, 10) // geq
+		b.LDSlot(2, 8)  // ng
+		b.MulI(5, 2, 4)
+		b.Add(1, 1, 5)
+		b.ST(1, 0, 0)
+		b.AddI(2, 2, 1)
+		b.STSlot(8, 2)
+		b.BR("qs.part.next")
+		b.Case("qs.part.less")
+		b.LDSlot(1, 9) // less
+		b.LDSlot(2, 7) // nl
+		b.MulI(5, 2, 4)
+		b.Add(1, 1, 5)
+		b.ST(1, 0, 0)
+		b.AddI(2, 2, 1)
+		b.STSlot(7, 2)
+		b.Case("qs.part.next")
+		b.LDSlot(1, 6)
+		b.AddI(1, 1, 1)
+		b.STSlot(6, 1)
+		b.ForkEnd(tPLoop)
+	})
+	tPart.DirectOnly = true
+
+	tSpawn = qs.AddThread("spawn", -1, func(b *core.Body) {
+		// dst[nl] = pivot, then allocate the first child.
+		b.LDSlot(0, 5)
+		b.LDSlot(1, 2)
+		b.LDSlot(2, 7)
+		b.MulI(5, 2, 4)
+		b.Add(1, 1, 5)
+		b.ST(1, 0, 0)
+		b.FAlloc(qs, iC1)
+		b.Stop()
+	})
+
+	tSend1 = qs.AddThread("send1", -1, func(b *core.Body) {
+		b.ReloadArg(0, 12) // child frame
+		b.BeginMsg(qsStart)
+		b.SendW(0)
+		b.LDSlot(1, 9)
+		b.SendW(1) // src = less
+		b.LDSlot(1, 7)
+		b.SendW(1) // n = nl
+		b.LDSlot(1, 2)
+		b.SendW(1) // dst
+		b.InletAddr(1, iDone)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.FAlloc(qs, iC2)
+		b.Stop()
+	})
+	tSend1.DirectOnly = true
+
+	tSend2 = qs.AddThread("send2", -1, func(b *core.Body) {
+		b.ReloadArg(0, 12)
+		b.BeginMsg(qsStart)
+		b.SendW(0)
+		b.LDSlot(1, 10)
+		b.SendW(1) // src = geq
+		b.LDSlot(1, 8)
+		b.SendW(1)     // n = ng
+		b.LDSlot(1, 2) // dst + (nl+1)*4
+		b.LDSlot(2, 7)
+		b.AddI(2, 2, 1)
+		b.MulI(2, 2, 4)
+		b.Add(1, 1, 2)
+		b.SendW(1)
+		b.InletAddr(1, iDone)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.Stop()
+	})
+	tSend2.DirectOnly = true
+
+	tDone = qs.AddThread("done", 1, func(b *core.Body) {
+		reply(b)
+	})
+
+	iSingle = qs.AddInlet("i_single", func(b *core.Body) {
+		b.TakeArg(0, 11, 0, tSingle)
+		b.PostEnd(tSingle)
+	})
+	iPivot = qs.AddInlet("pivot", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(5, 0)
+		b.PostEnd(tLoopInit)
+	})
+	iLess = qs.AddInlet("less", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(9, 0)
+		b.PostEnd(tLoopInit)
+	})
+	iGeq = qs.AddInlet("geq", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(10, 0)
+		b.PostEnd(tLoopInit)
+	})
+	iElem = qs.AddInlet("elem", func(b *core.Body) {
+		b.TakeArg(0, 11, 0, tPart)
+		b.PostEnd(tPart)
+	})
+	iC1 = qs.AddInlet("child1", func(b *core.Body) {
+		b.TakeArg(0, 12, 0, tSend1)
+		b.PostEnd(tSend1)
+	})
+	iC2 = qs.AddInlet("child2", func(b *core.Body) {
+		b.TakeArg(0, 12, 0, tSend2)
+		b.PostEnd(tSend2)
+	})
+	iDone = qs.AddInlet("i_done", func(b *core.Body) {
+		b.PostEnd(tDone)
+	})
+	qsStart = qs.AddInlet("start", func(b *core.Body) {
+		// args: src, n, dst, retInlet, retFrame
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.Arg(0, 3)
+		b.STSlot(3, 0)
+		b.Arg(0, 4)
+		b.STSlot(4, 0)
+		b.PostEnd(tCheck)
+	})
+
+	// Driver codeblock. Slots: 0=src, 1=n, 2=dst, 3=child frame.
+	main := &core.Codeblock{Name: "qsmain", NumSlots: 4}
+	var tGo, tKick *core.Thread
+	var iGotF, iAllDone *core.Inlet
+	tGo = main.AddThread("go", -1, func(b *core.Body) {
+		b.FAlloc(qs, iGotF)
+		b.Stop()
+	})
+	tKick = main.AddThread("kick", -1, func(b *core.Body) {
+		b.ReloadArg(0, 3)
+		b.BeginMsg(qsStart)
+		b.SendW(0)
+		b.LDSlot(1, 0)
+		b.SendW(1)
+		b.LDSlot(1, 1)
+		b.SendW(1)
+		b.LDSlot(1, 2)
+		b.SendW(1)
+		b.InletAddr(1, iAllDone)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.Stop()
+	})
+	tKick.DirectOnly = true
+	iGotF = main.AddInlet("gotframe", func(b *core.Body) {
+		b.TakeArg(0, 3, 0, tKick)
+		b.PostEnd(tKick)
+	})
+	iAllDone = main.AddInlet("alldone", func(b *core.Body) {
+		b.MovI(0, 1)
+		b.StoreResult(0, 0)
+		b.EndInlet()
+	})
+	mainStart := main.AddInlet("start", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.PostEnd(tGo)
+	})
+
+	input := qsInput(n)
+	var dst uint32
+	return &core.Program{
+		Name:   fmt.Sprintf("qs-%d", n),
+		Blocks: []*core.Codeblock{main, qs},
+		Setup: func(h *core.Host) error {
+			src := h.AllocData(n)
+			dst = h.AllocData(n)
+			for i, v := range input {
+				h.PokeInt(src+uint32(4*i), v)
+			}
+			f := h.AllocFrame(main)
+			return h.Start(mainStart, f,
+				word.Ptr(src), word.Int(int64(n)), word.Ptr(dst))
+		},
+		Verify: func(h *core.Host) error {
+			if h.Result(0).AsInt() != 1 {
+				return fmt.Errorf("qs: completion flag not set")
+			}
+			want := append([]int64(nil), input...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := 0; i < n; i++ {
+				if got := h.Peek(dst + uint32(4*i)).AsInt(); got != want[i] {
+					return fmt.Errorf("qs: dst[%d] = %d, want %d", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// qsInput generates the deterministic pseudo-random input array.
+func qsInput(n int) []int64 {
+	src := rng.New(0x5EED00F5)
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(src.Intn(10 * n))
+	}
+	return in
+}

@@ -1,0 +1,129 @@
+package programs
+
+import (
+	"fmt"
+
+	"jmtam/internal/core"
+	"jmtam/internal/word"
+)
+
+// SS builds selection sort over n integers originally in reverse order.
+//
+// The Id original is loop code making only three procedure calls in its
+// whole execution (paper §3.2), giving extremely high frame locality: the
+// entire sort is a single activation whose loop iterations are
+// self-forking threads, so nearly every thread lands in the same quantum
+// (Table 2 reports TPQ in the thousands). The array is a local mutable
+// vector accessed with direct loads and stores, matching the inlined
+// local-structure access the Berkeley compiler performed.
+//
+// Frame slots: 0=base, 1=n, 2=i, 3=j, 4=minIdx, 5=minVal.
+func SS(n int) *core.Program {
+	cb := &core.Codeblock{Name: "ss", NumSlots: 6}
+	var tInit, tOuter, tInner, tSwap, tDone *core.Thread
+
+	tInit = cb.AddThread("init", -1, func(b *core.Body) {
+		b.MovI(0, 0)
+		b.STSlot(2, 0) // i = 0
+		b.ForkEnd(tOuter)
+	})
+
+	// Outer loop: select the minimum of A[i..n-1].
+	tOuter = cb.AddThread("outer", -1, func(b *core.Body) {
+		b.LDSlot(0, 2) // i
+		b.LDSlot(1, 1) // n
+		b.SubI(1, 1, 1)
+		b.BGE(0, 1, "ss.outer.done") // i >= n-1
+		// minIdx = i; minVal = A[i]; j = i+1
+		b.STSlot(4, 0)
+		b.LDSlot(1, 0) // base
+		b.MulI(2, 0, 4)
+		b.Add(1, 1, 2)
+		b.LD(1, 1, 0) // A[i]
+		b.STSlot(5, 1)
+		b.AddI(0, 0, 1)
+		b.STSlot(3, 0) // j = i+1
+		b.ForkEnd(tInner)
+		b.Case("ss.outer.done")
+		b.ForkEnd(tDone)
+	})
+
+	// Inner loop: one comparison per thread.
+	tInner = cb.AddThread("inner", -1, func(b *core.Body) {
+		b.LDSlot(0, 3) // j
+		b.LDSlot(1, 1) // n
+		b.BGE(0, 1, "ss.inner.done")
+		b.LDSlot(1, 0) // base
+		b.MulI(2, 0, 4)
+		b.Add(1, 1, 2)
+		b.LD(1, 1, 0)  // A[j]
+		b.LDSlot(2, 5) // minVal
+		b.BGE(1, 2, "ss.inner.next")
+		b.STSlot(5, 1) // minVal = A[j]
+		b.STSlot(4, 0) // minIdx = j
+		b.Case("ss.inner.next")
+		b.AddI(0, 0, 1)
+		b.STSlot(3, 0)
+		b.ForkEnd(tInner)
+		b.Case("ss.inner.done")
+		b.ForkEnd(tSwap)
+	})
+
+	// Swap A[i] and A[minIdx], advance i.
+	tSwap = cb.AddThread("swap", -1, func(b *core.Body) {
+		b.LDSlot(0, 0) // base
+		b.LDSlot(1, 2) // i
+		b.MulI(1, 1, 4)
+		b.Add(1, 0, 1) // &A[i]
+		b.LDSlot(2, 4) // minIdx
+		b.MulI(2, 2, 4)
+		b.Add(2, 0, 2) // &A[minIdx]
+		b.LD(0, 1, 0)  // A[i]
+		b.LD(5, 2, 0)  // A[minIdx]
+		b.ST(1, 0, 5)
+		b.ST(2, 0, 0)
+		b.LDSlot(0, 2)
+		b.AddI(0, 0, 1)
+		b.STSlot(2, 0)
+		b.ForkEnd(tOuter)
+	})
+
+	tDone = cb.AddThread("done", -1, func(b *core.Body) {
+		b.MovI(0, 1)
+		b.StoreResult(0, 0)
+		b.Stop()
+	})
+
+	start := cb.AddInlet("start", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0) // base
+		b.Arg(0, 1)
+		b.STSlot(1, 0) // n
+		b.PostEnd(tInit)
+	})
+
+	var base uint32
+	return &core.Program{
+		Name:   fmt.Sprintf("ss-%d", n),
+		Blocks: []*core.Codeblock{cb},
+		Setup: func(h *core.Host) error {
+			base = h.AllocData(n)
+			for i := 0; i < n; i++ {
+				h.PokeInt(base+uint32(4*i), int64(n-i)) // reverse order
+			}
+			f := h.AllocFrame(cb)
+			return h.Start(start, f, word.Ptr(base), word.Int(int64(n)))
+		},
+		Verify: func(h *core.Host) error {
+			if h.Result(0).AsInt() != 1 {
+				return fmt.Errorf("ss: completion flag not set")
+			}
+			for i := 0; i < n; i++ {
+				if got := h.Peek(base + uint32(4*i)).AsInt(); got != int64(i+1) {
+					return fmt.Errorf("ss: A[%d] = %d, want %d", i, got, i+1)
+				}
+			}
+			return nil
+		},
+	}
+}

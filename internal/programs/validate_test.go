@@ -1,0 +1,63 @@
+package programs
+
+import "testing"
+
+// Builders validate their size arguments eagerly (they panic, since a
+// bad size is a programming error, not a runtime condition).
+func TestBuildersRejectBadSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"mmt odd", func() { MMT(7) }},
+		{"mmt zero", func() { MMT(0) }},
+		{"wavefront 1", func() { Wavefront(1) }},
+		{"dtw 1", func() { DTW(1) }},
+		{"paraffins 0", func() { Paraffins(0) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestQSInputDeterministic(t *testing.T) {
+	a := qsInput(50)
+	b := qsInput(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("qs input not deterministic")
+		}
+	}
+	// Values are bounded as documented (important for the partition
+	// vectors' duplicate behaviour).
+	for _, v := range a {
+		if v < 0 || v >= 500 {
+			t.Fatalf("qs input value %d out of range", v)
+		}
+	}
+}
+
+func TestMMTRefMatchesNaive(t *testing.T) {
+	// mmtRef must equal a differently-ordered naive computation — the
+	// inputs are small integers so float addition is exact.
+	n := 6
+	a, b := mmtInputs(n)
+	var total float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			for k := n - 1; k >= 0; k-- {
+				total += a[i*n+k] * b[k*n+j]
+			}
+		}
+	}
+	if got := mmtRef(n); got != total {
+		t.Errorf("mmtRef = %g, naive = %g", got, total)
+	}
+}

@@ -1,0 +1,289 @@
+package programs
+
+import (
+	"fmt"
+
+	"jmtam/internal/core"
+	"jmtam/internal/isa"
+	"jmtam/internal/word"
+)
+
+// wavefrontIters is the number of successive matrices computed, per the
+// benchmark description: "computes successive matrices in which each
+// element depends on a function of north and west values of the previous
+// and current matrix".
+const wavefrontIters = 2
+
+// Wavefront builds the wavefront benchmark over an n x n float matrix:
+//
+//	cur[i][j] = cur[i-1][j] + 0.5*cur[i][j-1] + 0.25*prev[i][j]
+//
+// iterated wavefrontIters times with double buffering; the first row and
+// column are fixed at 1.0.
+//
+// Each row of each iteration is one activation. A row starts only after
+// its predecessor row finishes, so all its dependencies are complete and
+// cells are computed with direct local reads, one self-forking thread
+// per cell. The whole row therefore runs as one long quantum —
+// wavefront is the paper's second-coarsest benchmark (Table 2: TPQ 43.9
+// MD / 65.2 AM), and the one where the MD implementation's lower
+// instruction count pays off at every cache size.
+//
+// Row frame slots: 0=r, 1=n, 2=prevBase, 3=curBase, 4=j, 5=west,
+// 6=retInlet, 7=retFrame.
+func Wavefront(n int) *core.Program {
+	if n < 2 {
+		panic("wavefront: n must be >= 2")
+	}
+
+	row := &core.Codeblock{Name: "wfrow", NumSlots: 9}
+	var tRowInit, tCell, tSendNext *core.Thread
+	var iNextF *core.Inlet
+	var rowStart *core.Inlet
+
+	tRowInit = row.AddThread("init", -1, func(b *core.Body) {
+		b.MovI(0, 1)
+		b.STSlot(4, 0) // j = 1
+		b.MovF(0, 1.0)
+		b.STSlot(5, 0) // west = cur[r][0] = 1.0
+		b.ForkEnd(tCell)
+	})
+
+	// One cell per thread: val = north + 0.5*west + 0.25*prev.
+	tCell = row.AddThread("cell", -1, func(b *core.Body) {
+		// north = cur[(r-1)*n + j]
+		b.LDSlot(0, 0) // r
+		b.LDSlot(1, 1) // n
+		b.Mul(0, 0, 1)
+		b.LDSlot(2, 4) // j
+		b.Add(0, 0, 2) // r*n + j
+		b.MulI(2, 0, 4)
+		b.LDSlot(5, 3) // curBase
+		b.Add(2, 2, 5) // &cur[r][j]
+		b.MulI(1, 1, 4)
+		b.Sub(1, 2, 1) // &cur[r-1][j]
+		b.LD(1, 1, 0)  // north
+		b.LDSlot(7, 5) // west
+		b.MovF(5, 0.5)
+		b.FMul(7, 7, 5)
+		b.FAdd(1, 1, 7) // north + 0.5*west
+		b.MulI(0, 0, 4)
+		b.LDSlot(7, 2) // prevBase
+		b.Add(0, 0, 7)
+		b.LD(0, 0, 0) // prev[r][j]
+		b.MovF(5, 0.25)
+		b.FMul(0, 0, 5)
+		b.FAdd(1, 1, 0) // value
+		b.ST(2, 0, 1)   // cur[r][j] = value
+		b.STSlot(5, 1)  // west = value
+		b.LDSlot(0, 4)
+		b.AddI(0, 0, 1)
+		b.STSlot(4, 0) // j++
+		b.LDSlot(1, 1)
+		b.BLT(0, 1, "wfrow.more")
+		// Row complete. The last row notifies the iteration
+		// continuation; other rows allocate and start their successor
+		// directly, so control stays in row frames and each row runs
+		// as one long quantum.
+		b.LDSlot(0, 0) // r
+		b.AddI(0, 0, 1)
+		b.BLT(0, 1, "wfrow.chain")
+		b.LDSlot(0, 6)
+		b.LDSlot(1, 7)
+		b.SendMsgDyn(0, 1, 2)
+		b.ReleaseFrame()
+		b.Stop()
+		b.Case("wfrow.chain")
+		b.FAlloc(row, iNextF)
+		b.Stop()
+		b.Case("wfrow.more")
+		b.ForkEnd(tCell)
+	})
+
+	tSendNext = row.AddThread("sendnext", -1, func(b *core.Body) {
+		b.ReloadArg(0, 8) // successor frame
+		b.BeginMsg(rowStart)
+		b.SendW(0)
+		b.LDSlot(1, 0)
+		b.AddI(1, 1, 1)
+		b.SendW(1) // r+1
+		b.LDSlot(1, 1)
+		b.SendW(1) // n
+		b.LDSlot(1, 2)
+		b.SendW(1) // prevBase
+		b.LDSlot(1, 3)
+		b.SendW(1) // curBase
+		b.LDSlot(1, 6)
+		b.SendW(1) // iteration continuation inlet
+		b.LDSlot(1, 7)
+		b.SendW(1) // iteration continuation frame
+		b.SendE()
+		b.ReleaseFrame()
+		b.Stop()
+	})
+	tSendNext.DirectOnly = true
+
+	iNextF = row.AddInlet("nextframe", func(b *core.Body) {
+		b.TakeArg(0, 8, 0, tSendNext)
+		b.PostEnd(tSendNext)
+	})
+
+	rowStart = row.AddInlet("start", func(b *core.Body) {
+		// args: r, n, prevBase, curBase, retInlet, retFrame
+		b.Arg(0, 0)
+		b.STSlot(0, 0)
+		b.Arg(0, 1)
+		b.STSlot(1, 0)
+		b.Arg(0, 2)
+		b.STSlot(2, 0)
+		b.Arg(0, 3)
+		b.STSlot(3, 0)
+		b.Arg(0, 4)
+		b.STSlot(6, 0)
+		b.Arg(0, 5)
+		b.STSlot(7, 0)
+		b.PostEnd(tRowInit)
+	})
+
+	// Main codeblock starts each iteration's first row and advances
+	// iterations when the last row reports in. Slots: 0=n, 1=prevBase,
+	// 2=curBase, 3=t, 4=child frame, 5=iters.
+	main := &core.Codeblock{Name: "wfmain", NumSlots: 6}
+	var tMainInit, tStartIter, tSendRow, tIterDone *core.Thread
+	var iGotF, iIterDone *core.Inlet
+
+	tMainInit = main.AddThread("init", -1, func(b *core.Body) {
+		b.MovI(0, 0)
+		b.STSlot(3, 0) // t = 0
+		b.ForkEnd(tStartIter)
+	})
+	tStartIter = main.AddThread("startiter", -1, func(b *core.Body) {
+		b.FAlloc(row, iGotF)
+		b.Stop()
+	})
+	tSendRow = main.AddThread("sendrow", -1, func(b *core.Body) {
+		b.ReloadArg(0, 4) // child frame
+		b.BeginMsg(rowStart)
+		b.SendW(0)
+		b.MovI(1, 1)
+		b.SendW(1) // r = 1
+		b.LDSlot(1, 0)
+		b.SendW(1) // n
+		b.LDSlot(1, 1)
+		b.SendW(1) // prevBase
+		b.LDSlot(1, 2)
+		b.SendW(1) // curBase
+		b.InletAddr(1, iIterDone)
+		b.SendW(1)
+		b.SendW(isa.RFP)
+		b.SendE()
+		b.Stop()
+	})
+	tSendRow.DirectOnly = true
+	tIterDone = main.AddThread("iterdone", -1, func(b *core.Body) {
+		b.LDSlot(0, 3)
+		b.AddI(0, 0, 1)
+		b.STSlot(3, 0) // t++
+		b.LDSlot(1, 5) // iters
+		b.BGE(0, 1, "wfmain.alldone")
+		// Swap buffers, start the next iteration.
+		b.LDSlot(0, 1)
+		b.LDSlot(1, 2)
+		b.STSlot(1, 1)
+		b.STSlot(2, 0)
+		b.ForkEnd(tStartIter)
+		b.Case("wfmain.alldone")
+		// Result = cur[n-1][n-1] (direct local read).
+		b.LDSlot(0, 0)
+		b.Mul(1, 0, 0)
+		b.SubI(1, 1, 1)
+		b.MulI(1, 1, 4)
+		b.LDSlot(0, 2)
+		b.Add(0, 0, 1)
+		b.LD(0, 0, 0)
+		b.StoreResult(0, 0)
+		b.Stop()
+	})
+	tIterDone.DirectOnly = true
+
+	iGotF = main.AddInlet("gotframe", func(b *core.Body) {
+		b.TakeArg(0, 4, 0, tSendRow)
+		b.PostEnd(tSendRow)
+	})
+	iIterDone = main.AddInlet("i_iterdone", func(b *core.Body) {
+		b.PostEnd(tIterDone)
+	})
+	mainStart := main.AddInlet("start", func(b *core.Body) {
+		b.Arg(0, 0)
+		b.STSlot(0, 0) // n
+		b.Arg(0, 1)
+		b.STSlot(1, 0) // prevBase
+		b.Arg(0, 2)
+		b.STSlot(2, 0) // curBase
+		b.Arg(0, 3)
+		b.STSlot(5, 0) // iters
+		b.PostEnd(tMainInit)
+	})
+
+	var bufA, bufB uint32
+	return &core.Program{
+		Name:   fmt.Sprintf("wavefront-%d", n),
+		Blocks: []*core.Codeblock{main, row},
+		Setup: func(h *core.Host) error {
+			bufA = h.AllocData(n * n)
+			bufB = h.AllocData(n * n)
+			// prev (bufA) starts as all ones; cur (bufB) has fixed
+			// boundaries.
+			for i := 0; i < n*n; i++ {
+				h.PokeFloat(bufA+uint32(4*i), 1.0)
+			}
+			for j := 0; j < n; j++ {
+				h.PokeFloat(bufB+uint32(4*j), 1.0)
+				h.PokeFloat(bufB+uint32(4*(j*n)), 1.0)
+			}
+			f := h.AllocFrame(main)
+			return h.Start(mainStart, f,
+				word.Int(int64(n)), word.Ptr(bufA), word.Ptr(bufB),
+				word.Int(wavefrontIters))
+		},
+		Verify: func(h *core.Host) error {
+			got := h.Result(0).AsFloat()
+			if want := wavefrontRef(n); got != want {
+				return fmt.Errorf("wavefront: result = %g, want %g", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// wavefrontRef computes the final corner value in pure Go with the exact
+// operation structure of the simulated code.
+func wavefrontRef(n int) float64 {
+	prev := make([]float64, n*n)
+	cur := make([]float64, n*n)
+	for i := range prev {
+		prev[i] = 1.0
+	}
+	for j := 0; j < n; j++ {
+		cur[j] = 1.0
+		cur[j*n] = 1.0
+	}
+	for t := 0; t < wavefrontIters; t++ {
+		if t > 0 {
+			prev, cur = cur, prev
+			// Boundaries of the (re)used buffer are already 1.0: row 0
+			// and column 0 are never overwritten.
+		}
+		for r := 1; r < n; r++ {
+			west := 1.0
+			for j := 1; j < n; j++ {
+				north := cur[(r-1)*n+j]
+				v := north + 0.5*west
+				v = v + 0.25*prev[r*n+j]
+				cur[r*n+j] = v
+				west = v
+			}
+		}
+	}
+	return cur[n*n-1]
+}

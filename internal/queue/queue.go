@@ -1,0 +1,173 @@
+// Package queue implements the J-Machine's hardware message queues.
+//
+// Each priority level owns one queue. Queue storage lives in the
+// simulated system-data segment: the hardware buffers arriving message
+// words directly into the top of the memory hierarchy, exactly as on the
+// MDP, so enqueued words generate memory writes and handlers reading
+// arguments through the message base register touch queue addresses.
+// This is what makes the Message-Driven implementation's "consume
+// arguments straight from the queue" optimization visible to the cache
+// simulator.
+//
+// The queue is a true advancing ring, as on the MDP: the tail keeps
+// moving forward even when the queue drains, so under steady message
+// traffic the buffered words sweep through the whole queue region. This
+// matters for the evaluation — the Message-Driven implementation keeps
+// the queue occupied (it is the task queue), so its argument reads and
+// hardware buffering touch an ever-advancing window of addresses, a data
+// locality cost the Active Messages implementation largely avoids by
+// consuming messages immediately. Messages are kept contiguous so that
+// handler code can address arguments at fixed offsets from the message
+// base; the ring wraps only between messages.
+package queue
+
+import (
+	"fmt"
+
+	"jmtam/internal/mem"
+	"jmtam/internal/word"
+)
+
+// DefaultCapWords is the maximum queue capacity in words (the storage
+// reserved in the memory map); JMachineCapWords is the default capacity,
+// matching the MDP's 4-Kbyte hardware queues. The paper runs only
+// programs that fit ("we verified that substantial problems could be
+// solved without using all the memory available for message queues");
+// the high-water mark is recorded so that claim can be checked.
+const (
+	DefaultCapWords  = 1 << 14
+	JMachineCapWords = 1 << 10
+)
+
+// Store is the traced store function the queue uses to write message
+// words into simulated memory.
+type Store func(addr uint32, w word.Word)
+
+// Msg locates one buffered message: Base is the byte address of its first
+// word, Len its length in words.
+type Msg struct {
+	Base uint32
+	Len  int
+}
+
+// Queue is one hardware message queue. Construct with New.
+type Queue struct {
+	base     uint32 // byte address of queue storage
+	capWords int
+
+	tail    int // next free word index
+	pending []Msg
+
+	occupied  int // words currently buffered
+	highWater int // maximum of occupied over time
+	enqueued  uint64
+}
+
+// New returns a queue whose storage begins at byte address base and holds
+// capWords words.
+func New(base uint32, capWords int) *Queue {
+	if capWords <= 0 {
+		capWords = DefaultCapWords
+	}
+	return &Queue{base: base, capWords: capWords}
+}
+
+// Base returns the byte address of the queue's storage.
+func (q *Queue) Base() uint32 { return q.base }
+
+// CapWords returns the queue capacity in words.
+func (q *Queue) CapWords() int { return q.capWords }
+
+// Len returns the number of pending messages.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// HighWater returns the maximum number of words ever buffered at once.
+func (q *Queue) HighWater() int { return q.highWater }
+
+// Enqueued returns the total number of messages ever enqueued.
+func (q *Queue) Enqueued() uint64 { return q.enqueued }
+
+// Enqueue buffers a message, writing its words into simulated memory via
+// store. It returns an error if the queue cannot hold the message, which
+// models queue overflow (the paper sidesteps overflow by running programs
+// that fit; the simulator surfaces it as a hard error).
+func (q *Queue) Enqueue(ws []word.Word, store Store) (Msg, error) {
+	n := len(ws)
+	if n == 0 {
+		return Msg{}, fmt.Errorf("queue: empty message")
+	}
+	if n > q.capWords {
+		return Msg{}, fmt.Errorf("queue: message of %d words exceeds capacity %d", n, q.capWords)
+	}
+	start := q.tail
+	if len(q.pending) == 0 {
+		// Ring semantics: the tail keeps advancing across idle
+		// periods; wrap only when the message would run off the end.
+		if start+n > q.capWords {
+			start = 0
+		}
+	} else {
+		// The occupied region runs from the oldest pending message to
+		// the tail. When tail > first the occupancy is a single
+		// interval [first, tail) and the free space is the ring's two
+		// ends; otherwise the buffered words wrap around the end and
+		// only [tail, first) is free.
+		first := int(q.pending[0].Base-q.base) / mem.WordBytes
+		if q.tail > first {
+			switch {
+			case start+n <= q.capWords:
+				// Room before the end of the ring.
+			case n <= first:
+				// Wrap between messages: restart at the base.
+				start = 0
+			default:
+				return Msg{}, q.overflow()
+			}
+		} else {
+			if start+n > first {
+				return Msg{}, q.overflow()
+			}
+		}
+	}
+	baseAddr := q.base + uint32(start)*mem.WordBytes
+	for i, w := range ws {
+		store(baseAddr+uint32(i)*mem.WordBytes, w)
+	}
+	q.tail = start + n
+	m := Msg{Base: baseAddr, Len: n}
+	q.pending = append(q.pending, m)
+	q.occupied += n
+	if q.occupied > q.highWater {
+		q.highWater = q.occupied
+	}
+	q.enqueued++
+	return m, nil
+}
+
+func (q *Queue) overflow() error {
+	return fmt.Errorf("queue: overflow (%d pending messages, %d/%d words)",
+		len(q.pending), q.occupied, q.capWords)
+}
+
+// Front returns the oldest pending message without consuming it. The
+// second result is false if the queue is empty.
+func (q *Queue) Front() (Msg, bool) {
+	if len(q.pending) == 0 {
+		return Msg{}, false
+	}
+	return q.pending[0], true
+}
+
+// Consume removes the oldest pending message (called when the servicing
+// task suspends, matching MDP semantics where the message is retired at
+// suspend). The tail is left where it is: the ring advances.
+func (q *Queue) Consume() {
+	if len(q.pending) == 0 {
+		panic("queue: consume on empty queue")
+	}
+	q.occupied -= q.pending[0].Len
+	q.pending = q.pending[1:]
+	if len(q.pending) == 0 {
+		q.pending = q.pending[:0:cap(q.pending)]
+	}
+}

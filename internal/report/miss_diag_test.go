@@ -1,0 +1,32 @@
+package report_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+)
+
+func TestMissDiag(t *testing.T) {
+	geoms := []cache.Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 8192, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 32768, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 8192, BlockBytes: 64, Assoc: 1},
+	}
+	for _, w := range []experiments.Workload{{Name: "mmt", Arg: 20}, {Name: "qs", Arg: 100}} {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			r, err := experiments.RunOne(w, impl, geoms, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range r.Caches {
+				fmt.Printf("%-4s %s %-14v instr=%8d Imiss=%7d Dmiss=%7d WB=%7d cyc48=%d\n",
+					w.Name, impl.Short(), c.Config, r.Instructions, c.IMisses, c.DMisses, c.Writebacks,
+					r.Instructions+48*(c.IMisses+c.DMisses))
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package report renders experiment results as text tables and ASCII
+// line charts, reproducing the layout of the paper's Table 2 and
+// Figures 3-6.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jmtam/internal/experiments"
+)
+
+// Table2 renders the granularity/ratio table.
+func Table2(rows []experiments.Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %8s %8s  %7s %7s  %9s %9s  %6s %6s %6s\n",
+		"Program", "TPQ(MD)", "TPQ(AM)", "IPT(MD)", "IPT(AM)",
+		"IPQ(MD)", "IPQ(AM)", "r12", "r24", "r48")
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %8.1f %8.1f  %7.1f %7.1f  %9.1f %9.1f  %6.2f %6.2f %6.2f\n",
+			r.Program, r.TPQMD, r.TPQAM, r.IPTMD, r.IPTAM,
+			r.IPQMD, r.IPQAM, r.Ratio12, r.Ratio24, r.Ratio48)
+	}
+	return b.String()
+}
+
+// AccessRatios renders the §3.1 MD/AM reference-count comparison.
+func AccessRatios(rows []experiments.AccessRatioRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %7s %7s %8s\n", "Program", "reads", "writes", "fetches")
+	b.WriteString(strings.Repeat("-", 38) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %6.0f%% %6.0f%% %7.0f%%\n",
+			r.Program, 100*r.Reads, 100*r.Writes, 100*r.Fetches)
+	}
+	return b.String()
+}
+
+// Enabled renders the Figure 2 enabled/unenabled AM ablation.
+func Enabled(rows []experiments.EnabledRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %14s %12s  %14s %12s\n",
+		"Program", "TPQ unenabled", "TPQ enabled", "instr unen.", "instr en.")
+	b.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %14.1f %12.1f  %14d %12d\n",
+			r.Program, r.TPQUnenabled, r.TPQEnabled, r.InstrUnenabled, r.InstrEnabled)
+	}
+	return b.String()
+}
+
+// Blocks renders the block-size ablation.
+func Blocks(rows []experiments.BlockRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %10s  %14s %14s\n", "Block (B)", "MD/AM", "MD cycles", "AM cycles")
+	b.WriteString(strings.Repeat("-", 56) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d  %10.3f  %14d %14d\n", r.BlockBytes, r.Ratio, r.MDCycles, r.AMCycles)
+	}
+	return b.String()
+}
+
+// MDOpt renders the §2.3 MD-optimization ablation.
+func MDOpt(rows []experiments.MDOptRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %12s %12s %8s  %10s %12s\n",
+		"Program", "instr (opt)", "instr (no)", "saved", "ratio(opt)", "ratio(noopt)")
+	b.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, r := range rows {
+		saved := 0.0
+		if r.InstrUnopt > 0 {
+			saved = 100 * (1 - float64(r.InstrOpt)/float64(r.InstrUnopt))
+		}
+		fmt.Fprintf(&b, "%-10s  %12d %12d %7.1f%%  %10.3f %12.3f\n",
+			r.Program, r.InstrOpt, r.InstrUnopt, saved, r.RatioOpt, r.RatioUnopt)
+	}
+	return b.String()
+}
+
+// OAM renders the hybrid-implementation comparison.
+func OAM(rows []experiments.OAMRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %10s %10s %10s  %7s %7s %7s  %8s %8s\n",
+		"Program", "instr MD", "instr OAM", "instr AM",
+		"TPQ MD", "TPQ OAM", "TPQ AM", "OAM/AM", "MD/AM")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %10d %10d %10d  %7.1f %7.1f %7.1f  %8.3f %8.3f\n",
+			r.Program, r.InstrMD, r.InstrOAM, r.InstrAM,
+			r.TPQMD, r.TPQOAM, r.TPQAM, r.OAMOverAM, r.MDOverAM)
+	}
+	return b.String()
+}
+
+// Classes renders the system/user reference mix (§3.1's memory
+// division).
+func Classes(rows []experiments.ClassRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-4s  %10s %9s  %10s %9s  %10s %9s\n",
+		"Program", "impl", "fetches", "sys-code", "reads", "sys-data", "writes", "sys-data")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-4s  %10d %8.0f%%  %10d %8.0f%%  %10d %8.0f%%\n",
+			r.Program, r.Impl.Short(), r.Fetches, 100*r.SysFetchFrac,
+			r.Reads, 100*r.SysReadFrac, r.Writes, 100*r.SysWriteFrac)
+	}
+	return b.String()
+}
+
+// Mix renders the dynamic instruction mix.
+func Mix(rows []experiments.MixRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-4s  %10s  %7s %6s %6s %8s %8s %8s\n",
+		"Program", "impl", "instr", "memory", "alu", "float", "control", "message", "machine")
+	b.WriteString(strings.Repeat("-", 82) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-4s  %10d  %6.0f%% %5.0f%% %5.0f%% %7.0f%% %7.0f%% %7.0f%%\n",
+			r.Program, r.Impl.Short(), r.Total, 100*r.Memory, 100*r.ALU,
+			100*r.Float, 100*r.Control, 100*r.Message, 100*r.Machine)
+	}
+	return b.String()
+}
+
+// Chart renders series as an ASCII line chart with a logarithmic size
+// axis (one column group per cache size) and the MD/AM ratio on the
+// vertical axis, mirroring the figures' layout. A horizontal rule marks
+// ratio = 1.0 (parity between the implementations).
+func Chart(title string, series []experiments.Series) string {
+	return ChartUnits(title, series, "K")
+}
+
+// ChartUnits is Chart with a custom unit suffix for the X axis (the
+// penalty sweep uses plain cycle counts).
+func ChartUnits(title string, series []experiments.Series, unit string) string {
+	const height = 16
+	if len(series) == 0 {
+		return title + ": (no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, r := range s.Ratios {
+			if r <= 0 {
+				continue
+			}
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + ": (no data)\n"
+	}
+	lo = math.Min(lo, 1.0)
+	hi = math.Max(hi, 1.0)
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	sizes := series[0].SizesKB
+	colW := 7
+	width := colW * len(sizes)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(r float64) int {
+		y := int(math.Round((hi - r) / (hi - lo) * float64(height-1)))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+	// Parity line.
+	oneRow := rowOf(1.0)
+	for x := 0; x < width; x++ {
+		grid[oneRow][x] = '.'
+	}
+	marks := []byte("*o+x#@%&~^")
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i, r := range s.Ratios {
+			if r <= 0 {
+				continue
+			}
+			x := i*colW + colW/2
+			grid[rowOf(r)][x] = m
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%5.2f ", hi)
+		case oneRow:
+			label = " 1.00 "
+		case height - 1:
+			label = fmt.Sprintf("%5.2f ", lo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n       ")
+	for _, kb := range sizes {
+		fmt.Fprintf(&b, "%-*s", colW, fmt.Sprintf("%d%s", kb, unit))
+	}
+	b.WriteString("\n      legend: ")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%c=%s ", marks[si%len(marks)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+)
+
+func TestTable2Rendering(t *testing.T) {
+	rows := []experiments.Table2Row{{
+		Program: "mmt", TPQMD: 4.2, TPQAM: 4.2, IPTMD: 84, IPTAM: 90,
+		IPQMD: 349, IPQAM: 373, Ratio12: 1.03, Ratio24: 1.20, Ratio48: 1.54,
+	}}
+	s := Table2(rows)
+	for _, want := range []string{"mmt", "4.2", "84.0", "349.0", "1.03", "1.54", "TPQ(MD)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAccessRatiosRendering(t *testing.T) {
+	s := AccessRatios([]experiments.AccessRatioRow{
+		{Program: "mean", Reads: 0.86, Writes: 0.87, Fetches: 0.77},
+	})
+	for _, want := range []string{"mean", "86%", "87%", "77%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AccessRatios missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEnabledRendering(t *testing.T) {
+	s := Enabled([]experiments.EnabledRow{
+		{Program: "dtw", TPQUnenabled: 1.9, TPQEnabled: 19.8, InstrUnenabled: 100, InstrEnabled: 90},
+	})
+	if !strings.Contains(s, "dtw") || !strings.Contains(s, "19.8") {
+		t.Errorf("Enabled rendering wrong:\n%s", s)
+	}
+}
+
+func TestBlocksRendering(t *testing.T) {
+	s := Blocks([]experiments.BlockRow{{BlockBytes: 64, Ratio: 0.83, MDCycles: 10, AMCycles: 12}})
+	if !strings.Contains(s, "64") || !strings.Contains(s, "0.830") {
+		t.Errorf("Blocks rendering wrong:\n%s", s)
+	}
+}
+
+func TestMDOptRendering(t *testing.T) {
+	s := MDOpt([]experiments.MDOptRow{
+		{Program: "qs", InstrOpt: 95, InstrUnopt: 100, RatioOpt: 0.66, RatioUnopt: 0.69},
+	})
+	if !strings.Contains(s, "5.0%") {
+		t.Errorf("MDOpt savings not rendered:\n%s", s)
+	}
+}
+
+func TestOAMRendering(t *testing.T) {
+	s := OAM([]experiments.OAMRow{{
+		Program: "ss", InstrMD: 1, InstrOAM: 2, InstrAM: 3,
+		TPQMD: 1, TPQOAM: 1, TPQAM: 1, OAMOverAM: 0.9, MDOverAM: 0.8,
+	}})
+	if !strings.Contains(s, "0.900") || !strings.Contains(s, "OAM/AM") {
+		t.Errorf("OAM rendering wrong:\n%s", s)
+	}
+}
+
+func TestClassesRendering(t *testing.T) {
+	s := Classes([]experiments.ClassRow{{
+		Program: "ss", Impl: core.ImplMD,
+		Fetches: 100, Reads: 50, Writes: 20,
+		SysFetchFrac: 0.25, SysReadFrac: 0.5, SysWriteFrac: 1,
+	}})
+	for _, want := range []string{"ss", "MD", "25%", "50%", "100%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Classes missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	series := []experiments.Series{
+		{Label: "a", SizesKB: []int{1, 2, 4}, Ratios: []float64{0.8, 0.9, 1.1}},
+		{Label: "b", SizesKB: []int{1, 2, 4}, Ratios: []float64{0.7, 0.7, 0.7}},
+	}
+	s := Chart("title", series)
+	for _, want := range []string{"title", "1.00 |", "1K", "4K", "legend: *=a o=b", "...."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Chart missing %q:\n%s", want, s)
+		}
+	}
+	// Marks appear for both series.
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Error("Chart missing series marks")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if s := Chart("t", nil); !strings.Contains(s, "no data") {
+		t.Errorf("empty chart: %q", s)
+	}
+	if s := Chart("t", []experiments.Series{{Label: "x", SizesKB: []int{1}, Ratios: []float64{0}}}); !strings.Contains(s, "no data") {
+		t.Errorf("all-zero chart: %q", s)
+	}
+}
+
+func TestChartScalesAroundParity(t *testing.T) {
+	// A chart with all ratios above 1 must still draw the parity line.
+	s := Chart("t", []experiments.Series{
+		{Label: "x", SizesKB: []int{1, 2}, Ratios: []float64{1.2, 1.5}},
+	})
+	if !strings.Contains(s, " 1.00 |") {
+		t.Errorf("parity line missing:\n%s", s)
+	}
+}

@@ -1,0 +1,24 @@
+package report_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jmtam/internal/experiments"
+	"jmtam/internal/report"
+)
+
+func TestSweepDiag(t *testing.T) {
+	sw := experiments.DefaultSweep(experiments.QuickWorkloads())
+	ds, err := sw.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(report.Table2(experiments.Table2(ds)))
+	fmt.Print(report.AccessRatios(experiments.AccessRatios(ds)))
+	for _, p := range []int{12, 24, 48} {
+		fmt.Print(report.Chart(fmt.Sprintf("Fig3 geomean, miss=%d", p), experiments.Figure3(ds)[p]))
+	}
+	fmt.Print(report.Chart("Fig5 direct-mapped per-program, miss=24", experiments.Figure5(ds)[24]))
+	fmt.Print(report.Chart("Fig6 DM geomean (no ss)", experiments.Figure6(ds)))
+}

@@ -1,0 +1,56 @@
+// Package rng provides a tiny deterministic pseudo-random number
+// generator (xorshift64*). The simulator must be bit-for-bit reproducible
+// across runs and Go versions, so we avoid math/rand's evolving default
+// source and seed handling.
+package rng
+
+// Source is a deterministic xorshift64* generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is replaced with a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func New(seed uint64) *Source {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantumMerging(t *testing.T) {
+	// Threads: A A B A, frames f1 f1 f2 f1 -> quanta: {A,A} {B} {A}.
+	var g Granularity
+	g.ThreadStart(100, 0)
+	g.ThreadStart(100, 0)
+	g.ThreadStart(200, 0)
+	g.ThreadStart(100, 0)
+	g.Finish()
+	if g.Threads != 4 {
+		t.Errorf("threads = %d, want 4", g.Threads)
+	}
+	if g.Quanta != 3 {
+		t.Errorf("quanta = %d, want 3", g.Quanta)
+	}
+	if g.MaxQuantum != 2 {
+		t.Errorf("max quantum = %d, want 2", g.MaxQuantum)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	var g Granularity
+	for i := 0; i < 10; i++ {
+		g.ThreadStart(uint32(i/5), 0) // two quanta of 5 threads
+	}
+	g.Finish()
+	g.TotalInstrs = 200
+	if got := g.TPQ(); got != 5 {
+		t.Errorf("TPQ = %g, want 5", got)
+	}
+	if got := g.IPT(); got != 20 {
+		t.Errorf("IPT = %g, want 20", got)
+	}
+	if got := g.IPQ(); got != 100 {
+		t.Errorf("IPQ = %g, want 100", got)
+	}
+	// IPQ == TPQ * IPT (the relation visible in Table 2).
+	if math.Abs(g.IPQ()-g.TPQ()*g.IPT()) > 1e-9 {
+		t.Error("IPQ != TPQ*IPT")
+	}
+}
+
+func TestZeroSafe(t *testing.T) {
+	var g Granularity
+	g.Finish()
+	if g.TPQ() != 0 || g.IPT() != 0 || g.IPQ() != 0 {
+		t.Error("zero-activity metrics not zero")
+	}
+}
+
+func TestObserversCount(t *testing.T) {
+	var g Granularity
+	g.InletStart(0, 0)
+	g.InletStart(0, 0)
+	g.Activate(0, 0)
+	g.Dispatch(0, 0)
+	g.Dispatch(1, 0)
+	g.Dispatch(1, 0)
+	if g.Inlets != 2 || g.Activations != 1 {
+		t.Errorf("inlets=%d activations=%d", g.Inlets, g.Activations)
+	}
+	if g.Dispatches[0] != 1 || g.Dispatches[1] != 2 {
+		t.Errorf("dispatches = %v", g.Dispatches)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{4}, 4},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 2, 2}, 2},
+		{[]float64{0, -1}, 0},   // non-positive ignored entirely
+		{[]float64{0, 9, 1}, 3}, // zero skipped
+	}
+	for _, c := range cases {
+		if got := GeoMean(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("GeoMean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestGeoMeanProperties(t *testing.T) {
+	// The geometric mean of positive values lies between min and max.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Singleton identity.
+	id := func(v uint32) bool {
+		x := float64(v) + 0.5
+		return math.Abs(GeoMean([]float64{x})-x) < 1e-9*x
+	}
+	if err := quick.Check(id, nil); err != nil {
+		t.Error(err)
+	}
+}

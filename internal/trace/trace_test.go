@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/mem"
+)
+
+func TestClassifiedCounting(t *testing.T) {
+	var c Collector
+	c.Fetch(mem.SysCodeBase)
+	c.Fetch(mem.UserCodeBase)
+	c.Fetch(mem.UserCodeBase + 4)
+	c.Read(mem.SysDataBase)
+	c.Read(mem.HeapBase)
+	c.Write(mem.FrameBase)
+	if c.Fetches[mem.ClassSysCode] != 1 || c.Fetches[mem.ClassUserCode] != 2 {
+		t.Errorf("fetch classification wrong: %v", c.Fetches)
+	}
+	if c.Reads[mem.ClassSysData] != 1 || c.Reads[mem.ClassUserData] != 1 {
+		t.Errorf("read classification wrong: %v", c.Reads)
+	}
+	if c.Writes[mem.ClassUserData] != 1 {
+		t.Errorf("write classification wrong: %v", c.Writes)
+	}
+	if c.TotalFetches() != 3 || c.TotalReads() != 2 || c.TotalWrites() != 1 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	var c Collector
+	p1, err := c.AddPair(cache.Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.AddPair(cache.Config{SizeBytes: 8192, BlockBytes: 64, Assoc: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fetch(mem.UserCodeBase)
+	c.Read(mem.HeapBase)
+	c.Write(mem.HeapBase + 4)
+	// Both pairs see every reference.
+	for i, p := range []Pair{p1, p2} {
+		if p.I.Stats().Accesses != 1 {
+			t.Errorf("pair %d: I accesses = %d", i, p.I.Stats().Accesses)
+		}
+		if p.D.Stats().Accesses != 2 {
+			t.Errorf("pair %d: D accesses = %d", i, p.D.Stats().Accesses)
+		}
+	}
+	// The write hit the block just read: one D miss, no writeback yet.
+	if p1.D.Stats().Misses != 1 {
+		t.Errorf("D misses = %d, want 1", p1.D.Stats().Misses)
+	}
+	if p1.Misses() != 2 { // 1 I + 1 D
+		t.Errorf("pair misses = %d, want 2", p1.Misses())
+	}
+	if p1.Writebacks() != 0 {
+		t.Errorf("writebacks = %d, want 0", p1.Writebacks())
+	}
+}
+
+func TestCycles(t *testing.T) {
+	var c Collector
+	if _, err := c.AddPair(cache.Config{SizeBytes: 64, BlockBytes: 64, Assoc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Fetch(mem.UserCodeBase) // I miss
+	c.Write(mem.HeapBase)     // D miss, dirty
+	c.Read(mem.HeapBase + 64) // D miss, evicts dirty -> writeback
+	// 3 instructions? No: fetches = 1. cycles = fetches + penalty*misses.
+	got := c.Cycles(0, 10, false)
+	want := uint64(1 + 10*3)
+	if got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+	gotWB := c.Cycles(0, 10, true)
+	if gotWB != want+10 {
+		t.Errorf("cycles with writebacks = %d, want %d", gotWB, want+10)
+	}
+}
+
+func TestAddPairRejectsBadGeometry(t *testing.T) {
+	var c Collector
+	if _, err := c.AddPair(cache.Config{SizeBytes: 100, BlockBytes: 64, Assoc: 1}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := NewPair(cache.Config{SizeBytes: 100, BlockBytes: 64, Assoc: 1}); err == nil {
+		t.Error("NewPair accepted bad geometry")
+	}
+}

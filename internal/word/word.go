@@ -1,0 +1,107 @@
+// Package word defines the tagged machine word used throughout the
+// simulator. The J-Machine's Message-Driven Processor uses 36-bit tagged
+// words; we model a word as a tag plus a 64-bit integer or float payload.
+// Tags distinguish ordinary data from pointers and carry the I-structure
+// presence states (empty / present / deferred) used for split-phase
+// synchronization.
+package word
+
+import "fmt"
+
+// Tag classifies the payload of a Word.
+type Tag uint8
+
+// Word tags. Empty and Deferred implement I-structure presence bits:
+// a heap cell is Empty until written, may become Deferred while readers
+// wait, and is Present once its value has arrived.
+const (
+	TagInt   Tag = iota // signed integer payload in I
+	TagFloat            // floating-point payload in F
+	TagPtr              // address payload in I
+	TagEmpty            // I-structure slot not yet written
+	TagDefer            // I-structure slot with a deferred-reader chain (head in I)
+	TagNil              // uninitialized memory
+)
+
+// String returns a short mnemonic for the tag.
+func (t Tag) String() string {
+	switch t {
+	case TagInt:
+		return "int"
+	case TagFloat:
+		return "float"
+	case TagPtr:
+		return "ptr"
+	case TagEmpty:
+		return "empty"
+	case TagDefer:
+		return "defer"
+	case TagNil:
+		return "nil"
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// Word is one tagged machine word. The zero value is a TagInt zero, which
+// makes zeroed memory segments behave like cleared RAM.
+type Word struct {
+	Tag Tag
+	I   int64
+	F   float64
+}
+
+// Int returns a Word holding the integer v.
+func Int(v int64) Word { return Word{Tag: TagInt, I: v} }
+
+// Float returns a Word holding the float v.
+func Float(v float64) Word { return Word{Tag: TagFloat, F: v} }
+
+// Ptr returns a Word holding the address a.
+func Ptr(a uint32) Word { return Word{Tag: TagPtr, I: int64(a)} }
+
+// Empty returns an I-structure empty marker.
+func Empty() Word { return Word{Tag: TagEmpty} }
+
+// Deferred returns an I-structure deferred marker whose payload points at
+// the head of the deferred-reader chain.
+func Deferred(head uint32) Word { return Word{Tag: TagDefer, I: int64(head)} }
+
+// Addr interprets the word as an address. It accepts both TagPtr and
+// TagInt payloads because address arithmetic produces integers.
+func (w Word) Addr() uint32 { return uint32(w.I) }
+
+// AsInt returns the integer view of the word, truncating floats.
+func (w Word) AsInt() int64 {
+	if w.Tag == TagFloat {
+		return int64(w.F)
+	}
+	return w.I
+}
+
+// AsFloat returns the floating-point view of the word, widening integers.
+func (w Word) AsFloat() float64 {
+	if w.Tag == TagFloat {
+		return w.F
+	}
+	return float64(w.I)
+}
+
+// IsPresent reports whether an I-structure slot holds a value.
+func (w Word) IsPresent() bool { return w.Tag != TagEmpty && w.Tag != TagDefer && w.Tag != TagNil }
+
+// String formats the word for diagnostics.
+func (w Word) String() string {
+	switch w.Tag {
+	case TagInt:
+		return fmt.Sprintf("%d", w.I)
+	case TagFloat:
+		return fmt.Sprintf("%g", w.F)
+	case TagPtr:
+		return fmt.Sprintf("@%#x", uint32(w.I))
+	case TagEmpty:
+		return "<empty>"
+	case TagDefer:
+		return fmt.Sprintf("<defer @%#x>", uint32(w.I))
+	}
+	return "<nil>"
+}

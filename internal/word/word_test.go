@@ -1,0 +1,97 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		w    Word
+		tag  Tag
+		i    int64
+		f    float64
+		pres bool
+	}{
+		{Int(42), TagInt, 42, 42, true},
+		{Int(-7), TagInt, -7, -7, true},
+		{Float(2.5), TagFloat, 2, 2.5, true},
+		{Ptr(0x1000), TagPtr, 0x1000, 4096, true},
+		{Empty(), TagEmpty, 0, 0, false},
+		{Deferred(0x2000), TagDefer, 0x2000, 8192, false},
+	}
+	for _, c := range cases {
+		if c.w.Tag != c.tag {
+			t.Errorf("%v: tag = %v, want %v", c.w, c.w.Tag, c.tag)
+		}
+		if got := c.w.AsInt(); got != c.i {
+			t.Errorf("%v: AsInt = %d, want %d", c.w, got, c.i)
+		}
+		if got := c.w.AsFloat(); got != c.f {
+			t.Errorf("%v: AsFloat = %g, want %g", c.w, got, c.f)
+		}
+		if got := c.w.IsPresent(); got != c.pres {
+			t.Errorf("%v: IsPresent = %v, want %v", c.w, got, c.pres)
+		}
+	}
+}
+
+func TestZeroValueIsIntZero(t *testing.T) {
+	var w Word
+	if w.Tag != TagInt || w.AsInt() != 0 {
+		t.Errorf("zero Word = %v, want int 0", w)
+	}
+	if !w.IsPresent() {
+		t.Error("zero Word should read as present data (cleared RAM)")
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return Int(v).AsInt() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		w := Float(v)
+		return w.AsFloat() == v || (v != v && w.AsFloat() != w.AsFloat()) // NaN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPtrRoundTrip(t *testing.T) {
+	f := func(a uint32) bool { return Ptr(a).Addr() == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	for tag, want := range map[Tag]string{
+		TagInt: "int", TagFloat: "float", TagPtr: "ptr",
+		TagEmpty: "empty", TagDefer: "defer", TagNil: "nil", Tag(99): "tag(99)",
+	} {
+		if got := tag.String(); got != want {
+			t.Errorf("Tag(%d).String() = %q, want %q", tag, got, want)
+		}
+	}
+}
+
+func TestWordStrings(t *testing.T) {
+	for w, want := range map[Word]string{
+		Int(5):        "5",
+		Float(1.5):    "1.5",
+		Ptr(16):       "@0x10",
+		Empty():       "<empty>",
+		Deferred(32):  "<defer @0x20>",
+		{Tag: TagNil}: "<nil>",
+	} {
+		if got := w.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package jmtam reproduces "Evaluating the Locality Benefits of Active
+// Messages" (Spertus & Dally, PPoPP 1995): two implementations of the
+// Berkeley Threaded Abstract Machine (TAM) on a simulated J-Machine-like
+// message-driven processor, evaluated with a trace-driven cache
+// simulator.
+//
+// The package is a thin façade over the implementation packages:
+//
+//   - internal/core     — the TAM runtime and its two backends (the
+//     Active Messages implementation and the Message-Driven
+//     implementation), plus the program-building API
+//   - internal/machine  — the MDP-like execution engine
+//   - internal/cache    — the cache simulator
+//   - internal/programs — the paper's six benchmarks
+//   - internal/experiments — Table 2, Figures 3-6 and the ablations
+//
+// # Quick start
+//
+//	prog := jmtam.Benchmark("ss", 100)
+//	res, err := jmtam.Run(jmtam.MD, prog, jmtam.Options{})
+//	fmt.Println(res.Instructions, res.TPQ)
+//
+// To compare the two implementations across the paper's cache parameter
+// space, build a Sweep (see NewPaperSweep) and render its tables and
+// figures with the Report* helpers.
+package jmtam
+
+import (
+	"fmt"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+	"jmtam/internal/programs"
+	"jmtam/internal/word"
+)
+
+// Impl selects a TAM backend.
+type Impl = core.Impl
+
+// The four backends: the paper's (unenabled) Active Messages
+// implementation, the Message-Driven implementation, the enabled-AM
+// uniprocessor variant of §2.4, and the Optimistic-Active-Messages-style
+// hybrid of §2.4 / [KWW+94].
+const (
+	AM        = core.ImplAM
+	MD        = core.ImplMD
+	AMEnabled = core.ImplAMEnabled
+	OAM       = core.ImplOAM
+)
+
+// Re-exported program-building types: a Program is a set of Codeblocks,
+// each holding Inlets (message handlers) and Threads whose bodies are
+// emitted through the Body macro builder. See examples/custom for a
+// complete program written against this API.
+type (
+	Program   = core.Program
+	Codeblock = core.Codeblock
+	Inlet     = core.Inlet
+	Thread    = core.Thread
+	Body      = core.Body
+	Host      = core.Host
+	Options   = core.Options
+	Sim       = core.Sim
+)
+
+// CacheConfig describes one cache geometry (size, block, associativity).
+type CacheConfig = cache.Config
+
+// Word is the simulated machine's tagged word; Int, Float and Ptr build
+// values for start messages and memory pokes.
+type Word = word.Word
+
+// Int returns an integer word.
+func Int(v int64) Word { return word.Int(v) }
+
+// Float returns a floating-point word.
+func Float(v float64) Word { return word.Float(v) }
+
+// Ptr returns an address word.
+func Ptr(a uint32) Word { return word.Ptr(a) }
+
+// Build compiles a program with the given backend, returning a
+// ready-to-run simulation. Attach cache geometries through
+// Sim.Collector.AddPair before calling Sim.Run.
+func Build(impl Impl, p *Program, opt Options) (*Sim, error) {
+	return core.Build(impl, p, opt)
+}
+
+// Benchmark returns one of the paper's six benchmarks ("mmt", "qs",
+// "dtw", "paraffins", "wavefront", "ss") at the given problem size; a
+// size of 0 selects the paper's argument.
+func Benchmark(name string, size int) *Program {
+	spec, err := programs.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	if size == 0 {
+		size = spec.Arg
+	}
+	return spec.Build(size)
+}
+
+// BenchmarkNames lists the six benchmark names in Table 2 order.
+func BenchmarkNames() []string {
+	var ns []string
+	for _, s := range programs.All() {
+		ns = append(ns, s.Name)
+	}
+	return ns
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Program      string
+	Impl         Impl
+	Instructions uint64
+	Reads        uint64
+	Writes       uint64
+	Threads      uint64
+	Quanta       uint64
+	TPQ          float64
+	IPT          float64
+	IPQ          float64
+	// Caches reports, for each geometry passed to Run, instruction and
+	// data misses and writebacks.
+	Caches []experiments.CacheStats
+}
+
+// Cycles returns total execution cycles for cache geometry i under the
+// given miss penalty (one cycle per instruction plus penalty per miss).
+func (r *Result) Cycles(i, penalty int) uint64 {
+	c := r.Caches[i]
+	return r.Instructions + uint64(penalty)*(c.IMisses+c.DMisses)
+}
+
+// Run builds and executes prog under impl with the given cache
+// geometries attached, verifying the program's result.
+func Run(impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, error) {
+	sim, err := core.Build(impl, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range geoms {
+		if _, err := sim.Collector.AddPair(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Program:      p.Name,
+		Impl:         impl,
+		Instructions: sim.M.Instructions(),
+		Reads:        sim.Collector.TotalReads(),
+		Writes:       sim.Collector.TotalWrites(),
+		Threads:      sim.Gran.Threads,
+		Quanta:       sim.Gran.Quanta,
+		TPQ:          sim.Gran.TPQ(),
+		IPT:          sim.Gran.IPT(),
+		IPQ:          sim.Gran.IPQ(),
+	}
+	for _, pr := range sim.Collector.Pairs {
+		res.Caches = append(res.Caches, experiments.CacheStats{
+			Config:     pr.I.Config(),
+			IMisses:    pr.I.Stats().Misses,
+			DMisses:    pr.D.Stats().Misses,
+			Writebacks: pr.D.Stats().Writebacks,
+		})
+	}
+	return res, nil
+}
+
+// CompareAt runs prog under both implementations with a single cache
+// geometry and returns the MD/AM total-cycle ratio at the given miss
+// penalty — the paper's headline metric.
+func CompareAt(p func() *Program, geom CacheConfig, penalty int, opt Options) (float64, error) {
+	md, err := Run(MD, p(), opt, geom)
+	if err != nil {
+		return 0, err
+	}
+	am, err := Run(AM, p(), opt, geom)
+	if err != nil {
+		return 0, err
+	}
+	amc := am.Cycles(0, penalty)
+	if amc == 0 {
+		return 0, fmt.Errorf("jmtam: zero cycle count")
+	}
+	return float64(md.Cycles(0, penalty)) / float64(amc), nil
+}
