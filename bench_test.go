@@ -85,7 +85,7 @@ func BenchmarkAccessRatios(b *testing.B) {
 // BenchmarkFigure2 runs the enabled/unenabled AM ablation.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.EnabledAblation(experiments.QuickWorkloads(), core.Options{})
+		rows, err := experiments.EnabledAblation(experiments.QuickWorkloads(), core.Options{}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkBlockSweep runs the block-size ablation (8-64 byte lines).
 func BenchmarkBlockSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.BlockSweep(experiments.QuickWorkloads(), core.Options{})
+		rows, err := experiments.BlockSweep(experiments.QuickWorkloads(), core.Options{}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -27,6 +27,7 @@ func main() {
 	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|mdopt|oam|classes|mix|penalties|all")
 	scale := flag.String("scale", "quick", "problem sizes: quick|paper")
 	format := flag.String("format", "text", "figure output: text (ASCII charts) | csv (figure,penalty,series,sizeKB,ratio rows)")
+	par := flag.Int("parallel", 0, "concurrent simulations and trace replays (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	var ws []experiments.Workload
@@ -60,6 +61,7 @@ func main() {
 
 	if needSweep {
 		sweep := experiments.DefaultSweep(ws)
+		sweep.Parallelism = *par
 		fmt.Printf("running sweep over %d workloads x 2 implementations x %d cache geometries...\n\n",
 			len(ws), len(sweep.SizesKB)*len(sweep.Assocs))
 		ds, err := sweep.Execute()
@@ -123,7 +125,7 @@ func main() {
 	}
 
 	if want("figure2") {
-		rows, err := experiments.EnabledAblation(ws, core.Options{})
+		rows, err := experiments.EnabledAblation(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("Figure 2 ablation: unenabled vs enabled AM (uniprocessor anomaly)")
 		fmt.Print(report.Enabled(rows))
@@ -131,7 +133,7 @@ func main() {
 	}
 
 	if want("blocksweep") {
-		rows, err := experiments.BlockSweep(ws, core.Options{})
+		rows, err := experiments.BlockSweep(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("Block-size ablation (8K 4-way, miss 24; paper used 64B blocks)")
 		fmt.Print(report.Blocks(rows))
@@ -139,7 +141,7 @@ func main() {
 	}
 
 	if want("mdopt") {
-		rows, err := experiments.MDOptAblation(ws, core.Options{})
+		rows, err := experiments.MDOptAblation(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("§2.3 optimization ablation: MD with vs without the static optimizations")
 		fmt.Print(report.MDOpt(rows))
@@ -147,7 +149,7 @@ func main() {
 	}
 
 	if want("classes") {
-		rows, err := experiments.ClassBreakdown(ws, core.Options{})
+		rows, err := experiments.ClassBreakdown(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("System/user reference mix (§3.1 memory division)")
 		fmt.Print(report.Classes(rows))
@@ -155,7 +157,7 @@ func main() {
 	}
 
 	if want("mix") {
-		rows, err := experiments.InstructionMix(ws, core.Options{})
+		rows, err := experiments.InstructionMix(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("Dynamic instruction mix")
 		fmt.Print(report.Mix(rows))
@@ -163,7 +165,7 @@ func main() {
 	}
 
 	if want("oam") {
-		rows, err := experiments.OAMComparison(ws, core.Options{})
+		rows, err := experiments.OAMComparison(ws, core.Options{}, *par)
 		check(err)
 		fmt.Println("Optimistic-AM hybrid (§2.4 / [KWW+94]): MD vs OAM vs AM (8K 4-way, miss 24)")
 		fmt.Print(report.OAM(rows))

@@ -3,7 +3,13 @@
 //
 //	tamsim -prog ss -arg 100 -impl md
 //	tamsim -prog mmt -arg 20 -impl am -cache 8 -assoc 4 -block 64
+//	tamsim -prog qs -impl md -cache 1,8,64 -assoc 1,4 -parallel 4
 //	tamsim -prog qs -impl am -dump
+//
+// -cache, -assoc and -block accept comma-separated lists; every
+// combination is evaluated. The simulation runs once, recording its
+// reference stream, and the recording is replayed through each geometry
+// on a worker pool bounded by -parallel (0 = GOMAXPROCS).
 package main
 
 import (
@@ -11,22 +17,27 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"jmtam"
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/isa"
+	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
+	"jmtam/internal/trace"
 )
 
 func main() {
 	prog := flag.String("prog", "ss", "benchmark: mmt|qs|dtw|paraffins|wavefront|ss")
 	arg := flag.Int("arg", 0, "problem size (0 = paper argument)")
 	implName := flag.String("impl", "md", "implementation: am|md|am-enabled|oam")
-	sizeKB := flag.Int("cache", 8, "cache size in Kbytes (I and D)")
-	assoc := flag.Int("assoc", 4, "set associativity")
-	block := flag.Int("block", 64, "block size in bytes")
+	sizesKB := flag.String("cache", "8", "cache size(s) in Kbytes (I and D), comma-separated")
+	assocs := flag.String("assoc", "4", "set associativity list, comma-separated")
+	blocks := flag.String("block", "64", "block size(s) in bytes, comma-separated")
+	par := flag.Int("parallel", 0, "concurrent trace replays (0 = GOMAXPROCS)")
 	dump := flag.Bool("dump", false, "print disassembly instead of running")
 	hist := flag.Bool("hist", false, "also print the quantum-size histogram and instruction mix")
 	flag.Parse()
@@ -66,18 +77,39 @@ func main() {
 		return
 	}
 
-	geom := cache.Config{SizeBytes: *sizeKB * 1024, BlockBytes: *block, Assoc: *assoc}
+	geoms, err := geometries(*sizesKB, *assocs, *blocks)
+	if err != nil {
+		fail(err)
+	}
 	sim, err := core.Build(impl, spec.Build(n), core.Options{})
 	if err != nil {
 		fail(err)
 	}
-	if _, err := sim.Collector.AddPair(geom); err != nil {
-		fail(err)
-	}
+	rec := &trace.Recording{}
+	sim.Tracer = rec
 	if err := sim.Run(); err != nil {
 		fail(err)
 	}
-	res := resultOf(sim, geom)
+
+	// Replay the recorded stream through every geometry concurrently.
+	caches := make([]experiments.CacheStats, len(geoms))
+	err = parallel.ForEach(*par, len(geoms), func(i int) error {
+		p, err := rec.ReplayPair(geoms[i])
+		if err != nil {
+			return err
+		}
+		caches[i] = experiments.CacheStats{
+			Config:     p.I.Config(),
+			IMisses:    p.I.Stats().Misses,
+			DMisses:    p.D.Stats().Misses,
+			Writebacks: p.D.Stats().Writebacks,
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	res := resultOf(sim, rec, caches)
 
 	fmt.Printf("%s %d under %v\n", spec.Name, n, impl)
 	fmt.Printf("  %s\n\n", spec.Doc)
@@ -88,14 +120,16 @@ func main() {
 	fmt.Printf("  quanta            %12d\n", res.Quanta)
 	fmt.Printf("  threads/quantum   %12.1f\n", res.TPQ)
 	fmt.Printf("  instrs/thread     %12.1f\n", res.IPT)
-	fmt.Printf("  instrs/quantum    %12.1f\n\n", res.IPQ)
-	c := res.Caches[0]
-	fmt.Printf("  cache %v\n", c.Config)
-	fmt.Printf("  I-misses          %12d\n", c.IMisses)
-	fmt.Printf("  D-misses          %12d\n", c.DMisses)
-	fmt.Printf("  writebacks        %12d\n", c.Writebacks)
-	for _, p := range []int{12, 24, 48} {
-		fmt.Printf("  cycles (miss=%2d)  %12d\n", p, res.Cycles(0, p))
+	fmt.Printf("  instrs/quantum    %12.1f\n", res.IPQ)
+	fmt.Printf("  trace             %12d refs (%d KB recorded)\n", rec.Len(), rec.Bytes()/1024)
+	for i, c := range res.Caches {
+		fmt.Printf("\n  cache %v\n", c.Config)
+		fmt.Printf("  I-misses          %12d\n", c.IMisses)
+		fmt.Printf("  D-misses          %12d\n", c.DMisses)
+		fmt.Printf("  writebacks        %12d\n", c.Writebacks)
+		for _, p := range []int{12, 24, 48} {
+			fmt.Printf("  cycles (miss=%2d)  %12d\n", p, res.Cycles(i, p))
+		}
 	}
 
 	if *hist {
@@ -132,29 +166,62 @@ func main() {
 	}
 }
 
+// geometries expands the comma-separated -cache/-assoc/-block lists into
+// every combination, size-major.
+func geometries(sizesKB, assocs, blocks string) ([]cache.Config, error) {
+	parse := func(flagName, list string) ([]int, error) {
+		var vs []int
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad -%s value %q", flagName, f)
+			}
+			vs = append(vs, v)
+		}
+		return vs, nil
+	}
+	kbs, err := parse("cache", sizesKB)
+	if err != nil {
+		return nil, err
+	}
+	as, err := parse("assoc", assocs)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := parse("block", blocks)
+	if err != nil {
+		return nil, err
+	}
+	var geoms []cache.Config
+	for _, kb := range kbs {
+		for _, a := range as {
+			for _, b := range bs {
+				g := cache.Config{SizeBytes: kb * 1024, BlockBytes: b, Assoc: a}
+				if err := g.Validate(); err != nil {
+					return nil, err
+				}
+				geoms = append(geoms, g)
+			}
+		}
+	}
+	return geoms, nil
+}
+
 // resultOf converts a finished simulation into the public Result shape.
-func resultOf(sim *core.Sim, geom cache.Config) *jmtam.Result {
-	res := &jmtam.Result{
+func resultOf(sim *core.Sim, rec *trace.Recording, caches []experiments.CacheStats) *jmtam.Result {
+	return &jmtam.Result{
 		Program:      sim.Prog.Name,
 		Impl:         sim.Impl,
 		Instructions: sim.M.Instructions(),
-		Reads:        sim.Collector.TotalReads(),
-		Writes:       sim.Collector.TotalWrites(),
+		Reads:        rec.TotalReads(),
+		Writes:       rec.TotalWrites(),
 		Threads:      sim.Gran.Threads,
 		Quanta:       sim.Gran.Quanta,
 		TPQ:          sim.Gran.TPQ(),
 		IPT:          sim.Gran.IPT(),
 		IPQ:          sim.Gran.IPQ(),
+		Caches:       caches,
 	}
-	for _, pr := range sim.Collector.Pairs {
-		res.Caches = append(res.Caches, experiments.CacheStats{
-			Config:     pr.I.Config(),
-			IMisses:    pr.I.Stats().Misses,
-			DMisses:    pr.D.Stats().Misses,
-			Writebacks: pr.D.Stats().Writebacks,
-		})
-	}
-	return res
 }
 
 func fail(err error) {

@@ -119,6 +119,9 @@ func (c *Cache) Reset() {
 // Access performs one read (write=false) or write (write=true) at the
 // given byte address and reports whether it hit. Writes allocate on miss
 // and mark the line dirty; evicting a dirty line counts a writeback.
+//
+// The hit probe runs before any victim bookkeeping: the common hit path
+// touches only tags and the LRU stamp of the matching way.
 func (c *Cache) Access(addr uint32, write bool) bool {
 	c.stats.Accesses++
 	c.clock++
@@ -126,8 +129,6 @@ func (c *Cache) Access(addr uint32, write bool) bool {
 	set := int(blk&c.setMask) * c.assoc
 	ws := c.ways[set : set+c.assoc]
 
-	victim := 0
-	var oldest uint64 = ^uint64(0)
 	for i := range ws {
 		w := &ws[i]
 		if w.valid && w.tag == blk {
@@ -137,13 +138,18 @@ func (c *Cache) Access(addr uint32, write bool) bool {
 			}
 			return true
 		}
+	}
+
+	// Miss: pick the first invalid way, else the least recently used.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ws {
+		w := &ws[i]
 		if !w.valid {
-			// Prefer invalid ways; encode as older than any timestamp.
-			if oldest != 0 {
-				oldest = 0
-				victim = i
-			}
-		} else if w.used < oldest {
+			victim = i
+			break
+		}
+		if w.used < oldest {
 			oldest = w.used
 			victim = i
 		}

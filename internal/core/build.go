@@ -42,6 +42,11 @@ type Sim struct {
 	// Collector counts references and feeds attached cache pairs; add
 	// geometries with Collector.AddPair before calling Run.
 	Collector *trace.Collector
+	// Tracer, when non-nil, replaces Collector as the machine's
+	// reference consumer during Run. The record/replay engine attaches
+	// a *trace.Recording here so the simulation loop appends packed
+	// trace words instead of probing caches inline.
+	Tracer machine.Tracer
 	// Gran accumulates granularity statistics during Run.
 	Gran *stats.Granularity
 	// Host provides untraced access for setup and verification.
@@ -220,7 +225,11 @@ func (s *Sim) Run() error {
 		return fmt.Errorf("core: %s/%s already ran", s.Prog.Name, s.Impl)
 	}
 	s.ran = true
-	s.M.SetTracer(s.Collector)
+	if s.Tracer != nil {
+		s.M.SetTracer(s.Tracer)
+	} else {
+		s.M.SetTracer(s.Collector)
+	}
 	s.M.SetObserver(s.Gran)
 	if err := s.M.Run(); err != nil {
 		return fmt.Errorf("core: %s/%s: %w", s.Prog.Name, s.Impl, err)

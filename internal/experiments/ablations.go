@@ -5,6 +5,7 @@ import (
 	"jmtam/internal/core"
 	"jmtam/internal/isa"
 	"jmtam/internal/mem"
+	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
 )
 
@@ -34,19 +35,26 @@ type OAMRow struct {
 // OAMComparison evaluates the Optimistic-Active-Messages-style hybrid of
 // §2.4 ([KWW+94]): message-driven direct control transfer for short
 // threads, Active Messages posting and frame scheduling for long ones,
-// with all user handlers at low priority.
-func OAMComparison(ws []Workload, opt core.Options) ([]OAMRow, error) {
+// with all user handlers at low priority. The 3*len(ws) simulations run
+// on at most parallelism workers (0 = GOMAXPROCS).
+func OAMComparison(ws []Workload, opt core.Options, parallelism int) ([]OAMRow, error) {
 	geoms := []cache.Config{{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}}
-	var rows []OAMRow
-	for _, w := range ws {
-		var runs [3]*Run
-		for i, impl := range []core.Impl{core.ImplMD, core.ImplOAM, core.ImplAM} {
-			r, err := RunOne(w, impl, geoms, opt)
-			if err != nil {
-				return nil, err
-			}
-			runs[i] = r
+	impls := [3]core.Impl{core.ImplMD, core.ImplOAM, core.ImplAM}
+	all := make([]*Run, 3*len(ws))
+	err := parallel.ForEach(parallelism, len(all), func(i int) error {
+		r, err := RunOne(ws[i/3], impls[i%3], geoms, opt)
+		if err != nil {
+			return err
 		}
+		all[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []OAMRow
+	for wi, w := range ws {
+		runs := all[3*wi : 3*wi+3]
 		amCycles := runs[2].Cycles(0, 24, false)
 		rows = append(rows, OAMRow{
 			Program:   w.Name,
@@ -66,27 +74,38 @@ func OAMComparison(ws []Workload, opt core.Options) ([]OAMRow, error) {
 // MDOptAblation quantifies what the §2.3 optimizations buy the MD
 // implementation. The paper presents them as the conventional-compiler
 // opportunities that open up once an inlet passes control directly to
-// its thread; this ablation measures their dynamic effect.
-func MDOptAblation(ws []Workload, opt core.Options) ([]MDOptRow, error) {
+// its thread; this ablation measures their dynamic effect. The
+// 3*len(ws) simulations run on at most parallelism workers
+// (0 = GOMAXPROCS).
+func MDOptAblation(ws []Workload, opt core.Options, parallelism int) ([]MDOptRow, error) {
 	geoms := []cache.Config{{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}}
+	noOpt := opt
+	noOpt.NoMDOptimize = true
+	variants := [3]struct {
+		impl core.Impl
+		opt  core.Options
+	}{
+		{core.ImplAM, opt},
+		{core.ImplMD, opt},
+		{core.ImplMD, noOpt},
+	}
+	all := make([]*Run, 3*len(ws))
+	err := parallel.ForEach(parallelism, len(all), func(i int) error {
+		v := variants[i%3]
+		r, err := RunOne(ws[i/3], v.impl, geoms, v.opt)
+		if err != nil {
+			return err
+		}
+		all[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []MDOptRow
-	for _, w := range ws {
-		am, err := RunOne(w, core.ImplAM, geoms, opt)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range ws {
+		am, mdOpt, mdUnopt := all[3*wi], all[3*wi+1], all[3*wi+2]
 		amCycles := am.Cycles(0, 24, false)
-
-		mdOpt, err := RunOne(w, core.ImplMD, geoms, opt)
-		if err != nil {
-			return nil, err
-		}
-		noOpt := opt
-		noOpt.NoMDOptimize = true
-		mdUnopt, err := RunOne(w, core.ImplMD, geoms, noOpt)
-		if err != nil {
-			return nil, err
-		}
 		rows = append(rows, MDOptRow{
 			Program:    w.Name,
 			InstrOpt:   mdOpt.Instructions,
@@ -114,25 +133,30 @@ type ClassRow struct {
 }
 
 // ClassBreakdown computes the system/user reference mix for both
-// implementations of each workload.
-func ClassBreakdown(ws []Workload, opt core.Options) ([]ClassRow, error) {
-	var rows []ClassRow
-	for _, w := range ws {
-		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
-			r, err := RunOne(w, impl, nil, opt)
-			if err != nil {
-				return nil, err
-			}
-			c := r.Counts
-			row := ClassRow{
-				Program: w.Name, Impl: impl,
-				Fetches: c.TotalFetches(), Reads: c.TotalReads(), Writes: c.TotalWrites(),
-			}
-			row.SysFetchFrac = frac(c.Fetches[mem.ClassSysCode], row.Fetches)
-			row.SysReadFrac = frac(c.Reads[mem.ClassSysData], row.Reads)
-			row.SysWriteFrac = frac(c.Writes[mem.ClassSysData], row.Writes)
-			rows = append(rows, row)
+// implementations of each workload, on at most parallelism workers
+// (0 = GOMAXPROCS).
+func ClassBreakdown(ws []Workload, opt core.Options, parallelism int) ([]ClassRow, error) {
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	rows := make([]ClassRow, 2*len(ws))
+	err := parallel.ForEach(parallelism, len(rows), func(i int) error {
+		w, impl := ws[i/2], impls[i%2]
+		r, err := RunOne(w, impl, nil, opt)
+		if err != nil {
+			return err
 		}
+		c := r.Counts
+		row := ClassRow{
+			Program: w.Name, Impl: impl,
+			Fetches: c.TotalFetches(), Reads: c.TotalReads(), Writes: c.TotalWrites(),
+		}
+		row.SysFetchFrac = frac(c.Fetches[mem.ClassSysCode], row.Fetches)
+		row.SysReadFrac = frac(c.Reads[mem.ClassSysData], row.Reads)
+		row.SysWriteFrac = frac(c.Writes[mem.ClassSysData], row.Writes)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -156,47 +180,53 @@ type MixRow struct {
 }
 
 // InstructionMix computes the dynamic instruction mix for both primary
-// implementations of each workload. The AM implementation's larger
-// control and memory fractions are its scheduling hierarchy at work.
-func InstructionMix(ws []Workload, opt core.Options) ([]MixRow, error) {
-	var rows []MixRow
-	for _, w := range ws {
-		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
-			spec, err := programs.ByName(w.Name)
-			if err != nil {
-				return nil, err
-			}
-			if opt.MaxInstructions == 0 {
-				opt.MaxInstructions = 2_000_000_000
-			}
-			sim, err := core.Build(impl, spec.Build(w.Arg), opt)
-			if err != nil {
-				return nil, err
-			}
-			if err := sim.Run(); err != nil {
-				return nil, err
-			}
-			counts := sim.M.OpCounts()
-			row := MixRow{Program: w.Name, Impl: impl, Total: sim.M.Instructions()}
-			for op := isa.Op(0); op < isa.NumOps; op++ {
-				f := frac(counts[op], row.Total)
-				switch {
-				case op == isa.OpLD || op == isa.OpST || op == isa.OpLDPre || op == isa.OpSTPost:
-					row.Memory += f
-				case op >= isa.OpAdd && op <= isa.OpShrI:
-					row.ALU += f
-				case op >= isa.OpFAdd && op <= isa.OpFToI:
-					row.Float += f
-				case op >= isa.OpBR && op <= isa.OpBTag:
-					row.Control += f
-				case op >= isa.OpMsgI && op <= isa.OpSendE:
-					row.Message += f
-				case op >= isa.OpEI && op <= isa.OpTrap:
-					row.Machine += f
-				}
-			}
-			rows = append(rows, row)
+// implementations of each workload, on at most parallelism workers
+// (0 = GOMAXPROCS). The AM implementation's larger control and memory
+// fractions are its scheduling hierarchy at work.
+func InstructionMix(ws []Workload, opt core.Options, parallelism int) ([]MixRow, error) {
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	rows := make([]MixRow, 2*len(ws))
+	err := parallel.ForEach(parallelism, len(rows), func(i int) error {
+		w, impl := ws[i/2], impls[i%2]
+		spec, err := programs.ByName(w.Name)
+		if err != nil {
+			return err
 		}
+		o := opt
+		if o.MaxInstructions == 0 {
+			o.MaxInstructions = 2_000_000_000
+		}
+		sim, err := core.Build(impl, spec.Build(w.Arg), o)
+		if err != nil {
+			return err
+		}
+		if err := sim.Run(); err != nil {
+			return err
+		}
+		counts := sim.M.OpCounts()
+		row := MixRow{Program: w.Name, Impl: impl, Total: sim.M.Instructions()}
+		for op := isa.Op(0); op < isa.NumOps; op++ {
+			f := frac(counts[op], row.Total)
+			switch {
+			case op == isa.OpLD || op == isa.OpST || op == isa.OpLDPre || op == isa.OpSTPost:
+				row.Memory += f
+			case op >= isa.OpAdd && op <= isa.OpShrI:
+				row.ALU += f
+			case op >= isa.OpFAdd && op <= isa.OpFToI:
+				row.Float += f
+			case op >= isa.OpBR && op <= isa.OpBTag:
+				row.Control += f
+			case op >= isa.OpMsgI && op <= isa.OpSendE:
+				row.Message += f
+			case op >= isa.OpEI && op <= isa.OpTrap:
+				row.Machine += f
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

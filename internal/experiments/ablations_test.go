@@ -9,7 +9,7 @@ import (
 var ablationWorkloads = []Workload{{"qs", 40}, {"ss", 40}}
 
 func TestMDOptAblation(t *testing.T) {
-	rows, err := MDOptAblation(ablationWorkloads, core.Options{})
+	rows, err := MDOptAblation(ablationWorkloads, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestMDOptAblation(t *testing.T) {
 }
 
 func TestOAMComparison(t *testing.T) {
-	rows, err := OAMComparison(ablationWorkloads, core.Options{})
+	rows, err := OAMComparison(ablationWorkloads, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestOAMComparison(t *testing.T) {
 }
 
 func TestClassBreakdown(t *testing.T) {
-	rows, err := ClassBreakdown(ablationWorkloads, core.Options{})
+	rows, err := ClassBreakdown(ablationWorkloads, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestClassBreakdown(t *testing.T) {
 }
 
 func TestInstructionMix(t *testing.T) {
-	rows, err := InstructionMix([]Workload{{"mmt", 8}}, core.Options{})
+	rows, err := InstructionMix([]Workload{{"mmt", 8}}, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

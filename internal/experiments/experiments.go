@@ -3,10 +3,14 @@
 // ratios across cache geometries), the §3.1 access-count ratios, the
 // Figure 2 enabled/unenabled-AM ablation, and a block-size ablation.
 //
-// One simulation per (program, implementation) feeds every cache
-// geometry simultaneously; total cycles for each miss penalty are then
-// derived from the miss counts, exactly as in a trace-driven simulator
-// where penalties do not affect replacement.
+// One simulation per (program, implementation) records the reference
+// stream once; the recording is then replayed through every cache
+// geometry as independent, parallelizable passes. Total cycles for each
+// miss penalty are derived from the miss counts, exactly as in a
+// trace-driven simulator where penalties do not affect replacement.
+// Simulations and replays both run on a bounded worker pool; results
+// are assembled by position, so a sweep's Dataset is identical at every
+// parallelism setting.
 package experiments
 
 import (
@@ -15,6 +19,7 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/mem"
+	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
 	"jmtam/internal/stats"
 	"jmtam/internal/trace"
@@ -66,6 +71,11 @@ type Sweep struct {
 	Impls []core.Impl
 	// Options passes through to the simulator.
 	Options core.Options
+	// Parallelism bounds the number of concurrently executing
+	// simulations and trace replays (0 = GOMAXPROCS). Results are
+	// byte-identical at every setting: runs are assembled by position,
+	// never by completion order.
+	Parallelism int
 }
 
 // DefaultSweep returns the paper's full parameter space over the given
@@ -172,11 +182,19 @@ func (d *Dataset) GeoMeanRatio(sizeKB, assoc, penalty int, exclude ...string) fl
 	return stats.GeoMean(xs)
 }
 
-// Execute runs every workload under every implementation, feeding all
-// cache geometries in a single pass per run.
+// Execute runs every workload under every implementation. Each
+// (workload, implementation) simulation records its reference stream
+// once; the cache-geometry fan-out then replays the recording through
+// every geometry. Both levels run on a bounded worker pool (see
+// Sweep.Parallelism), and results are assembled by position so the
+// Dataset is identical at every parallelism setting. The first error
+// cancels outstanding work. Execute does not mutate the receiver, so a
+// shared *Sweep is safe to execute concurrently and repeatedly.
 func (s *Sweep) Execute() (*Dataset, error) {
-	if len(s.Impls) == 0 {
-		s.Impls = []core.Impl{core.ImplMD, core.ImplAM}
+	// Resolve defaults into locals rather than onto the receiver.
+	impls := s.Impls
+	if len(impls) == 0 {
+		impls = []core.Impl{core.ImplMD, core.ImplAM}
 	}
 	var geoms []cache.Config
 	for _, kb := range s.SizesKB {
@@ -186,62 +204,124 @@ func (s *Sweep) Execute() (*Dataset, error) {
 			})
 		}
 	}
-	ds := &Dataset{Sweep: s, Geoms: geoms, Runs: make(map[string]map[core.Impl]*Run)}
+
+	type job struct {
+		w    Workload
+		impl core.Impl
+	}
+	jobs := make([]job, 0, len(s.Workloads)*len(impls))
 	for _, w := range s.Workloads {
-		ds.Runs[w.Name] = make(map[core.Impl]*Run)
-		for _, impl := range s.Impls {
-			r, err := RunOne(w, impl, geoms, s.Options)
-			if err != nil {
-				return nil, err
-			}
-			ds.Runs[w.Name][impl] = r
+		for _, impl := range impls {
+			jobs = append(jobs, job{w, impl})
 		}
+	}
+	par := parallel.Workers(s.Parallelism)
+	runs := make([]*Run, len(jobs))
+	err := parallel.ForEach(par, len(jobs), func(i int) error {
+		r, err := RunOnePar(jobs[i].w, jobs[i].impl, geoms, s.Options, par)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{Sweep: s, Geoms: geoms, Runs: make(map[string]map[core.Impl]*Run)}
+	for i, j := range jobs {
+		m := ds.Runs[j.w.Name]
+		if m == nil {
+			m = make(map[core.Impl]*Run)
+			ds.Runs[j.w.Name] = m
+		}
+		m[j.impl] = runs[i]
 	}
 	return ds, nil
 }
 
-// RunOne simulates one workload under one implementation with the given
-// cache geometries attached.
-func RunOne(w Workload, impl core.Impl, geoms []cache.Config, opt core.Options) (*Run, error) {
+// RecordOne simulates one workload under one implementation with a
+// trace recording attached, returning the run (cache statistics
+// unfilled) and the recorded reference stream. The recording can then
+// be replayed through any number of cache geometries without
+// re-simulating.
+func RecordOne(w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recording, error) {
 	spec, err := programs.ByName(w.Name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opt.MaxInstructions == 0 {
 		opt.MaxInstructions = 2_000_000_000
 	}
 	sim, err := core.Build(impl, spec.Build(w.Arg), opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	for _, g := range geoms {
-		if _, err := sim.Collector.AddPair(g); err != nil {
-			return nil, err
-		}
-	}
+	rec := &trace.Recording{}
+	sim.Tracer = rec
 	if err := sim.Run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := &Run{
 		Workload:     w,
 		Impl:         impl,
 		Instructions: sim.M.Instructions(),
-		Counts:       sim.Collector.Counts,
+		Counts:       rec.Counts,
 		TPQ:          sim.Gran.TPQ(),
 		IPT:          sim.Gran.IPT(),
 		IPQ:          sim.Gran.IPQ(),
 		Threads:      sim.Gran.Threads,
 		Quanta:       sim.Gran.Quanta,
 	}
-	for _, p := range sim.Collector.Pairs {
-		r.Caches = append(r.Caches, CacheStats{
+	return r, rec, nil
+}
+
+// ReplayFanOut fills r.Caches by replaying rec through every geometry,
+// one independent replay per geometry on at most parallelism workers.
+// Caches are indexed by geometry position regardless of completion
+// order.
+func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
+	r.Caches = make([]CacheStats, len(geoms))
+	return parallel.ForEach(parallelism, len(geoms), func(g int) error {
+		p, err := rec.ReplayPair(geoms[g])
+		if err != nil {
+			return err
+		}
+		r.Caches[g] = CacheStats{
 			Config:     p.I.Config(),
 			IMisses:    p.I.Stats().Misses,
 			DMisses:    p.D.Stats().Misses,
 			Writebacks: p.D.Stats().Writebacks,
-		})
+		}
+		return nil
+	})
+}
+
+// RunOnePar simulates one workload under one implementation, recording
+// its reference stream, then replays it through the given cache
+// geometries on at most parallelism workers.
+func RunOnePar(w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
+	// Surface geometry errors before paying for a simulation.
+	for _, g := range geoms {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r, rec, err := RecordOne(w, impl, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReplayFanOut(r, rec, geoms, parallelism); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// RunOne simulates one workload under one implementation with the given
+// cache geometries attached, serially (parallelism 1).
+func RunOne(w Workload, impl core.Impl, geoms []cache.Config, opt core.Options) (*Run, error) {
+	return RunOnePar(w, impl, geoms, opt, 1)
 }
 
 // --- Table 2 ----------------------------------------------------------------
@@ -399,35 +479,44 @@ type EnabledRow struct {
 }
 
 // EnabledAblation runs the Figure 2 comparison for the given workloads.
-func EnabledAblation(ws []Workload, opt core.Options) ([]EnabledRow, error) {
-	var rows []EnabledRow
-	for _, w := range ws {
+// The 2*len(ws) simulations are independent and run on at most
+// parallelism workers (0 = GOMAXPROCS); each writes a disjoint half of
+// its pre-assigned row.
+func EnabledAblation(ws []Workload, opt core.Options, parallelism int) ([]EnabledRow, error) {
+	rows := make([]EnabledRow, len(ws))
+	for i, w := range ws {
+		rows[i].Program = w.Name
+	}
+	impls := [2]core.Impl{core.ImplAM, core.ImplAMEnabled}
+	err := parallel.ForEach(parallelism, 2*len(ws), func(i int) error {
+		w, impl := ws[i/2], impls[i%2]
 		spec, err := programs.ByName(w.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := EnabledRow{Program: w.Name}
-		for _, impl := range []core.Impl{core.ImplAM, core.ImplAMEnabled} {
-			o := opt
-			if o.MaxInstructions == 0 {
-				o.MaxInstructions = 2_000_000_000
-			}
-			sim, err := core.Build(impl, spec.Build(w.Arg), o)
-			if err != nil {
-				return nil, err
-			}
-			if err := sim.Run(); err != nil {
-				return nil, err
-			}
-			if impl == core.ImplAM {
-				row.TPQUnenabled = sim.Gran.TPQ()
-				row.InstrUnenabled = sim.M.Instructions()
-			} else {
-				row.TPQEnabled = sim.Gran.TPQ()
-				row.InstrEnabled = sim.M.Instructions()
-			}
+		o := opt
+		if o.MaxInstructions == 0 {
+			o.MaxInstructions = 2_000_000_000
 		}
-		rows = append(rows, row)
+		sim, err := core.Build(impl, spec.Build(w.Arg), o)
+		if err != nil {
+			return err
+		}
+		if err := sim.Run(); err != nil {
+			return err
+		}
+		row := &rows[i/2]
+		if impl == core.ImplAM {
+			row.TPQUnenabled = sim.Gran.TPQ()
+			row.InstrUnenabled = sim.M.Instructions()
+		} else {
+			row.TPQEnabled = sim.Gran.TPQ()
+			row.InstrEnabled = sim.M.Instructions()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -444,29 +533,42 @@ type BlockRow struct {
 	AMCycles   uint64
 }
 
-// BlockSweep evaluates block sizes 8..64 for the given workloads.
-func BlockSweep(ws []Workload, opt core.Options) ([]BlockRow, error) {
+// BlockSweep evaluates block sizes 8..64 for the given workloads. Block
+// size is a geometry-only parameter, so each (workload, implementation)
+// pair is simulated exactly once and its recorded trace is replayed
+// through all four block geometries; the simulations run on at most
+// parallelism workers (0 = GOMAXPROCS). Totals accumulate in job order,
+// so the rows are identical at every parallelism setting.
+func BlockSweep(ws []Workload, opt core.Options, parallelism int) ([]BlockRow, error) {
 	var rows []BlockRow
 	var geoms []cache.Config
 	blocks := []int{8, 16, 32, 64}
 	for _, bb := range blocks {
 		geoms = append(geoms, cache.Config{SizeBytes: 8 * 1024, BlockBytes: bb, Assoc: 4})
 	}
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	par := parallel.Workers(parallelism)
+	runs := make([]*Run, 2*len(ws))
+	err := parallel.ForEach(par, len(runs), func(i int) error {
+		r, err := RunOnePar(ws[i/2], impls[i%2], geoms, opt, par)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	totalMD := make([]uint64, len(blocks))
 	totalAM := make([]uint64, len(blocks))
-	for _, w := range ws {
-		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
-			r, err := RunOne(w, impl, geoms, opt)
-			if err != nil {
-				return nil, err
-			}
-			for i := range blocks {
-				c := r.Cycles(i, 24, false)
-				if impl == core.ImplMD {
-					totalMD[i] += c
-				} else {
-					totalAM[i] += c
-				}
+	for j, r := range runs {
+		for i := range blocks {
+			c := r.Cycles(i, 24, false)
+			if impls[j%2] == core.ImplMD {
+				totalMD[i] += c
+			} else {
+				totalAM[i] += c
 			}
 		}
 	}

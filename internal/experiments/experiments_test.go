@@ -121,7 +121,7 @@ func TestAccessRatiosMeanRow(t *testing.T) {
 }
 
 func TestEnabledAblation(t *testing.T) {
-	rows, err := EnabledAblation([]Workload{{"dtw", 6}}, core.Options{})
+	rows, err := EnabledAblation([]Workload{{"dtw", 6}}, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestEnabledAblation(t *testing.T) {
 }
 
 func TestBlockSweep(t *testing.T) {
-	rows, err := BlockSweep([]Workload{{"ss", 40}}, core.Options{})
+	rows, err := BlockSweep([]Workload{{"ss", 40}}, core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

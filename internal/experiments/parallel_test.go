@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/programs"
+)
+
+// TestReplayEquivalence asserts the engine's core invariant: replaying
+// a recorded trace through a geometry yields miss and writeback counts
+// identical to attaching that geometry's pair inline during simulation
+// (the pre-record/replay collector path), for every quick workload and
+// both implementations.
+func TestReplayEquivalence(t *testing.T) {
+	geoms := []cache.Config{
+		{SizeBytes: 1 * 1024, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 32 * 1024, BlockBytes: 64, Assoc: 2},
+	}
+	for _, w := range QuickWorkloads() {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			// Reference: the inline collector fan-out.
+			spec, err := programs.ByName(w.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := core.Build(impl, spec.Build(w.Arg), core.Options{MaxInstructions: 2_000_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range geoms {
+				if _, err := sim.Collector.AddPair(g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sim.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Record/replay path.
+			r, err := RunOnePar(w, impl, geoms, core.Options{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if r.Counts != sim.Collector.Counts {
+				t.Errorf("%s/%v: replay counts %+v != inline %+v",
+					w.Name, impl, r.Counts, sim.Collector.Counts)
+			}
+			if r.Instructions != sim.M.Instructions() {
+				t.Errorf("%s/%v: instructions %d != %d", w.Name, impl, r.Instructions, sim.M.Instructions())
+			}
+			for g, p := range sim.Collector.Pairs {
+				got := r.Caches[g]
+				want := CacheStats{
+					Config:     p.I.Config(),
+					IMisses:    p.I.Stats().Misses,
+					DMisses:    p.D.Stats().Misses,
+					Writebacks: p.D.Stats().Writebacks,
+				}
+				if got != want {
+					t.Errorf("%s/%v geom %v: replayed %+v != inline %+v",
+						w.Name, impl, geoms[g], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism asserts that Execute yields a numerically
+// identical Dataset at parallelism 1 and parallelism N.
+func TestParallelDeterminism(t *testing.T) {
+	build := func(par int) *Sweep {
+		s := tinySweep()
+		s.Workloads = append(s.Workloads, Workload{"dtw", 6})
+		s.Parallelism = par
+		return s
+	}
+	serial, err := build(1).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := build(8).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Geoms, wide.Geoms) {
+		t.Fatalf("geometry grids diverge")
+	}
+	for _, w := range serial.Sweep.Workloads {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			a, b := serial.Runs[w.Name][impl], wide.Runs[w.Name][impl]
+			if a == nil || b == nil {
+				t.Fatalf("%s/%v missing run", w.Name, impl)
+			}
+			if a.Instructions != b.Instructions || a.Counts != b.Counts {
+				t.Errorf("%s/%v: simulation outcome differs between parallelism settings", w.Name, impl)
+			}
+			if !reflect.DeepEqual(a.Caches, b.Caches) {
+				t.Errorf("%s/%v: cache stats differ between parallelism settings", w.Name, impl)
+			}
+		}
+		for _, kb := range serial.Sweep.SizesKB {
+			for _, assoc := range serial.Sweep.Assocs {
+				for _, pen := range serial.Sweep.Penalties {
+					if r1, rn := serial.Ratio(w.Name, kb, assoc, pen), wide.Ratio(w.Name, kb, assoc, pen); r1 != rn {
+						t.Errorf("%s %dK/%d-way/m%d: ratio %v (serial) != %v (parallel)",
+							w.Name, kb, assoc, pen, r1, rn)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteDoesNotMutateReceiver guards the concurrent-reuse
+// contract: defaults are resolved into locals, never written back.
+func TestExecuteDoesNotMutateReceiver(t *testing.T) {
+	s := tinySweep()
+	if s.Impls != nil {
+		t.Fatal("tinySweep unexpectedly sets Impls")
+	}
+	first, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Impls != nil {
+		t.Errorf("Execute wrote defaults onto the receiver: %v", s.Impls)
+	}
+	// A second execution of the same value must succeed and agree.
+	second, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, r2 := first.Ratio("ss", 8, 4, 12), second.Ratio("ss", 8, 4, 12); r1 != r2 {
+		t.Errorf("repeated Execute diverged: %v vs %v", r1, r2)
+	}
+}
+
+// TestBlockSweepDeterminism pins BlockSweep's record-once/replay-many
+// path to its serial outcome.
+func TestBlockSweepDeterminism(t *testing.T) {
+	ws := []Workload{{"ss", 40}, {"qs", 30}}
+	serial, err := BlockSweep(ws, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := BlockSweep(ws, core.Options{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("BlockSweep rows differ:\nserial: %+v\nparallel: %+v", serial, wide)
+	}
+}
+
+// TestRunOneParBadGeometry checks geometry validation happens before
+// simulation.
+func TestRunOneParBadGeometry(t *testing.T) {
+	bad := []cache.Config{{SizeBytes: 100, BlockBytes: 64, Assoc: 1}}
+	if _, err := RunOnePar(Workload{"ss", 40}, core.ImplMD, bad, core.Options{}, 2); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}

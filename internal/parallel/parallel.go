@@ -1,0 +1,81 @@
+// Package parallel provides the bounded worker pool underneath the
+// experiment engine's fan-out paths: concurrent (workload,
+// implementation) simulations and per-geometry trace replays.
+//
+// Results stay deterministic because callers index their output by task
+// position, never by completion order; the pool only decides *when* a
+// task runs, not *where* its result lands.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: values above zero are taken
+// as-is, anything else selects GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0,n) on at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). Tasks are claimed in
+// index order. The first error stops the pool: running tasks finish,
+// unclaimed tasks are abandoned, and that error is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, deterministic error (lowest
+		// failing index).
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		first   error
+		wg      sync.WaitGroup
+	)
+	fail := func(err error) {
+		stopped.Store(true)
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

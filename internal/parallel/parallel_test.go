@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 50
+	var cur, peak atomic.Int32
+	err := ForEach(workers, n, func(int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The pool abandons unclaimed work after a failure: with 4 workers
+	// and an error at index 5, nowhere near all 1000 tasks may run.
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("%d tasks ran after an early error", n)
+	}
+}
+
+func TestForEachSerialErrorIsLowestIndex(t *testing.T) {
+	calls := 0
+	err := ForEach(1, 10, func(i int) error {
+		calls++
+		if i >= 3 {
+			return errors.New("late")
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Errorf("serial path: err=%v calls=%d, want error after 4 calls", err, calls)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0 returned %v", err)
+	}
+}
+
+func TestForEachConcurrentWrites(t *testing.T) {
+	// Position-indexed writes are the engine's determinism contract;
+	// run it under -race to prove disjoint indices don't conflict.
+	out := make([]int, 256)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			_ = ForEach(8, 128, func(i int) error { return nil })
+		}()
+	}
+	wg.Wait()
+	if err := ForEach(8, len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit parallelism not honoured")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Error("default parallelism is not GOMAXPROCS")
+	}
+}

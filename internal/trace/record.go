@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"jmtam/internal/cache"
+	"jmtam/internal/mem"
+)
+
+// Reference kinds in a recorded trace.
+type Kind uint8
+
+// The three reference kinds the execution engine produces.
+const (
+	KindFetch Kind = 0
+	KindRead  Kind = 1
+	KindWrite Kind = 2
+)
+
+// Packed-word layout: the kind occupies the top two bits, the
+// word-aligned byte address (shifted right by two) the low thirty.
+// Every address the engine produces is word-aligned (package mem traps
+// unaligned data access and instruction addresses are word-indexed), so
+// the two dropped bits are always zero and any 32-bit address
+// round-trips exactly.
+const (
+	kindShift = 30
+	addrMask  = 1<<kindShift - 1
+)
+
+// Encode packs one reference into a trace word.
+func Encode(k Kind, addr uint32) uint32 {
+	return uint32(k)<<kindShift | (addr >> 2 & addrMask)
+}
+
+// Decode unpacks a trace word.
+func Decode(w uint32) (Kind, uint32) {
+	return Kind(w >> kindShift), w << 2 & (addrMask << 2)
+}
+
+// chunkWords sizes the recording's append buffers: 64K references
+// (256 KB) per chunk keeps growth allocation-free in the simulator's
+// hot loop while bounding slack to one chunk.
+const chunkWords = 1 << 16
+
+// Recording is a compact in-memory reference trace. It implements
+// machine.Tracer, so a simulation records its stream by running with a
+// Recording attached; Replay then streams the recording through a cache
+// pair. Recording once and replaying per geometry turns the N-geometry
+// fan-out into N independent, parallelizable passes instead of N
+// synchronous Access calls per reference inside the simulator loop.
+//
+// Each reference costs four bytes ({kind:2, addr:30} packed words in
+// chunked append-only buffers); Counts are accumulated at record time
+// exactly as Collector does, so a Recording is a drop-in source for the
+// §3.1 reference-class statistics.
+type Recording struct {
+	Counts
+	full [][]uint32 // completed chunks
+	tail []uint32   // active chunk, cap chunkWords
+}
+
+func (r *Recording) push(k Kind, addr uint32) {
+	if len(r.tail) == cap(r.tail) {
+		if r.tail != nil {
+			r.full = append(r.full, r.tail)
+		}
+		r.tail = make([]uint32, 0, chunkWords)
+	}
+	r.tail = append(r.tail, Encode(k, addr))
+}
+
+// Fetch records an instruction fetch.
+func (r *Recording) Fetch(addr uint32) {
+	r.Fetches[mem.Classify(addr)]++
+	r.push(KindFetch, addr)
+}
+
+// Read records a data read.
+func (r *Recording) Read(addr uint32) {
+	r.Reads[mem.Classify(addr)]++
+	r.push(KindRead, addr)
+}
+
+// Write records a data write.
+func (r *Recording) Write(addr uint32) {
+	r.Writes[mem.Classify(addr)]++
+	r.push(KindWrite, addr)
+}
+
+// Len returns the number of recorded references.
+func (r *Recording) Len() int {
+	n := len(r.tail)
+	for _, c := range r.full {
+		n += len(c)
+	}
+	return n
+}
+
+// Bytes returns the recording's approximate memory footprint.
+func (r *Recording) Bytes() int {
+	n := cap(r.tail)
+	for _, c := range r.full {
+		n += cap(c)
+	}
+	return 4 * n
+}
+
+// Do streams every recorded reference, in order, to fn.
+func (r *Recording) Do(fn func(k Kind, addr uint32)) {
+	for _, c := range r.full {
+		for _, w := range c {
+			fn(Decode(w))
+		}
+	}
+	for _, w := range r.tail {
+		fn(Decode(w))
+	}
+}
+
+// Replay streams the recording through one cache pair: fetches probe the
+// instruction cache, reads and writes the data cache — exactly the
+// accesses Collector issues inline. Replaying into a fresh pair yields
+// statistics identical to having attached that pair during simulation.
+func (r *Recording) Replay(p Pair) {
+	replayChunks(r.full, p)
+	replayChunks([][]uint32{r.tail}, p)
+}
+
+func replayChunks(chunks [][]uint32, p Pair) {
+	ic, dc := p.I, p.D
+	for _, c := range chunks {
+		for _, w := range c {
+			addr := w << 2 & (addrMask << 2)
+			switch Kind(w >> kindShift) {
+			case KindFetch:
+				ic.Access(addr, false)
+			case KindRead:
+				dc.Access(addr, false)
+			default:
+				dc.Access(addr, true)
+			}
+		}
+	}
+}
+
+// ReplayPair builds a fresh pair of the given geometry and replays the
+// recording through it.
+func (r *Recording) ReplayPair(cfg cache.Config) (Pair, error) {
+	p, err := NewPair(cfg)
+	if err != nil {
+		return Pair{}, err
+	}
+	r.Replay(p)
+	return p, nil
+}

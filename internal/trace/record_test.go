@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/mem"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	addrs := []uint32{
+		0, 4, 64, mem.UserCodeBase, mem.SysDataBase, mem.HeapBase,
+		mem.TopOfMemory - 4,
+		1<<31 - 4,    // highest address below the sign bit
+		0x8000_0000,  // sign bit set
+		0xFFFF_FFFC,  // 30-bit boundary: addr>>2 == 0x3FFF_FFFF
+		0x5555_5554,  // alternating bits, word-aligned
+	}
+	for _, k := range []Kind{KindFetch, KindRead, KindWrite} {
+		for _, a := range addrs {
+			w := Encode(k, a)
+			gk, ga := Decode(w)
+			if gk != k || ga != a {
+				t.Errorf("Encode(%d, %#x) -> Decode = (%d, %#x)", k, a, gk, ga)
+			}
+		}
+	}
+}
+
+func TestRecordingCountsMatchCollector(t *testing.T) {
+	var rec Recording
+	var col Collector
+	for i := uint32(0); i < 100; i++ {
+		for _, tr := range []machineTracer{&rec, &col} {
+			tr.Fetch(mem.UserCodeBase + 4*i)
+			tr.Read(mem.HeapBase + 4*i)
+			tr.Write(mem.FrameBase + 4*i)
+			tr.Read(mem.SysDataBase + 4*(i%8))
+		}
+	}
+	if rec.Counts != col.Counts {
+		t.Errorf("recording counts %+v != collector counts %+v", rec.Counts, col.Counts)
+	}
+	if rec.Len() != 400 {
+		t.Errorf("Len = %d, want 400", rec.Len())
+	}
+}
+
+// machineTracer mirrors machine.Tracer without importing the package.
+type machineTracer interface {
+	Fetch(uint32)
+	Read(uint32)
+	Write(uint32)
+}
+
+func TestRecordingChunkRollover(t *testing.T) {
+	var rec Recording
+	n := chunkWords*2 + 17
+	for i := 0; i < n; i++ {
+		rec.Read(uint32(4 * i))
+	}
+	if rec.Len() != n {
+		t.Fatalf("Len = %d, want %d", rec.Len(), n)
+	}
+	if rec.Bytes() < 4*n {
+		t.Errorf("Bytes = %d, below payload %d", rec.Bytes(), 4*n)
+	}
+	i := 0
+	rec.Do(func(k Kind, addr uint32) {
+		if k != KindRead || addr != uint32(4*i) {
+			t.Fatalf("ref %d = (%d, %#x), want (KindRead, %#x)", i, k, addr, 4*i)
+		}
+		i++
+	})
+	if i != n {
+		t.Errorf("Do visited %d refs, want %d", i, n)
+	}
+}
+
+// TestReplayMatchesInlineFanOut drives an identical synthetic stream
+// through an inline Collector pair and a record/replay pass, and
+// requires identical cache statistics.
+func TestReplayMatchesInlineFanOut(t *testing.T) {
+	cfgs := []cache.Config{
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 8192, BlockBytes: 8, Assoc: 4},
+	}
+	var col Collector
+	for _, cfg := range cfgs {
+		if _, err := col.AddPair(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rec Recording
+	emit := func(tr machineTracer) {
+		// A stream with reuse, conflict misses and dirty evictions.
+		for i := uint32(0); i < 3000; i++ {
+			tr.Fetch(mem.UserCodeBase + 4*(i%700))
+			tr.Read(mem.HeapBase + 64*(i%50))
+			if i%3 == 0 {
+				tr.Write(mem.FrameBase + 64*(i%90))
+			}
+			if i%7 == 0 {
+				tr.Read(mem.HeapBase + 1024*i%0x10000)
+			}
+		}
+	}
+	emit(&col)
+	emit(&rec)
+	for i, cfg := range cfgs {
+		p, err := rec.ReplayPair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := col.Pairs[i]
+		if p.I.Stats() != want.I.Stats() {
+			t.Errorf("%v: replayed I stats %+v != inline %+v", cfg, p.I.Stats(), want.I.Stats())
+		}
+		if p.D.Stats() != want.D.Stats() {
+			t.Errorf("%v: replayed D stats %+v != inline %+v", cfg, p.D.Stats(), want.D.Stats())
+		}
+	}
+	if rec.Counts != col.Counts {
+		t.Errorf("counts diverged: %+v vs %+v", rec.Counts, col.Counts)
+	}
+}
+
+func TestReplayPairRejectsBadGeometry(t *testing.T) {
+	var rec Recording
+	rec.Read(mem.HeapBase)
+	if _, err := rec.ReplayPair(cache.Config{SizeBytes: 100, BlockBytes: 64, Assoc: 1}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}

@@ -4,6 +4,12 @@
 // (system/user x code/data, the paper's §3.1 classification) and fans
 // every reference out to any number of cache pairs, so one simulation
 // pass evaluates every cache geometry in the study simultaneously.
+//
+// A Recording instead captures the stream once — packed {kind:2,
+// addr:30} words, four bytes per reference — and replays it through
+// cache pairs afterwards, turning the geometry fan-out into independent
+// passes that a worker pool can run concurrently. Replay is
+// bit-equivalent to the inline Collector fan-out.
 package trace
 
 import (

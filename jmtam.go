@@ -31,7 +31,9 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
+	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
+	"jmtam/internal/trace"
 	"jmtam/internal/word"
 )
 
@@ -135,17 +137,23 @@ func (r *Result) Cycles(i, penalty int) uint64 {
 }
 
 // Run builds and executes prog under impl with the given cache
-// geometries attached, verifying the program's result.
+// geometries attached, verifying the program's result. The simulation
+// records its reference stream once; the geometry fan-out replays the
+// recording through each cache pair concurrently (bounded by
+// GOMAXPROCS), yielding statistics identical to inline evaluation.
 func Run(impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, error) {
+	// Surface geometry errors before paying for a simulation.
+	for _, g := range geoms {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	sim, err := core.Build(impl, p, opt)
 	if err != nil {
 		return nil, err
 	}
-	for _, g := range geoms {
-		if _, err := sim.Collector.AddPair(g); err != nil {
-			return nil, err
-		}
-	}
+	rec := &trace.Recording{}
+	sim.Tracer = rec
 	if err := sim.Run(); err != nil {
 		return nil, err
 	}
@@ -153,21 +161,30 @@ func Run(impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, err
 		Program:      p.Name,
 		Impl:         impl,
 		Instructions: sim.M.Instructions(),
-		Reads:        sim.Collector.TotalReads(),
-		Writes:       sim.Collector.TotalWrites(),
+		Reads:        rec.TotalReads(),
+		Writes:       rec.TotalWrites(),
 		Threads:      sim.Gran.Threads,
 		Quanta:       sim.Gran.Quanta,
 		TPQ:          sim.Gran.TPQ(),
 		IPT:          sim.Gran.IPT(),
 		IPQ:          sim.Gran.IPQ(),
+		Caches:       make([]experiments.CacheStats, len(geoms)),
 	}
-	for _, pr := range sim.Collector.Pairs {
-		res.Caches = append(res.Caches, experiments.CacheStats{
+	err = parallel.ForEach(0, len(geoms), func(i int) error {
+		pr, err := rec.ReplayPair(geoms[i])
+		if err != nil {
+			return err
+		}
+		res.Caches[i] = experiments.CacheStats{
 			Config:     pr.I.Config(),
 			IMisses:    pr.I.Stats().Misses,
 			DMisses:    pr.D.Stats().Misses,
 			Writebacks: pr.D.Stats().Writebacks,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,13 +1,18 @@
 package jmtam
 
 import (
+	"strconv"
+
 	"jmtam/internal/experiments"
 	"jmtam/internal/report"
 )
 
 // Sweep re-exports the full-evaluation driver: it runs a set of
 // workloads under both implementations across a grid of cache geometries
-// and derives the paper's tables and figures.
+// and derives the paper's tables and figures. Simulations record their
+// reference streams once and the geometry fan-out replays them
+// concurrently; set Sweep.Parallelism to bound the worker pool
+// (0 = GOMAXPROCS). Results are identical at every setting.
 type (
 	Sweep    = experiments.Sweep
 	Dataset  = experiments.Dataset
@@ -77,19 +82,5 @@ func ReportFigure6(d *Dataset) string {
 }
 
 func figTitle(base string, penalty int) string {
-	return base + " (hit=1, miss=" + itoa(penalty) + " cycles)"
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
+	return base + " (hit=1, miss=" + strconv.Itoa(penalty) + " cycles)"
 }
