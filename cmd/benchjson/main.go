@@ -1,0 +1,86 @@
+// Command benchjson regenerates Table 2 as a timed benchmark and writes
+// the headline numbers to a machine-readable JSON file, so successive
+// commits leave a comparable perf trail:
+//
+//	benchjson                      # writes BENCH_table2.json
+//	benchjson -o /tmp/bench.json -scale paper
+//
+// The "quick" scale (the default) matches BenchmarkTable2 in the root
+// package; "paper" runs the full benchmark arguments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"jmtam/internal/experiments"
+)
+
+// result is the schema of BENCH_table2.json.
+type result struct {
+	Scale   string  `json:"scale"`
+	MsPerOp float64 `json:"ms_per_op"`
+	// GeomeanRatio maps miss penalty (cycles) to the geometric-mean
+	// MD/AM cycle ratio at the headline 8K 4-way geometry.
+	GeomeanRatio map[string]float64 `json:"geomean_md_am_ratio_8k_4way"`
+	// PerProgram maps workload name to its MD/AM ratio at miss 24.
+	PerProgram map[string]float64 `json:"md_am_ratio_8k_4way_m24"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_table2.json", "output file")
+	scale := flag.String("scale", "quick", "workload scale: quick|paper")
+	flag.Parse()
+
+	var ws []experiments.Workload
+	switch *scale {
+	case "quick":
+		ws = experiments.QuickWorkloads()
+	case "paper":
+		ws = experiments.PaperWorkloads()
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	var ds *experiments.Dataset
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			ds, err = experiments.DefaultSweep(ws).Execute()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+	})
+
+	res := result{
+		Scale:        *scale,
+		MsPerOp:      float64(br.NsPerOp()) / 1e6,
+		GeomeanRatio: map[string]float64{},
+		PerProgram:   map[string]float64{},
+	}
+	for _, p := range ds.Sweep.Penalties {
+		res.GeomeanRatio[fmt.Sprintf("miss%d", p)] = ds.GeoMeanRatio(8, 4, p)
+	}
+	for _, w := range ds.Sweep.Workloads {
+		res.PerProgram[w.Name] = ds.Ratio(w.Name, 8, 4, 24)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %.1f ms/op, geomean ratio (miss 24) %.4f\n",
+		*out, res.MsPerOp, res.GeomeanRatio["miss24"])
+}

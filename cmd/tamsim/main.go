@@ -25,8 +25,11 @@ import (
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/isa"
+	"jmtam/internal/mem"
+	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
+	"jmtam/internal/report"
 	"jmtam/internal/trace"
 )
 
@@ -40,6 +43,8 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent trace replays (0 = GOMAXPROCS)")
 	dump := flag.Bool("dump", false, "print disassembly instead of running")
 	hist := flag.Bool("hist", false, "also print the quantum-size histogram and instruction mix")
+	eventsOut := flag.String("events", "", "write a Perfetto/Chrome trace-event timeline (JSON) to this file")
+	metricsOut := flag.String("metrics", "", "write the observability metrics registry (JSON) to this file")
 	flag.Parse()
 
 	var impl core.Impl
@@ -81,7 +86,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	sim, err := core.Build(impl, spec.Build(n), core.Options{})
+	var opt core.Options
+	var sink *obs.Sink
+	if *eventsOut != "" || *metricsOut != "" || *hist {
+		sink = obs.NewSink(*eventsOut != "")
+		opt.Obs = sink
+	}
+	sim, err := core.Build(impl, spec.Build(n), opt)
 	if err != nil {
 		fail(err)
 	}
@@ -92,11 +103,19 @@ func main() {
 	}
 
 	// Replay the recorded stream through every geometry concurrently.
+	// With a sink attached, each replay also attributes misses by cause
+	// and class; the attributions fold into the registry serially.
 	caches := make([]experiments.CacheStats, len(geoms))
+	mcs := make([]trace.MissCounts, len(geoms))
 	err = parallel.ForEach(*par, len(geoms), func(i int) error {
-		p, err := rec.ReplayPair(geoms[i])
+		p, err := trace.NewPair(geoms[i])
 		if err != nil {
 			return err
+		}
+		if sink != nil {
+			mcs[i] = rec.ReplayObserved(p)
+		} else {
+			rec.Replay(p)
 		}
 		caches[i] = experiments.CacheStats{
 			Config:     p.I.Config(),
@@ -108,6 +127,23 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+	if sink != nil {
+		for i := range mcs {
+			label := ""
+			if len(geoms) > 1 {
+				label = geoms[i].String()
+			}
+			mcs[i].AddTo(sink.Metrics, label)
+		}
+		// The recording replaced the inline collector; fold its
+		// per-class reference counts into the registry here.
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			name := cls.String()
+			sink.Metrics.Counter("ref.fetch." + name).Add(rec.Fetches[cls])
+			sink.Metrics.Counter("ref.read." + name).Add(rec.Reads[cls])
+			sink.Metrics.Counter("ref.write." + name).Add(rec.Writes[cls])
+		}
 	}
 	res := resultOf(sim, rec, caches)
 
@@ -133,16 +169,12 @@ func main() {
 	}
 
 	if *hist {
-		fmt.Println("\n  quantum-size histogram (threads per quantum, log2 buckets)")
-		for b, count := range sim.Gran.QuantumHist {
-			if count == 0 {
-				continue
-			}
-			lo := 1 << b
-			hi := 1<<(b+1) - 1
-			fmt.Printf("    %6d-%-8d %10d\n", lo, hi, count)
-		}
-		fmt.Printf("    largest quantum: %d threads\n", sim.Gran.MaxQuantum)
+		fmt.Println()
+		fmt.Print(indent(report.Histogram(
+			"quantum-size histogram (threads per quantum)", &sim.Gran.QuantumHist), "  "))
+		fmt.Print(indent(report.Histogram(
+			"quantum-length histogram (instructions per quantum)", &sim.Gran.QuantumInstrs), "  "))
+		fmt.Printf("    largest quantum: %d threads\n", sim.Gran.MaxQuantum())
 		fmt.Println("\n  dynamic opcode counts (top 12)")
 		type oc struct {
 			op    isa.Op
@@ -164,6 +196,48 @@ func main() {
 				100*float64(e.count)/float64(res.Instructions))
 		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(w *os.File) error {
+			return sink.Metrics.WriteJSON(w)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics written to %s\n", *metricsOut)
+	}
+	if *eventsOut != "" {
+		if err := writeFile(*eventsOut, func(w *os.File) error {
+			return sink.Events.WriteJSON(w)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("events written to %s (%d records; load in https://ui.perfetto.dev)\n",
+			*eventsOut, sink.Events.Len())
+	}
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // geometries expands the comma-separated -cache/-assoc/-block lists into

@@ -16,6 +16,7 @@ import (
 
 	"jmtam/internal/machine"
 	"jmtam/internal/netsim"
+	"jmtam/internal/obs"
 	"jmtam/internal/word"
 )
 
@@ -47,6 +48,39 @@ func New(machines []*machine.Machine, cfg netsim.Config) (*Cluster, error) {
 
 // Tick returns the current cluster time.
 func (c *Cluster) Tick() uint64 { return c.tick }
+
+// SetSink attaches one observability sink to every machine and the
+// network. Lockstep execution is single-threaded, so sharing a sink
+// across nodes is safe; each machine's events carry its node id as the
+// timeline pid.
+func (c *Cluster) SetSink(s *obs.Sink) {
+	for i, m := range c.Machines {
+		m.SetSink(s)
+		if s != nil && s.Events != nil {
+			s.Events.SetProcessName(int32(i), fmt.Sprintf("node %d", i))
+			s.Events.SetThreadName(int32(i), obs.TrackNet, "network")
+		}
+	}
+	c.Net.Obs = s
+}
+
+// FinishMetrics flushes end-of-run metrics (per-machine aggregates and
+// network totals) into the attached sink; call after Run.
+func (c *Cluster) FinishMetrics() {
+	var sink *obs.Sink
+	for _, m := range c.Machines {
+		m.FinishMetrics()
+		if sink == nil {
+			sink = m.Sink()
+		}
+	}
+	if sink == nil {
+		return
+	}
+	r := sink.Metrics
+	r.Gauge("net.inflight.max").Set(int64(c.Net.MaxInFlight))
+	r.Counter("net.delivered").Add(c.Net.Delivered)
+}
 
 // Run executes until global quiescence (every machine idle, no messages
 // in flight) or until maxTicks elapses; zero means no limit.

@@ -8,6 +8,7 @@ import (
 	"jmtam/internal/machine"
 	"jmtam/internal/mem"
 	"jmtam/internal/netsim"
+	"jmtam/internal/obs"
 	"jmtam/internal/word"
 )
 
@@ -201,5 +202,80 @@ func TestTickLimit(t *testing.T) {
 	ms[0].Inject(machine.Low, []word.Word{word.Ptr(mem.UserCodeBase), word.Int(0)})
 	if err := c.Run(5000); err == nil {
 		t.Error("tick limit did not fire")
+	}
+}
+
+// TestClusterObservability runs the token ring with a shared sink and
+// checks that the network and every node's machine report into it: one
+// net.* sample per message, one in-flight span per message on the
+// network tracks, and a result identical to the uninstrumented run.
+func TestClusterObservability(t *testing.T) {
+	const n, laps = 4, 3
+	const limit = int64(n * laps)
+	code := buildRing(t, limit)
+
+	run := func(s *obs.Sink) *Cluster {
+		ms := newNodes(t, n, code)
+		for i, m := range ms {
+			m.Mem.Store(gNext, word.Int(int64((i+1)%n)))
+		}
+		c, err := New(ms, netsim.DefaultConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			c.SetSink(s)
+		}
+		if err := ms[0].Inject(machine.Low, []word.Word{word.Ptr(mem.UserCodeBase), word.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			c.FinishMetrics()
+		}
+		return c
+	}
+
+	base := run(nil)
+	s := obs.NewSink(true)
+	obsRun := run(s)
+
+	if got, want := obsRun.Machines[0].Mem.LoadInt(gResult), limit; got != want {
+		t.Errorf("instrumented result = %d, want %d", got, want)
+	}
+	if base.Tick() != obsRun.Tick() || base.Net.Sent != obsRun.Net.Sent {
+		t.Errorf("instrumented run diverged: ticks %d vs %d, sent %d vs %d",
+			base.Tick(), obsRun.Tick(), base.Net.Sent, obsRun.Net.Sent)
+	}
+
+	r := s.Metrics
+	if got := r.Counter("net.msgs").Value(); got != uint64(limit) {
+		t.Errorf("net.msgs = %d, want %d", got, limit)
+	}
+	if got := r.Counter("net.delivered").Value(); got != uint64(limit) {
+		t.Errorf("net.delivered = %d, want %d", got, limit)
+	}
+	if got := r.Histogram("net.latency").Count(); got != uint64(limit) {
+		t.Errorf("net.latency has %d samples, want %d", got, limit)
+	}
+	// Every node retired instructions into the shared registry.
+	var instrs uint64
+	for _, m := range obsRun.Machines {
+		instrs += m.Instructions()
+	}
+	if got := r.Counter("instrs.total").Value(); got != instrs {
+		t.Errorf("instrs.total = %d, want %d", got, instrs)
+	}
+
+	spans := 0
+	for _, e := range s.Events.Events() {
+		if e.Ph == obs.PhComplete && e.Cat == "net" {
+			spans++
+		}
+	}
+	if spans != int(limit) {
+		t.Errorf("network timeline has %d spans, want %d", spans, limit)
 	}
 }

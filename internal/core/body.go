@@ -132,10 +132,12 @@ func (b *Body) pushCV(t *Thread) {
 	b.MovALabel(4, t.Label())
 	if b.impl() == ImplMD {
 		b.LDAbs(3, GLCVTop)
+		b.Mark(isa.MarkLCVPush)
 		b.STPost(3, 4)
 		b.STAbs(GLCVTop, 3)
 	} else {
 		b.LD(3, isa.RFP, fhRCVTail)
+		b.Mark(isa.MarkRCVPush)
 		b.STPost(3, 4)
 		b.ST(isa.RFP, fhRCVTail, 3)
 	}
@@ -269,6 +271,7 @@ func (b *Body) stopTail() {
 func (b *Body) mdPopSeq() {
 	susp := b.rt.uniq("md.susp")
 	b.LDAbs(3, GLCVTop)
+	b.Mark(isa.MarkLCVPop)
 	b.LDPre(4, 3)
 	b.BZ(4, susp) // hit the bottom sentinel
 	b.STAbs(GLCVTop, 3)

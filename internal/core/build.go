@@ -6,6 +6,7 @@ import (
 	"jmtam/internal/isa"
 	"jmtam/internal/machine"
 	"jmtam/internal/mem"
+	"jmtam/internal/obs"
 	"jmtam/internal/stats"
 	"jmtam/internal/trace"
 	"jmtam/internal/word"
@@ -28,6 +29,13 @@ type Options struct {
 	// by the optimization ablation; the paper presents these as the
 	// conventional optimizations the direct control transfer opens up.
 	NoMDOptimize bool
+	// Obs, when non-nil, attaches the observability sink: the machine,
+	// scheduler statistics and (at the end of the run) aggregate
+	// counters feed its metrics registry, and — if the sink carries an
+	// event buffer — the run emits a Perfetto-loadable timeline.
+	// Instrumentation is passive: results are identical with or without
+	// it.
+	Obs *obs.Sink
 }
 
 // Sim is one ready-to-run simulation: a program compiled by one backend,
@@ -49,6 +57,8 @@ type Sim struct {
 	Tracer machine.Tracer
 	// Gran accumulates granularity statistics during Run.
 	Gran *stats.Granularity
+	// Obs is the observability sink from Options, or nil.
+	Obs *obs.Sink
 	// Host provides untraced access for setup and verification.
 	Host *Host
 
@@ -140,8 +150,20 @@ func Build(impl Impl, prog *Program, opt Options) (sim *Sim, err error) {
 		M:         mach,
 		Collector: &trace.Collector{},
 		Gran:      &stats.Granularity{},
+		Obs:       opt.Obs,
 	}
 	sim.Host = &Host{sim: sim, heapBump: mem.HeapBase}
+
+	// Attach the sink before Setup runs so boot-time message
+	// injections are observed (their flow arrows start at ts 0).
+	if sim.Obs != nil {
+		mach.SetSink(sim.Obs)
+		sim.Gran.Sink = sim.Obs
+		if sim.Obs.Events != nil {
+			sim.Obs.Events.SetProcessName(int32(mach.Node()),
+				fmt.Sprintf("%s/%s node %d", prog.Name, impl, mach.Node()))
+		}
+	}
 
 	if prog.Setup != nil {
 		if err := prog.Setup(sim.Host); err != nil {
@@ -236,12 +258,41 @@ func (s *Sim) Run() error {
 	}
 	s.Gran.TotalInstrs = s.M.Instructions()
 	s.Gran.Finish()
+	if s.Obs != nil {
+		s.finishMetrics()
+	}
 	if s.Prog.Verify != nil {
 		if err := s.Prog.Verify(s.Host); err != nil {
 			return fmt.Errorf("core: %s/%s verify: %w", s.Prog.Name, s.Impl, err)
 		}
 	}
 	return nil
+}
+
+// finishMetrics folds the run's aggregate statistics into the sink's
+// registry: scheduler counts, the quantum histograms, machine-level
+// instruction mix and queue high-water marks, and (when the trace
+// collector ran inline) the per-class reference counts.
+func (s *Sim) finishMetrics() {
+	r := s.Obs.Metrics
+	g := s.Gran
+	r.Counter("tam.threads").Add(g.Threads)
+	r.Counter("tam.inlets").Add(g.Inlets)
+	r.Counter("tam.quanta").Add(g.Quanta)
+	r.Counter("tam.activations").Add(g.Activations)
+	r.Counter("dispatch.low").Add(g.Dispatches[0])
+	r.Counter("dispatch.high").Add(g.Dispatches[1])
+	r.Histogram("quantum.threads").Merge(&g.QuantumHist)
+	r.Histogram("quantum.instrs").Merge(&g.QuantumInstrs)
+	s.M.FinishMetrics()
+	if s.Tracer == nil {
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			name := cls.String()
+			r.Counter("ref.fetch." + name).Add(s.Collector.Fetches[cls])
+			r.Counter("ref.read." + name).Add(s.Collector.Reads[cls])
+			r.Counter("ref.write." + name).Add(s.Collector.Writes[cls])
+		}
+	}
 }
 
 // Host gives programs untraced (loader/debugger) access to the simulated

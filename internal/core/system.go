@@ -307,6 +307,7 @@ func (rt *Runtime) emitHAlloc() uint32 {
 func (rt *Runtime) emitPost() uint32 {
 	s := rt.Sys
 	addr := s.Label("sys.post")
+	s.Mark(isa.MarkPost)
 	s.BZ(2, "post.ready")
 	s.LD(3, 2, 0)
 	s.SubI(3, 3, 1)
@@ -314,6 +315,7 @@ func (rt *Runtime) emitPost() uint32 {
 	s.BNZ(3, "post.out")
 	s.Label("post.ready")
 	s.LD(3, 6, fhRCVTail)
+	s.Mark(isa.MarkRCVPush)
 	s.STPost(3, 1)
 	s.ST(6, fhRCVTail, 3)
 	s.LD(3, 6, fhFlags)
@@ -340,6 +342,7 @@ func (rt *Runtime) emitPost() uint32 {
 		s.SendE()
 	}
 	s.Label("post.qtail")
+	s.Mark(isa.MarkFrameEnq)
 	s.STAbs(GReadyTail, 6)
 	s.Label("post.out")
 	s.JMP(7)
@@ -372,6 +375,7 @@ func (rt *Runtime) emitOAMScheduler() (sched, pop uint32) {
 	s.STAbs(GReadyHead, 1)
 	pop = s.Label("oam.pop")
 	s.LD(1, isa.RFP, fhRCVTail)
+	s.Mark(isa.MarkRCVPop)
 	s.LDPre(3, 1)
 	s.BZ(3, "oam.drained")
 	s.ST(isa.RFP, fhRCVTail, 1)
@@ -416,6 +420,7 @@ func (rt *Runtime) emitScheduler() (sched, pop uint32) {
 	s.STAbs(GReadyHead, 1)
 	pop = s.Label("sched.pop")
 	s.LD(1, isa.RFP, fhRCVTail)
+	s.Mark(isa.MarkRCVPop)
 	s.LDPre(3, 1)
 	s.BZ(3, "sched.drained") // hit the bottom sentinel
 	s.ST(isa.RFP, fhRCVTail, 1)

@@ -207,18 +207,18 @@ func InstructionMix(ws []Workload, opt core.Options, parallelism int) ([]MixRow,
 		row := MixRow{Program: w.Name, Impl: impl, Total: sim.M.Instructions()}
 		for op := isa.Op(0); op < isa.NumOps; op++ {
 			f := frac(counts[op], row.Total)
-			switch {
-			case op == isa.OpLD || op == isa.OpST || op == isa.OpLDPre || op == isa.OpSTPost:
+			switch op.Class() {
+			case "mem":
 				row.Memory += f
-			case op >= isa.OpAdd && op <= isa.OpShrI:
+			case "alu":
 				row.ALU += f
-			case op >= isa.OpFAdd && op <= isa.OpFToI:
+			case "float":
 				row.Float += f
-			case op >= isa.OpBR && op <= isa.OpBTag:
+			case "control":
 				row.Control += f
-			case op >= isa.OpMsgI && op <= isa.OpSendE:
+			case "msg":
 				row.Message += f
-			case op >= isa.OpEI && op <= isa.OpTrap:
+			case "machine":
 				row.Machine += f
 			}
 		}

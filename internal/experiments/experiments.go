@@ -19,6 +19,7 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/mem"
+	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
 	"jmtam/internal/stats"
@@ -76,6 +77,11 @@ type Sweep struct {
 	// byte-identical at every setting: runs are assembled by position,
 	// never by completion order.
 	Parallelism int
+	// CollectMetrics attaches a metrics-only observability sink to every
+	// simulation (one per run, so parallel jobs never share registries)
+	// and attributes cache misses per geometry during replay. Each Run's
+	// registry lands in Run.Metrics. Simulation results are unaffected.
+	CollectMetrics bool
 }
 
 // DefaultSweep returns the paper's full parameter space over the given
@@ -104,6 +110,12 @@ type Run struct {
 	// Caches holds per-geometry miss statistics, indexed as the
 	// sweep's geometries (size-major, then associativity).
 	Caches []CacheStats
+
+	// Metrics is this run's observability registry when the sweep ran
+	// with CollectMetrics (or an Obs sink was passed in Options); nil
+	// otherwise. Replay fills per-geometry cache.miss.* attribution
+	// into it.
+	Metrics *obs.Registry
 }
 
 // CacheStats captures one geometry's outcome.
@@ -218,7 +230,13 @@ func (s *Sweep) Execute() (*Dataset, error) {
 	par := parallel.Workers(s.Parallelism)
 	runs := make([]*Run, len(jobs))
 	err := parallel.ForEach(par, len(jobs), func(i int) error {
-		r, err := RunOnePar(jobs[i].w, jobs[i].impl, geoms, s.Options, par)
+		o := s.Options
+		if s.CollectMetrics && o.Obs == nil {
+			// One metrics-only sink per job: registries are not safe
+			// for concurrent use across parallel simulations.
+			o.Obs = obs.NewSink(false)
+		}
+		r, err := RunOnePar(jobs[i].w, jobs[i].impl, geoms, o, par)
 		if err != nil {
 			return err
 		}
@@ -274,19 +292,42 @@ func RecordOne(w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recor
 		Threads:      sim.Gran.Threads,
 		Quanta:       sim.Gran.Quanta,
 	}
+	if sim.Obs != nil {
+		r.Metrics = sim.Obs.Metrics
+		// The recording replaced the inline collector, so the run
+		// finalizer could not fold reference-class counts; do it here.
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			name := cls.String()
+			r.Metrics.Counter("ref.fetch." + name).Add(rec.Fetches[cls])
+			r.Metrics.Counter("ref.read." + name).Add(rec.Reads[cls])
+			r.Metrics.Counter("ref.write." + name).Add(rec.Writes[cls])
+		}
+	}
 	return r, rec, nil
 }
 
 // ReplayFanOut fills r.Caches by replaying rec through every geometry,
 // one independent replay per geometry on at most parallelism workers.
 // Caches are indexed by geometry position regardless of completion
-// order.
+// order. When the run carries a metrics registry, each replay also
+// attributes its misses by cause; the per-geometry attributions are
+// folded into the registry serially, in geometry order, after the
+// parallel phase.
 func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
 	r.Caches = make([]CacheStats, len(geoms))
-	return parallel.ForEach(parallelism, len(geoms), func(g int) error {
-		p, err := rec.ReplayPair(geoms[g])
+	var mcs []trace.MissCounts
+	if r.Metrics != nil {
+		mcs = make([]trace.MissCounts, len(geoms))
+	}
+	err := parallel.ForEach(parallelism, len(geoms), func(g int) error {
+		p, err := trace.NewPair(geoms[g])
 		if err != nil {
 			return err
+		}
+		if mcs != nil {
+			mcs[g] = rec.ReplayObserved(p)
+		} else {
+			rec.Replay(p)
 		}
 		r.Caches[g] = CacheStats{
 			Config:     p.I.Config(),
@@ -296,6 +337,13 @@ func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelis
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	for g := range mcs {
+		mcs[g].AddTo(r.Metrics, geoms[g].String())
+	}
+	return nil
 }
 
 // RunOnePar simulates one workload under one implementation, recording

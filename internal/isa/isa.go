@@ -149,6 +149,33 @@ var opNames = [NumOps]string{
 	OpHalt: "halt", OpTrap: "trap",
 }
 
+// Class buckets the opcode for instruction-mix reporting: "mem"
+// (loads/stores), "alu" (integer arithmetic and logic), "float",
+// "control" (branches and jumps), "msg" (message composition and send),
+// "machine" (interrupt control, suspend, wait, halt, trap), "move"
+// (immediates, register copies, LEA, tag ops) or "misc" (nop). Every
+// opcode belongs to exactly one class.
+func (o Op) Class() string {
+	switch {
+	case o == OpLD || o == OpST || o == OpLDPre || o == OpSTPost:
+		return "mem"
+	case o >= OpAdd && o <= OpShrI:
+		return "alu"
+	case o >= OpFAdd && o <= OpFToI:
+		return "float"
+	case o >= OpBR && o <= OpBTag:
+		return "control"
+	case o >= OpMsgI && o <= OpSendE:
+		return "msg"
+	case o >= OpEI && o <= OpTrap:
+		return "machine"
+	case o >= OpMovI && o <= OpLEA || o == OpTagSet || o == OpTagGet:
+		return "move"
+	default:
+		return "misc"
+	}
+}
+
 // String returns the mnemonic for the opcode.
 func (o Op) String() string {
 	if int(o) < len(opNames) && opNames[o] != "" {
@@ -164,12 +191,22 @@ func (o Op) String() string {
 type MarkKind uint8
 
 // Mark kinds. ThreadStart/InletStart fire with the current frame pointer;
-// Activate fires when the AM scheduler begins a frame activation.
+// Activate fires when the AM scheduler begins a frame activation. The
+// remaining kinds instrument runtime operations for the observability
+// sink: Post marks entry to the post routine, FrameEnq the append of a
+// frame to the ready queue, and the CV kinds the push/pop sites of the
+// local and remote continuation vectors.
 const (
 	MarkNone MarkKind = iota
 	MarkThreadStart
 	MarkInletStart
 	MarkActivate
+	MarkPost
+	MarkFrameEnq
+	MarkLCVPush
+	MarkLCVPop
+	MarkRCVPush
+	MarkRCVPop
 )
 
 // Instr is one decoded instruction. Target holds absolute branch/jump

@@ -15,15 +15,30 @@ func (m *Machine) step(pri int) {
 	m.instrs++
 	m.opCounts[in.Op]++
 
+	if m.probe != nil && (!m.probe.havePri || m.probe.lastPri != pri) {
+		m.probe.priSwitch(m.nodeID, pri, m.instrs)
+	}
+
 	if in.Mark != isa.MarkNone {
-		fp := m.regs[pri][isa.RFP].Addr()
 		switch in.Mark {
 		case isa.MarkThreadStart:
-			m.observer.ThreadStart(fp, m.instrs)
+			m.observer.ThreadStart(m.regs[pri][isa.RFP].Addr(), m.instrs)
 		case isa.MarkInletStart:
-			m.observer.InletStart(fp, m.instrs)
+			m.observer.InletStart(m.regs[pri][isa.RFP].Addr(), m.instrs)
+			if m.probe != nil {
+				m.probe.inletEnter(pri, m.instrs)
+			}
 		case isa.MarkActivate:
-			m.observer.Activate(fp, m.instrs)
+			m.observer.Activate(m.regs[pri][isa.RFP].Addr(), m.instrs)
+			if m.probe != nil {
+				m.probe.frameDeq()
+			}
+		default:
+			// Runtime-operation marks carry no Observer semantics; they
+			// feed the observability sink only.
+			if m.probe != nil {
+				m.probe.mark(in.Mark)
+			}
 		}
 	}
 
@@ -273,7 +288,11 @@ func (m *Machine) deliver(pri int) {
 		}
 		return
 	}
-	if _, err := m.queues[m.sendPri[pri]].Enqueue(m.sendBuf[pri], m.queueStore); err != nil {
+	msg, err := m.queues[m.sendPri[pri]].Enqueue(m.sendBuf[pri], m.queueStore)
+	if err != nil {
 		panic(err)
+	}
+	if m.probe != nil {
+		m.probe.enqueue(m.nodeID, m.sendPri[pri], msg, m.instrs, m.queues[m.sendPri[pri]].Len())
 	}
 }

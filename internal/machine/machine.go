@@ -96,6 +96,7 @@ type Machine struct {
 
 	tracer   Tracer
 	observer Observer
+	probe    *probe
 
 	cfg      Config
 	instrs   uint64
@@ -203,8 +204,14 @@ func (m *Machine) Idle() bool { return m.quiescent() && !m.run[Low] }
 // Inject enqueues a message from the host (outside the simulation), used
 // to bootstrap programs. Queue stores are traced like hardware buffering.
 func (m *Machine) Inject(pri int, ws []word.Word) error {
-	_, err := m.queues[pri].Enqueue(ws, m.queueStore)
-	return err
+	msg, err := m.queues[pri].Enqueue(ws, m.queueStore)
+	if err != nil {
+		return err
+	}
+	if m.probe != nil {
+		m.probe.enqueue(m.nodeID, pri, msg, m.instrs, m.queues[pri].Len())
+	}
+	return nil
 }
 
 func (m *Machine) queueStore(addr uint32, w word.Word) {
@@ -264,6 +271,9 @@ func (m *Machine) dispatch(pri int) {
 	m.ip[pri] = handler.Addr()
 	m.regs[pri][isa.RMsg] = word.Ptr(msg.Base)
 	m.observer.Dispatch(pri, m.instrs)
+	if m.probe != nil {
+		m.probe.dispatch(m.nodeID, pri, msg, handler.Addr(), m.instrs)
+	}
 }
 
 // suspend ends the current task at pri, consuming its message.
@@ -272,6 +282,9 @@ func (m *Machine) suspend(pri int) {
 	if m.inMsg[pri] {
 		m.queues[pri].Consume()
 		m.inMsg[pri] = false
+	}
+	if m.probe != nil {
+		m.probe.suspend(m.nodeID, pri, m.instrs, m.queues[pri].Len())
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"jmtam/internal/obs"
 	"jmtam/internal/word"
 )
 
@@ -79,6 +80,11 @@ type Network struct {
 	Delivered   uint64
 	WordsSent   uint64
 	MaxInFlight int
+
+	// Obs, when non-nil, receives per-message hop/latency/occupancy
+	// metrics and — if the sink has an event buffer — one in-flight
+	// duration span per message on the network track of the source node.
+	Obs *obs.Sink
 }
 
 // New builds a network; it panics on non-positive dimensions.
@@ -130,6 +136,18 @@ func (n *Network) Send(src, dst, pri int, ws []word.Word, now uint64) error {
 	n.WordsSent += uint64(len(ws))
 	if len(n.inflight) > n.MaxInFlight {
 		n.MaxInFlight = len(n.inflight)
+	}
+	if s := n.Obs; s != nil {
+		r := s.Metrics
+		r.Counter("net.msgs").Add(1)
+		r.Counter("net.words").Add(uint64(len(ws)))
+		r.Histogram("net.hops").Observe(uint64(n.Hops(src, dst)))
+		r.Histogram("net.latency").Observe(m.due - now)
+		r.Histogram("net.inflight").Observe(uint64(len(n.inflight)))
+		if s.Events != nil {
+			s.Events.DurationArg(fmt.Sprintf("net %d->%d", src, dst), "net",
+				int32(src), obs.TrackNet, now, m.due-now, "words", uint64(len(ws)))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Event phases, a subset of the Chrome trace-event format that Perfetto
+// understands natively.
+const (
+	PhComplete   = 'X' // duration event carrying ts+dur
+	PhInstant    = 'i' // point event
+	PhFlowStart  = 's' // flow arrow tail (message send)
+	PhFlowFinish = 'f' // flow arrow head (inlet dispatch)
+)
+
+// Event is one trace record. Ts and Dur are in simulated instructions,
+// exported as microseconds (1 instruction == 1us on the timeline).
+type Event struct {
+	Name string
+	Ph   byte
+	Cat  string
+	Ts   uint64
+	Dur  uint64 // PhComplete only
+	Pid  int32  // node id
+	Tid  int32  // track within the node
+	ID   uint64 // flow events: matches start to finish
+	ArgK string // optional single argument
+	ArgV uint64
+}
+
+// threadKey names one (pid, tid) track.
+type threadKey struct {
+	pid, tid int32
+}
+
+// EventBuffer accumulates events in memory and serialises them as a
+// Chrome trace-event JSON object ({"traceEvents": [...]}). Not safe for
+// concurrent use; lockstep multi-node simulation is single-threaded.
+type EventBuffer struct {
+	events      []Event
+	procNames   map[int32]string
+	threadNames map[threadKey]string
+}
+
+// NewEventBuffer returns an empty buffer.
+func NewEventBuffer() *EventBuffer {
+	return &EventBuffer{
+		procNames:   make(map[int32]string),
+		threadNames: make(map[threadKey]string),
+	}
+}
+
+// Len returns the number of buffered events (metadata excluded).
+func (b *EventBuffer) Len() int { return len(b.events) }
+
+// Events returns the buffered events in emission order.
+func (b *EventBuffer) Events() []Event { return b.events }
+
+// SetProcessName labels a pid on the timeline.
+func (b *EventBuffer) SetProcessName(pid int32, name string) {
+	b.procNames[pid] = name
+}
+
+// SetThreadName labels a (pid, tid) track on the timeline.
+func (b *EventBuffer) SetThreadName(pid, tid int32, name string) {
+	b.threadNames[threadKey{pid, tid}] = name
+}
+
+// Duration records a complete ('X') event spanning [ts, ts+dur).
+func (b *EventBuffer) Duration(name, cat string, pid, tid int32, ts, dur uint64) {
+	b.events = append(b.events, Event{
+		Name: name, Ph: PhComplete, Cat: cat, Ts: ts, Dur: dur, Pid: pid, Tid: tid,
+	})
+}
+
+// DurationArg is Duration with one argument attached.
+func (b *EventBuffer) DurationArg(name, cat string, pid, tid int32, ts, dur uint64, argK string, argV uint64) {
+	b.events = append(b.events, Event{
+		Name: name, Ph: PhComplete, Cat: cat, Ts: ts, Dur: dur, Pid: pid, Tid: tid,
+		ArgK: argK, ArgV: argV,
+	})
+}
+
+// Instant records a point ('i') event.
+func (b *EventBuffer) Instant(name, cat string, pid, tid int32, ts uint64) {
+	b.events = append(b.events, Event{
+		Name: name, Ph: PhInstant, Cat: cat, Ts: ts, Pid: pid, Tid: tid,
+	})
+}
+
+// FlowStart records the tail ('s') of flow id at ts.
+func (b *EventBuffer) FlowStart(name, cat string, pid, tid int32, ts, id uint64) {
+	b.events = append(b.events, Event{
+		Name: name, Ph: PhFlowStart, Cat: cat, Ts: ts, Pid: pid, Tid: tid, ID: id,
+	})
+}
+
+// FlowFinish records the head ('f') of flow id at ts.
+func (b *EventBuffer) FlowFinish(name, cat string, pid, tid int32, ts, id uint64) {
+	b.events = append(b.events, Event{
+		Name: name, Ph: PhFlowFinish, Cat: cat, Ts: ts, Pid: pid, Tid: tid, ID: id,
+	})
+}
+
+// WriteJSON serialises the buffer in Chrome trace-event JSON object
+// format. Metadata (process/thread names) is emitted first, then events
+// in emission order; "displayTimeUnit" is ms so Perfetto shows the
+// instruction-count timestamps compactly.
+func (b *EventBuffer) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for _, pid := range sortedPids(b.procNames) {
+		emit(fmt.Sprintf(`{"name": "process_name", "ph": "M", "pid": %d, "tid": 0, "args": {"name": %q}}`,
+			pid, b.procNames[pid]))
+	}
+	for _, k := range sortedThreadKeys(b.threadNames) {
+		emit(fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": %d, "tid": %d, "args": {"name": %q}}`,
+			k.pid, k.tid, b.threadNames[k]))
+	}
+	for i := range b.events {
+		e := &b.events[i]
+		var line strings.Builder
+		fmt.Fprintf(&line, `{"name": %q, "cat": %q, "ph": %q, "ts": %d, "pid": %d, "tid": %d`,
+			e.Name, e.Cat, string(e.Ph), e.Ts, e.Pid, e.Tid)
+		if e.Ph == PhComplete {
+			fmt.Fprintf(&line, `, "dur": %d`, e.Dur)
+		}
+		if e.Ph == PhFlowStart || e.Ph == PhFlowFinish {
+			fmt.Fprintf(&line, `, "id": %d`, e.ID)
+		}
+		if e.Ph == PhInstant {
+			line.WriteString(`, "s": "t"`)
+		}
+		if e.ArgK != "" {
+			fmt.Fprintf(&line, `, "args": {%q: %d}`, e.ArgK, e.ArgV)
+		}
+		line.WriteString("}")
+		emit(line.String())
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func sortedPids(m map[int32]string) []int32 {
+	ps := make([]int32, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	return ps
+}
+
+func sortedThreadKeys(m map[threadKey]string) []threadKey {
+	ks := make([]threadKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && less(ks[j], ks[j-1]); j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+func less(a, b threadKey) bool {
+	if a.pid != b.pid {
+		return a.pid < b.pid
+	}
+	return a.tid < b.tid
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(3)
+	r.Counter("a").Add(2)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-6)
+	g.Add(10)
+	if g.Value() != 8 || g.Min() != -2 || g.Max() != 8 {
+		t.Fatalf("gauge value/min/max = %d/%d/%d, want 8/-2/8", g.Value(), g.Min(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 || h.MinV != 0 || h.MaxV != 1024 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.MinV, h.MaxV)
+	}
+	// value 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4..7 -> 3;
+	// 8 -> 4; 1023 -> 10; 1024 -> 11.
+	want := map[int]uint64{0: 1, 1: 2, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for i, c := range h.Buckets {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	lo, hi := BucketBounds(3)
+	if lo != 4 || hi != 7 {
+		t.Fatalf("BucketBounds(3) = [%d,%d], want [4,7]", lo, hi)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	a.Observe(100)
+	b.Observe(2)
+	b.Observe(3000)
+	a.Merge(&b)
+	if a.Count() != 4 || a.MinV != 2 || a.MaxV != 3000 || a.Sum != 5+100+2+3000 {
+		t.Fatalf("merged count/min/max/sum = %d/%d/%d/%d", a.Count(), a.MinV, a.MaxV, a.Sum)
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 4 {
+		t.Fatalf("merge with empty changed count: %d", a.Count())
+	}
+}
+
+func TestRegistryJSONDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(1)
+		}
+		r.Gauge("g").Set(7)
+		r.Histogram("h").Observe(12)
+		var sb strings.Builder
+		if err := r.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := build([]string{"zeta", "alpha", "mid"})
+	b := build([]string{"mid", "zeta", "alpha"})
+	if a != b {
+		t.Fatalf("registry JSON depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	var parsed struct {
+		Counters   map[string]uint64          `json:"counters"`
+		Gauges     map[string]json.RawMessage `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64 `json:"count"`
+			Buckets []struct {
+				Lo, Hi, Count uint64
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(a), &parsed); err != nil {
+		t.Fatalf("registry JSON does not parse: %v\n%s", err, a)
+	}
+	if parsed.Counters["alpha"] != 1 || len(parsed.Counters) != 3 {
+		t.Fatalf("counters round-trip: %v", parsed.Counters)
+	}
+	h := parsed.Histograms["h"]
+	if h.Count != 1 || len(h.Buckets) != 1 || h.Buckets[0].Lo != 8 || h.Buckets[0].Hi != 15 {
+		t.Fatalf("histogram round-trip: %+v", h)
+	}
+}
+
+func TestEventBufferJSON(t *testing.T) {
+	b := NewEventBuffer()
+	b.SetProcessName(0, "node 0")
+	b.SetThreadName(0, TrackQuanta, "quanta")
+	b.Duration("quantum", "tam", 0, TrackQuanta, 100, 50)
+	b.Instant("pri-switch 0->1", "machine", 0, TrackLow, 120)
+	b.FlowStart("msg", "net", 0, TrackLow, 130, 42)
+	b.FlowFinish("msg", "net", 1, TrackHigh, 140, 42)
+	b.DurationArg("handler", "machine", 0, TrackLow, 100, 10, "words", 6)
+
+	var sb strings.Builder
+	if err := b.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   uint64          `json:"ts"`
+			Dur  uint64          `json:"dur"`
+			Pid  int32           `json:"pid"`
+			Tid  int32           `json:"tid"`
+			ID   uint64          `json:"id"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, sb.String())
+	}
+	// 2 metadata + 5 events.
+	if len(parsed.TraceEvents) != 7 {
+		t.Fatalf("got %d records, want 7", len(parsed.TraceEvents))
+	}
+	var flows int
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "s", "f":
+			flows++
+			if e.ID != 42 {
+				t.Errorf("flow id = %d, want 42", e.ID)
+			}
+		case "X":
+			if e.Dur == 0 {
+				t.Errorf("complete event %q missing dur", e.Name)
+			}
+		}
+	}
+	if flows != 2 {
+		t.Fatalf("got %d flow records, want 2", flows)
+	}
+}

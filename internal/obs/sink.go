@@ -1,0 +1,32 @@
+package obs
+
+// Track ids within a node's timeline. Handler and inlet spans on a given
+// track are sequential (a span's end may coincide with the next span's
+// start but they never partially overlap), so each track renders as a
+// flat lane in Perfetto.
+const (
+	TrackLow    = 0 // priority-0 handler spans + priority-switch instants
+	TrackHigh   = 1 // priority-1 handler spans
+	TrackQuanta = 2 // TAM quantum spans
+	TrackInlets = 3 // inlet entry -> exit spans
+	TrackNet    = 4 // network message-in-flight spans (netsim runs)
+)
+
+// Sink bundles the two observability surfaces. Producers hold a *Sink
+// that is nil when instrumentation is disabled; Events may additionally
+// be nil for metrics-only collection (the cheap mode parallel sweeps
+// use).
+type Sink struct {
+	Metrics *Registry
+	Events  *EventBuffer
+}
+
+// NewSink returns a sink with a fresh registry, plus an event buffer
+// when withEvents is set.
+func NewSink(withEvents bool) *Sink {
+	s := &Sink{Metrics: NewRegistry()}
+	if withEvents {
+		s.Events = NewEventBuffer()
+	}
+	return s
+}

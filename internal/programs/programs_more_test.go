@@ -119,17 +119,18 @@ func TestRegistry(t *testing.T) {
 func TestQuantumHistogram(t *testing.T) {
 	ss := run(t, core.ImplMD, SS(40))
 	var ssBuckets int
-	for _, c := range ss.Gran.QuantumHist {
+	for _, c := range ss.Gran.QuantumHist.Buckets {
 		if c > 0 {
 			ssBuckets++
 		}
 	}
-	if ssBuckets != 1 || ss.Gran.MaxQuantum < 500 {
-		t.Errorf("SS histogram unexpected: %v (max %d)", ss.Gran.QuantumHist, ss.Gran.MaxQuantum)
+	if ssBuckets != 1 || ss.Gran.MaxQuantum() < 500 {
+		t.Errorf("SS histogram unexpected: %v (max %d)", ss.Gran.QuantumHist.Buckets, ss.Gran.MaxQuantum())
 	}
 	qs := run(t, core.ImplMD, QS(60))
-	if qs.Gran.QuantumHist[0]+qs.Gran.QuantumHist[1] == 0 {
-		t.Errorf("QS has no small quanta: %v", qs.Gran.QuantumHist)
+	// Small quanta: one or two threads (buckets 1 and 2).
+	if qs.Gran.QuantumHist.Buckets[1]+qs.Gran.QuantumHist.Buckets[2] == 0 {
+		t.Errorf("QS has no small quanta: %v", qs.Gran.QuantumHist.Buckets)
 	}
 }
 

@@ -44,10 +44,13 @@ const (
 type Store func(addr uint32, w word.Word)
 
 // Msg locates one buffered message: Base is the byte address of its first
-// word, Len its length in words.
+// word, Len its length in words. Seq is the message's 1-based position in
+// the queue's arrival order, which observability hooks use to correlate
+// enqueue with dispatch.
 type Msg struct {
 	Base uint32
 	Len  int
+	Seq  uint64
 }
 
 // Queue is one hardware message queue. Construct with New.
@@ -134,7 +137,7 @@ func (q *Queue) Enqueue(ws []word.Word, store Store) (Msg, error) {
 		store(baseAddr+uint32(i)*mem.WordBytes, w)
 	}
 	q.tail = start + n
-	m := Msg{Base: baseAddr, Len: n}
+	m := Msg{Base: baseAddr, Len: n, Seq: q.enqueued + 1}
 	q.pending = append(q.pending, m)
 	q.occupied += n
 	if q.occupied > q.highWater {

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"jmtam/internal/obs"
+)
+
+// Histogram renders one log2-bucketed histogram as an ASCII bar chart:
+// one row per occupied bucket with its value range, count and a bar
+// scaled to the largest bucket.
+func Histogram(title string, h *obs.Histogram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d min=%d max=%d mean=%.1f\n",
+		title, h.Count(), h.MinV, h.MaxV, h.Mean())
+	if h.Count() == 0 {
+		return b.String()
+	}
+	var peak uint64
+	for _, c := range h.Buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	const barWidth = 40
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := obs.BucketBounds(i)
+		bar := int(c * barWidth / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %12s  %10d  %s\n", bucketLabel(lo, hi), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+func bucketLabel(lo, hi uint64) string {
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// Metrics renders a whole registry: counters, gauges, then histograms,
+// each section name-sorted (the registry's iteration order).
+func Metrics(r *obs.Registry) string {
+	var b strings.Builder
+	if names := r.CounterNames(); len(names) > 0 {
+		b.WriteString("counters:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-28s %12d\n", n, r.Counter(n).Value())
+		}
+	}
+	if names := r.GaugeNames(); len(names) > 0 {
+		b.WriteString("gauges:\n")
+		for _, n := range names {
+			g := r.Gauge(n)
+			fmt.Fprintf(&b, "  %-28s %12d  (min %d, max %d)\n", n, g.Value(), g.Min(), g.Max())
+		}
+	}
+	for _, n := range r.HistogramNames() {
+		b.WriteString(Histogram(n, r.Histogram(n)))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"testing"
+
+	"jmtam/internal/obs"
+)
+
+// TestHistogramGolden pins the exact rendering of a histogram with
+// single-value and range buckets, a sub-character bar rounded up to one
+// mark, and the header statistics line.
+func TestHistogramGolden(t *testing.T) {
+	var h obs.Histogram
+	for i := 0; i < 40; i++ {
+		h.Observe(1)
+	}
+	h.Observe(5)
+	h.Observe(6)
+	h.Observe(100)
+
+	got := Histogram("quantum threads", &h)
+	want := "" +
+		"quantum threads: n=43 min=1 max=100 mean=3.5\n" +
+		"             1          40  ########################################\n" +
+		"           4-7           2  ##\n" +
+		"        64-127           1  #\n"
+	if got != want {
+		t.Errorf("histogram rendering:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestHistogramEmpty renders only the header for an empty histogram.
+func TestHistogramEmpty(t *testing.T) {
+	var h obs.Histogram
+	got := Histogram("empty", &h)
+	want := "empty: n=0 min=0 max=0 mean=0.0\n"
+	if got != want {
+		t.Errorf("empty histogram: got %q want %q", got, want)
+	}
+}
+
+// TestMetricsGolden pins the full registry rendering: name-sorted
+// counters, gauges with min/max, then histograms.
+func TestMetricsGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("post.calls").Add(12)
+	r.Counter("instr.alu").Add(900)
+	g := r.Gauge("ready.frames")
+	g.Set(3)
+	g.Set(7)
+	g.Set(2)
+	h := r.Histogram("queue.depth.low")
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(3)
+
+	got := Metrics(r)
+	want := "" +
+		"counters:\n" +
+		"  instr.alu                             900\n" +
+		"  post.calls                             12\n" +
+		"gauges:\n" +
+		"  ready.frames                            2  (min 2, max 7)\n" +
+		"queue.depth.low: n=3 min=0 max=3 mean=1.7\n" +
+		"             0           1  ####################\n" +
+		"           2-3           2  ########################################\n"
+	if got != want {
+		t.Errorf("metrics rendering:\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -10,7 +10,11 @@
 // for both implementations.
 package stats
 
-import "math"
+import (
+	"math"
+
+	"jmtam/internal/obs"
+)
 
 // Granularity implements machine.Observer, accumulating thread, inlet,
 // quantum and activation counts. The zero value is ready to use.
@@ -25,42 +29,54 @@ type Granularity struct {
 	// completes, before calling the derived-metric methods.
 	TotalInstrs uint64
 
+	// QuantumHist distributes quantum sizes in threads; QuantumInstrs
+	// distributes quantum lengths in instructions (start of first thread
+	// to start of the quantum-ending transition). Both are log2-bucketed
+	// obs histograms, the repo's one histogram implementation.
+	QuantumHist   obs.Histogram
+	QuantumInstrs obs.Histogram
+
+	// Sink, when non-nil before the run, receives one duration event per
+	// quantum (Node selects the timeline process, 0 on a uniprocessor).
+	Sink *obs.Sink
+	Node int
+
 	lastFrame uint32
 	haveFrame bool
 
 	// quantum size tracking
 	curThreads uint64
-	MaxQuantum uint64 // threads in the largest quantum observed
-	// QuantumHist buckets quantum sizes by power of two: bucket i
-	// counts quanta of 2^i .. 2^(i+1)-1 threads (the last bucket is
-	// open-ended).
-	QuantumHist [16]uint64
+	qStart     uint64 // instruction count at the quantum's first thread
+	lastInstrs uint64
 }
 
+// MaxQuantum returns the thread count of the largest quantum observed.
+func (g *Granularity) MaxQuantum() uint64 { return g.QuantumHist.MaxV }
+
 // ThreadStart records entry to a thread body belonging to frame.
-func (g *Granularity) ThreadStart(frame uint32, _ uint64) {
+func (g *Granularity) ThreadStart(frame uint32, instrs uint64) {
 	g.Threads++
+	g.lastInstrs = instrs
 	if !g.haveFrame || frame != g.lastFrame {
-		g.endQuantum()
+		g.endQuantum(instrs)
 		g.Quanta++
 		g.lastFrame = frame
 		g.haveFrame = true
+		g.qStart = instrs
 	}
 	g.curThreads++
 }
 
-func (g *Granularity) endQuantum() {
+func (g *Granularity) endQuantum(now uint64) {
 	if g.curThreads == 0 {
 		return
 	}
-	if g.curThreads > g.MaxQuantum {
-		g.MaxQuantum = g.curThreads
+	g.QuantumHist.Observe(g.curThreads)
+	g.QuantumInstrs.Observe(now - g.qStart)
+	if g.Sink != nil && g.Sink.Events != nil {
+		g.Sink.Events.DurationArg("quantum", "tam", int32(g.Node), obs.TrackQuanta,
+			g.qStart, now-g.qStart, "threads", g.curThreads)
 	}
-	b := 0
-	for v := g.curThreads; v > 1 && b < len(g.QuantumHist)-1; v >>= 1 {
-		b++
-	}
-	g.QuantumHist[b]++
 	g.curThreads = 0
 }
 
@@ -77,8 +93,16 @@ func (g *Granularity) Dispatch(pri int, _ uint64) {
 	}
 }
 
-// Finish closes the trailing quantum; call once after the run.
-func (g *Granularity) Finish() { g.endQuantum() }
+// Finish closes the trailing quantum; call once after the run, after
+// TotalInstrs has been set (the trailing quantum ends at the run's final
+// instruction count).
+func (g *Granularity) Finish() {
+	end := g.TotalInstrs
+	if end < g.lastInstrs {
+		end = g.lastInstrs
+	}
+	g.endQuantum(end)
+}
 
 // TPQ returns threads per quantum.
 func (g *Granularity) TPQ() float64 { return ratio(g.Threads, g.Quanta) }

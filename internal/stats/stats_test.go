@@ -20,8 +20,11 @@ func TestQuantumMerging(t *testing.T) {
 	if g.Quanta != 3 {
 		t.Errorf("quanta = %d, want 3", g.Quanta)
 	}
-	if g.MaxQuantum != 2 {
-		t.Errorf("max quantum = %d, want 2", g.MaxQuantum)
+	if g.MaxQuantum() != 2 {
+		t.Errorf("max quantum = %d, want 2", g.MaxQuantum())
+	}
+	if g.QuantumHist.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", g.QuantumHist.Count())
 	}
 }
 

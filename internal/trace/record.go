@@ -3,6 +3,7 @@ package trace
 import (
 	"jmtam/internal/cache"
 	"jmtam/internal/mem"
+	"jmtam/internal/obs"
 )
 
 // Reference kinds in a recorded trace.
@@ -151,4 +152,70 @@ func (r *Recording) ReplayPair(cfg cache.Config) (Pair, error) {
 	}
 	r.Replay(p)
 	return p, nil
+}
+
+// MissCounts attributes cache misses by cause: fetch misses and data
+// read/write misses, each split by the §3.1 reference class of the
+// missing address.
+type MissCounts struct {
+	Fetch [mem.NumClasses]uint64
+	Read  [mem.NumClasses]uint64
+	Write [mem.NumClasses]uint64
+}
+
+// Total returns all misses across kinds and classes.
+func (mc *MissCounts) Total() uint64 {
+	var t uint64
+	for c := 0; c < int(mem.NumClasses); c++ {
+		t += mc.Fetch[c] + mc.Read[c] + mc.Write[c]
+	}
+	return t
+}
+
+// ReplayObserved replays the recording through p like Replay while
+// classifying every miss by reference kind and class. The cache
+// statistics it leaves in p are identical to Replay's; the returned
+// attribution feeds the observability registry's per-cause miss
+// counters.
+func (r *Recording) ReplayObserved(p Pair) MissCounts {
+	var mc MissCounts
+	ic, dc := p.I, p.D
+	r.Do(func(k Kind, addr uint32) {
+		switch k {
+		case KindFetch:
+			if !ic.Access(addr, false) {
+				mc.Fetch[mem.Classify(addr)]++
+			}
+		case KindRead:
+			if !dc.Access(addr, false) {
+				mc.Read[mem.Classify(addr)]++
+			}
+		default:
+			if !dc.Access(addr, true) {
+				mc.Write[mem.Classify(addr)]++
+			}
+		}
+	})
+	return mc
+}
+
+// AddTo folds the attribution into an observability registry under
+// cache.miss.{fetch,read,write}.<class>, prefixed by label when label is
+// non-empty (e.g. "8K/4-way/64B: cache.miss.fetch.sys-code").
+func (mc *MissCounts) AddTo(r *obs.Registry, label string) {
+	pre := ""
+	if label != "" {
+		pre = label + ": "
+	}
+	for c := mem.Class(0); c < mem.NumClasses; c++ {
+		if n := mc.Fetch[c]; n != 0 {
+			r.Counter(pre + "cache.miss.fetch." + c.String()).Add(n)
+		}
+		if n := mc.Read[c]; n != 0 {
+			r.Counter(pre + "cache.miss.read." + c.String()).Add(n)
+		}
+		if n := mc.Write[c]; n != 0 {
+			r.Counter(pre + "cache.miss.write." + c.String()).Add(n)
+		}
+	}
 }

@@ -11,10 +11,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	addrs := []uint32{
 		0, 4, 64, mem.UserCodeBase, mem.SysDataBase, mem.HeapBase,
 		mem.TopOfMemory - 4,
-		1<<31 - 4,    // highest address below the sign bit
-		0x8000_0000,  // sign bit set
-		0xFFFF_FFFC,  // 30-bit boundary: addr>>2 == 0x3FFF_FFFF
-		0x5555_5554,  // alternating bits, word-aligned
+		1<<31 - 4,   // highest address below the sign bit
+		0x8000_0000, // sign bit set
+		0xFFFF_FFFC, // 30-bit boundary: addr>>2 == 0x3FFF_FFFF
+		0x5555_5554, // alternating bits, word-aligned
 	}
 	for _, k := range []Kind{KindFetch, KindRead, KindWrite} {
 		for _, a := range addrs {

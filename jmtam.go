@@ -31,8 +31,10 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
+	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
+	"jmtam/internal/report"
 	"jmtam/internal/trace"
 	"jmtam/internal/word"
 )
@@ -68,6 +70,30 @@ type (
 
 // CacheConfig describes one cache geometry (size, block, associativity).
 type CacheConfig = cache.Config
+
+// Observability re-exports: set Options.Obs to a Sink (NewSink) before
+// Build/Run and the simulation populates its metrics registry and,
+// optionally, a Chrome-trace-event timeline loadable in Perfetto.
+// Instrumentation never feeds back into execution — results are
+// identical with a sink attached or not.
+type (
+	Sink        = obs.Sink
+	Metrics     = obs.Registry
+	EventBuffer = obs.EventBuffer
+	Histogram   = obs.Histogram
+)
+
+// NewSink returns a sink with a metrics registry and, when withEvents is
+// set, a timeline event buffer.
+func NewSink(withEvents bool) *Sink { return obs.NewSink(withEvents) }
+
+// RenderMetrics renders a metrics registry as an ASCII report: counters,
+// gauges, then histograms as bar charts.
+func RenderMetrics(r *Metrics) string { return report.Metrics(r) }
+
+// RenderHistogram renders one log2-bucketed histogram as an ASCII bar
+// chart.
+func RenderHistogram(title string, h *Histogram) string { return report.Histogram(title, h) }
 
 // Word is the simulated machine's tagged word; Int, Float and Ptr build
 // values for start messages and memory pokes.
