@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -28,6 +29,7 @@ func main() {
 	scale := flag.String("scale", "quick", "problem sizes: quick|paper")
 	format := flag.String("format", "text", "figure output: text (ASCII charts) | csv (figure,penalty,series,sizeKB,ratio rows)")
 	par := flag.Int("parallel", 0, "concurrent simulations and trace replays (0 = GOMAXPROCS); results are identical at any setting")
+	metricsDir := flag.String("metrics-dir", "", "collect per-run observability metrics during the sweep and write one registry JSON dump per (workload, implementation) into this directory")
 	flag.Parse()
 
 	var ws []experiments.Workload
@@ -62,10 +64,14 @@ func main() {
 	if needSweep {
 		sweep := experiments.DefaultSweep(ws)
 		sweep.Parallelism = *par
+		sweep.CollectMetrics = *metricsDir != ""
 		fmt.Printf("running sweep over %d workloads x 2 implementations x %d cache geometries...\n\n",
 			len(ws), len(sweep.SizesKB)*len(sweep.Assocs))
 		ds, err := sweep.Execute()
 		check(err)
+		if *metricsDir != "" {
+			check(dumpMetrics(*metricsDir, ds))
+		}
 		if want("table2") {
 			fmt.Println("Table 2: granularity and MD/AM cycle ratios (8K 4-way, miss 12/24/48)")
 			fmt.Print(jmtam.ReportTable2(ds))
@@ -170,6 +176,36 @@ func main() {
 		fmt.Println("Optimistic-AM hybrid (§2.4 / [KWW+94]): MD vs OAM vs AM (8K 4-way, miss 24)")
 		fmt.Print(report.OAM(rows))
 	}
+}
+
+// dumpMetrics writes one registry JSON dump per (workload,
+// implementation) run of the sweep into dir, named
+// <workload>_<impl>.json.
+func dumpMetrics(dir string, ds *experiments.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, w := range ds.Sweep.Workloads {
+		for impl, r := range ds.Runs[w.Name] {
+			if r == nil || r.Metrics == nil {
+				continue
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s_%s.json", w.Name, strings.ToLower(impl.String())))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := r.Metrics.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
 }
 
 // emitCSV prints one figure's series as CSV rows.

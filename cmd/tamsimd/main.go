@@ -1,0 +1,76 @@
+// Command tamsimd serves simulation and sweep jobs over HTTP/JSON:
+//
+//	tamsimd -addr :8347
+//	curl -sN localhost:8347/v1/runs -d '{"program":"ss","arg":60,"impl":"md"}'
+//	curl -s  localhost:8347/metricz
+//
+// POST /v1/runs submits one simulation (program, size, implementation,
+// cache geometries, miss penalties) and streams NDJSON progress events
+// — one per completed cache geometry — followed by the final result
+// document. POST /v1/sweeps does the same for a parameter-space grid.
+// Submit with ?detach=1 to get the job id immediately instead of
+// streaming; then GET /v1/runs/{id} polls status (add ?stream=1 to
+// follow the event stream) and DELETE /v1/runs/{id} cancels.
+//
+// Jobs execute on a bounded in-process worker pool (-workers) and
+// compiled program artifacts are cached per (program, size,
+// implementation), so repeat jobs skip code generation. GET /metricz
+// exposes the server-wide metrics registry: job counts by outcome,
+// queue and pool gauges, code-cache hit rates and per-kind job latency
+// histograms.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jmtam/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "max concurrently executing jobs (0 = GOMAXPROCS)")
+	replayPar := flag.Int("replay-parallel", 1, "cache-replay workers within one job")
+	cacheEntries := flag.Int("cache-entries", 32, "compiled-program cache capacity")
+	maxInstrs := flag.Uint64("max-instructions", 0, "default per-job instruction budget (0 = 2e9)")
+	flag.Parse()
+
+	log.SetOutput(os.Stdout)
+	log.SetPrefix("tamsimd: ")
+
+	srv := server.New(server.Config{
+		Workers:                *workers,
+		ReplayParallelism:      *replayPar,
+		CacheEntries:           *cacheEntries,
+		DefaultMaxInstructions: *maxInstrs,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		srv.Close() // cancel outstanding jobs so streams terminate
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("tamsimd: bye")
+}

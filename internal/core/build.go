@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"jmtam/internal/isa"
@@ -67,115 +68,15 @@ type Sim struct {
 
 // Build compiles prog with the given backend and prepares a simulation.
 // Code-generation panics (macro misuse in program bodies) are converted
-// into errors.
-func Build(impl Impl, prog *Program, opt Options) (sim *Sim, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			sim, err = nil, fmt.Errorf("core: building %s/%v: %v", prog.Name, impl, r)
-		}
-	}()
-	if err := prog.validate(); err != nil {
+// into errors. Build is Compile followed by NewSim; callers that run
+// the same (program, impl) repeatedly can cache the Compiled and skip
+// code generation on later runs.
+func Build(impl Impl, prog *Program, opt Options) (*Sim, error) {
+	c, err := Compile(impl, prog, opt)
+	if err != nil {
 		return nil, err
 	}
-	rt := newRuntime(impl)
-	rt.mdOpt = !opt.NoMDOptimize
-
-	// Lay out every descriptor before emitting code: FAlloc sites need
-	// target descriptor addresses.
-	addr := uint32(descAreaBase)
-	for _, cb := range prog.Blocks {
-		fw, rcvOff := cb.layout(impl)
-		cb.frameWords = fw
-		_ = rcvOff
-		cb.descAddr = addr
-		addr += uint32(4+cb.NumCounts) * mem.WordBytes
-		if addr > descAreaEnd {
-			return nil, fmt.Errorf("core: descriptor area overflow in %s", prog.Name)
-		}
-		// Reset per-build codegen state (a Program may be compiled by
-		// several backends in one process).
-		cb.needSusp = false
-		cb.suspLabel = cb.Name + ".$susp"
-		for _, t := range cb.threads {
-			t.emitted = false
-			t.entryLCVEmpty = false
-			t.postCount = 0
-			t.addr = 0
-		}
-		for _, in := range cb.inlets {
-			in.addr = 0
-		}
-	}
-
-	for _, cb := range prog.Blocks {
-		rt.emitCodeblock(cb)
-	}
-	if err := rt.User.Finish(); err != nil {
-		return nil, err
-	}
-
-	m := mem.NewDefault()
-	code := machine.NewCodeStore(rt.Sys.Code(), rt.User.Code())
-	mach := machine.NewMachine(m, code, machine.Config{
-		QueueCapWords:    opt.QueueCapWords,
-		CountQueueWrites: !opt.NoQueueWriteTrace,
-		MaxInstructions:  opt.MaxInstructions,
-	})
-
-	// Initialize runtime globals and materialize descriptors (untraced:
-	// the loader, not the simulated program, performs these writes).
-	m.Store(GFrameBump, word.Ptr(mem.FrameBase))
-	m.Store(GNodeBump, word.Ptr(nodePoolBase))
-	m.Store(GHeapBump, word.Ptr(mem.HeapBase))
-	m.Store(GNodeFree, word.Int(0))
-	m.Store(GReadyHead, word.Int(0))
-	m.Store(GReadyTail, word.Int(0))
-	m.Store(GLCVBase, word.Int(0)) // LCV bottom sentinel
-	m.Store(GLCVTop, word.Ptr(GLCVBase+4))
-	for _, cb := range prog.Blocks {
-		_, rcvOff := cb.layout(impl)
-		m.Store(cb.descAddr+dFrameWords, word.Int(int64(cb.frameWords)))
-		m.Store(cb.descAddr+dNumCounts, word.Int(int64(cb.NumCounts)))
-		m.Store(cb.descAddr+dFreeHead, word.Int(0))
-		m.Store(cb.descAddr+dRCVOff, word.Int(rcvOff))
-		for i, c := range cb.InitCounts {
-			m.Store(cb.descAddr+dCounts+uint32(4*i), word.Int(c))
-		}
-	}
-
-	sim = &Sim{
-		Impl:      impl,
-		Prog:      prog,
-		RT:        rt,
-		M:         mach,
-		Collector: &trace.Collector{},
-		Gran:      &stats.Granularity{},
-		Obs:       opt.Obs,
-	}
-	sim.Host = &Host{sim: sim, heapBump: mem.HeapBase}
-
-	// Attach the sink before Setup runs so boot-time message
-	// injections are observed (their flow arrows start at ts 0).
-	if sim.Obs != nil {
-		mach.SetSink(sim.Obs)
-		sim.Gran.Sink = sim.Obs
-		if sim.Obs.Events != nil {
-			sim.Obs.Events.SetProcessName(int32(mach.Node()),
-				fmt.Sprintf("%s/%s node %d", prog.Name, impl, mach.Node()))
-		}
-	}
-
-	if prog.Setup != nil {
-		if err := prog.Setup(sim.Host); err != nil {
-			return nil, fmt.Errorf("core: %s setup: %w", prog.Name, err)
-		}
-	}
-	if impl == ImplAM || impl == ImplAMEnabled {
-		// The AM backends run their scheduler as a background loop;
-		// the MD and OAM backends are driven entirely by messages.
-		mach.Boot(rt.schedAddr)
-	}
-	return sim, nil
+	return c.NewSim(prog, opt)
 }
 
 // emitCodeblock emits all inlets (with fall-through threads placed
@@ -243,6 +144,15 @@ func (rt *Runtime) emitThread(t *Thread) {
 
 // Run executes the simulation to quiescence and verifies the result.
 func (s *Sim) Run() error {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the machine polls
+// the context every machine.CancelCheckInterval instructions, so a
+// cancelled simulation — even a hung one making no scheduling progress
+// — stops within one interval and returns an error wrapping ctx.Err().
+// A context that can never be cancelled costs nothing.
+func (s *Sim) RunContext(ctx context.Context) error {
 	if s.ran {
 		return fmt.Errorf("core: %s/%s already ran", s.Prog.Name, s.Impl)
 	}
@@ -253,7 +163,7 @@ func (s *Sim) Run() error {
 		s.M.SetTracer(s.Collector)
 	}
 	s.M.SetObserver(s.Gran)
-	if err := s.M.Run(); err != nil {
+	if err := s.M.RunContext(ctx); err != nil {
 		return fmt.Errorf("core: %s/%s: %w", s.Prog.Name, s.Impl, err)
 	}
 	s.Gran.TotalInstrs = s.M.Instructions()

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"jmtam/internal/machine"
+	"jmtam/internal/mem"
+	"jmtam/internal/stats"
+	"jmtam/internal/trace"
+	"jmtam/internal/word"
+)
+
+// Compiled is the reusable product of one backend compilation: the
+// runtime (system and user code segments plus system-routine addresses)
+// and a snapshot of the layout assigned to the source program's
+// codeblocks. A Compiled is immutable after Compile, so a serving
+// daemon can cache one per (program, size, impl) and instantiate any
+// number of concurrent simulations from it via NewSim — repeat jobs
+// skip code generation entirely. Each NewSim call must be given its own
+// *Program instance (programs carry per-run Setup/Verify closure state),
+// which NewSim binds to the compiled layout.
+type Compiled struct {
+	Impl Impl
+	RT   *Runtime
+	Code *machine.CodeStore
+
+	progName string
+	blocks   []compiledBlock
+	noMDOpt  bool
+}
+
+// compiledBlock snapshots the layout and code addresses assigned to one
+// codeblock during compilation, keyed for rebinding by structural
+// position.
+type compiledBlock struct {
+	name        string
+	frameWords  int
+	descAddr    uint32
+	inletAddrs  []uint32
+	threadAddrs []uint32
+}
+
+// Compile runs code generation for prog under the given backend and
+// returns the immutable compilation artifact. Only Options fields that
+// affect code generation (NoMDOptimize) are consulted. Code-generation
+// panics (macro misuse in program bodies) are converted into errors.
+func Compile(impl Impl, prog *Program, opt Options) (c *Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("core: building %s/%v: %v", prog.Name, impl, r)
+		}
+	}()
+	if err := prog.validate(); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(impl)
+	rt.mdOpt = !opt.NoMDOptimize
+
+	// Lay out every descriptor before emitting code: FAlloc sites need
+	// target descriptor addresses.
+	addr := uint32(descAreaBase)
+	for _, cb := range prog.Blocks {
+		fw, rcvOff := cb.layout(impl)
+		cb.frameWords = fw
+		_ = rcvOff
+		cb.descAddr = addr
+		addr += uint32(4+cb.NumCounts) * mem.WordBytes
+		if addr > descAreaEnd {
+			return nil, fmt.Errorf("core: descriptor area overflow in %s", prog.Name)
+		}
+		// Reset per-build codegen state (a Program may be compiled by
+		// several backends in one process).
+		cb.needSusp = false
+		cb.suspLabel = cb.Name + ".$susp"
+		for _, t := range cb.threads {
+			t.emitted = false
+			t.entryLCVEmpty = false
+			t.postCount = 0
+			t.addr = 0
+		}
+		for _, in := range cb.inlets {
+			in.addr = 0
+		}
+	}
+
+	for _, cb := range prog.Blocks {
+		rt.emitCodeblock(cb)
+	}
+	if err := rt.User.Finish(); err != nil {
+		return nil, err
+	}
+
+	c = &Compiled{
+		Impl:     impl,
+		RT:       rt,
+		Code:     machine.NewCodeStore(rt.Sys.Code(), rt.User.Code()),
+		progName: prog.Name,
+		noMDOpt:  opt.NoMDOptimize,
+	}
+	for _, cb := range prog.Blocks {
+		b := compiledBlock{
+			name:       cb.Name,
+			frameWords: cb.frameWords,
+			descAddr:   cb.descAddr,
+		}
+		for _, in := range cb.inlets {
+			b.inletAddrs = append(b.inletAddrs, in.addr)
+		}
+		for _, t := range cb.threads {
+			b.threadAddrs = append(b.threadAddrs, t.addr)
+		}
+		c.blocks = append(c.blocks, b)
+	}
+	return c, nil
+}
+
+// bind copies the compiled layout onto prog, which must be structurally
+// identical to the program the artifact was compiled from (same
+// codeblock, inlet and thread sequence — true for any program produced
+// by the same deterministic builder at the same argument). After
+// binding, the program's inlet addresses and frame layouts are valid
+// for Host.Start and Host.AllocFrame against the compiled code.
+func (c *Compiled) bind(prog *Program) error {
+	if prog.Name != c.progName {
+		return fmt.Errorf("core: compiled %s cannot bind program %s", c.progName, prog.Name)
+	}
+	if len(prog.Blocks) != len(c.blocks) {
+		return fmt.Errorf("core: compiled %s: %d codeblocks, program has %d",
+			c.progName, len(c.blocks), len(prog.Blocks))
+	}
+	for i, cb := range prog.Blocks {
+		b := &c.blocks[i]
+		if cb.Name != b.name || len(cb.inlets) != len(b.inletAddrs) ||
+			len(cb.threads) != len(b.threadAddrs) {
+			return fmt.Errorf("core: compiled %s: codeblock %d shape mismatch (%s vs %s)",
+				c.progName, i, b.name, cb.Name)
+		}
+		cb.frameWords = b.frameWords
+		cb.descAddr = b.descAddr
+		for j, in := range cb.inlets {
+			in.addr = b.inletAddrs[j]
+		}
+		for j, t := range cb.threads {
+			t.addr = b.threadAddrs[j]
+			t.emitted = true
+		}
+	}
+	return nil
+}
+
+// NewSim instantiates one ready-to-run simulation from the compiled
+// artifact: fresh memory, a fresh machine sharing the compiled code
+// store, runtime globals and descriptors materialized, the program's
+// Setup run, and (for the AM backends) the scheduler booted. Options
+// fields affecting code generation are ignored here — they were fixed
+// at Compile time. Concurrent NewSim calls on one Compiled are safe as
+// long as each receives its own *Program instance.
+func (c *Compiled) NewSim(prog *Program, opt Options) (sim *Sim, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sim, err = nil, fmt.Errorf("core: building %s/%v: %v", prog.Name, c.Impl, r)
+		}
+	}()
+	if err := c.bind(prog); err != nil {
+		return nil, err
+	}
+	impl := c.Impl
+
+	m := mem.NewDefault()
+	mach := machine.NewMachine(m, c.Code, machine.Config{
+		QueueCapWords:    opt.QueueCapWords,
+		CountQueueWrites: !opt.NoQueueWriteTrace,
+		MaxInstructions:  opt.MaxInstructions,
+	})
+
+	// Initialize runtime globals and materialize descriptors (untraced:
+	// the loader, not the simulated program, performs these writes).
+	m.Store(GFrameBump, word.Ptr(mem.FrameBase))
+	m.Store(GNodeBump, word.Ptr(nodePoolBase))
+	m.Store(GHeapBump, word.Ptr(mem.HeapBase))
+	m.Store(GNodeFree, word.Int(0))
+	m.Store(GReadyHead, word.Int(0))
+	m.Store(GReadyTail, word.Int(0))
+	m.Store(GLCVBase, word.Int(0)) // LCV bottom sentinel
+	m.Store(GLCVTop, word.Ptr(GLCVBase+4))
+	for _, cb := range prog.Blocks {
+		_, rcvOff := cb.layout(impl)
+		m.Store(cb.descAddr+dFrameWords, word.Int(int64(cb.frameWords)))
+		m.Store(cb.descAddr+dNumCounts, word.Int(int64(cb.NumCounts)))
+		m.Store(cb.descAddr+dFreeHead, word.Int(0))
+		m.Store(cb.descAddr+dRCVOff, word.Int(rcvOff))
+		for i, cnt := range cb.InitCounts {
+			m.Store(cb.descAddr+dCounts+uint32(4*i), word.Int(cnt))
+		}
+	}
+
+	sim = &Sim{
+		Impl:      impl,
+		Prog:      prog,
+		RT:        c.RT,
+		M:         mach,
+		Collector: &trace.Collector{},
+		Gran:      &stats.Granularity{},
+		Obs:       opt.Obs,
+	}
+	sim.Host = &Host{sim: sim, heapBump: mem.HeapBase}
+
+	// Attach the sink before Setup runs so boot-time message
+	// injections are observed (their flow arrows start at ts 0).
+	if sim.Obs != nil {
+		mach.SetSink(sim.Obs)
+		sim.Gran.Sink = sim.Obs
+		if sim.Obs.Events != nil {
+			sim.Obs.Events.SetProcessName(int32(mach.Node()),
+				fmt.Sprintf("%s/%s node %d", prog.Name, impl, mach.Node()))
+		}
+	}
+
+	if prog.Setup != nil {
+		if err := prog.Setup(sim.Host); err != nil {
+			return nil, fmt.Errorf("core: %s setup: %w", prog.Name, err)
+		}
+	}
+	if impl == ImplAM || impl == ImplAMEnabled {
+		// The AM backends run their scheduler as a background loop;
+		// the MD and OAM backends are driven entirely by messages.
+		mach.Boot(c.RT.schedAddr)
+	}
+	return sim, nil
+}

@@ -14,7 +14,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
@@ -82,6 +84,20 @@ type Sweep struct {
 	// and attributes cache misses per geometry during replay. Each Run's
 	// registry lands in Run.Metrics. Simulation results are unaffected.
 	CollectMetrics bool
+	// OnProgress, when non-nil, is invoked after each (workload,
+	// implementation) simulation-plus-replay completes. It may be called
+	// concurrently from pool workers; implementations must be their own
+	// synchronization. Progress reporting never affects results.
+	OnProgress func(p Progress)
+}
+
+// Progress describes one completed (workload, implementation) run
+// within a sweep: Done runs out of Total have finished, the latest
+// being Workload under Impl.
+type Progress struct {
+	Done, Total int
+	Workload    Workload
+	Impl        core.Impl
 }
 
 // DefaultSweep returns the paper's full parameter space over the given
@@ -203,6 +219,15 @@ func (d *Dataset) GeoMeanRatio(sizeKB, assoc, penalty int, exclude ...string) fl
 // cancels outstanding work. Execute does not mutate the receiver, so a
 // shared *Sweep is safe to execute concurrently and repeatedly.
 func (s *Sweep) Execute() (*Dataset, error) {
+	return s.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute with cooperative cancellation: simulations
+// poll the context in their step loops, replays check it between
+// geometries, and unclaimed jobs are abandoned once it is cancelled, so
+// a cancelled sweep returns (with an error wrapping ctx.Err()) within
+// one machine.CancelCheckInterval.
+func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 	// Resolve defaults into locals rather than onto the receiver.
 	impls := s.Impls
 	if len(impls) == 0 {
@@ -229,18 +254,27 @@ func (s *Sweep) Execute() (*Dataset, error) {
 	}
 	par := parallel.Workers(s.Parallelism)
 	runs := make([]*Run, len(jobs))
-	err := parallel.ForEach(par, len(jobs), func(i int) error {
+	var done atomic.Int64
+	err := parallel.ForEachContext(ctx, par, len(jobs), func(i int) error {
 		o := s.Options
 		if s.CollectMetrics && o.Obs == nil {
 			// One metrics-only sink per job: registries are not safe
 			// for concurrent use across parallel simulations.
 			o.Obs = obs.NewSink(false)
 		}
-		r, err := RunOnePar(jobs[i].w, jobs[i].impl, geoms, o, par)
+		r, err := RunOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, par)
 		if err != nil {
 			return err
 		}
 		runs[i] = r
+		if s.OnProgress != nil {
+			s.OnProgress(Progress{
+				Done:     int(done.Add(1)),
+				Total:    len(jobs),
+				Workload: jobs[i].w,
+				Impl:     jobs[i].impl,
+			})
+		}
 		return nil
 	})
 	if err != nil {
@@ -265,6 +299,12 @@ func (s *Sweep) Execute() (*Dataset, error) {
 // be replayed through any number of cache geometries without
 // re-simulating.
 func RecordOne(w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recording, error) {
+	return RecordOneContext(context.Background(), w, impl, opt)
+}
+
+// RecordOneContext is RecordOne with cooperative cancellation of the
+// simulation step loop.
+func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recording, error) {
 	spec, err := programs.ByName(w.Name)
 	if err != nil {
 		return nil, nil, err
@@ -278,7 +318,7 @@ func RecordOne(w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recor
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
-	if err := sim.Run(); err != nil {
+	if err := sim.RunContext(ctx); err != nil {
 		return nil, nil, err
 	}
 	r := &Run{
@@ -314,12 +354,18 @@ func RecordOne(w Workload, impl core.Impl, opt core.Options) (*Run, *trace.Recor
 // folded into the registry serially, in geometry order, after the
 // parallel phase.
 func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
+	return ReplayFanOutContext(context.Background(), r, rec, geoms, parallelism)
+}
+
+// ReplayFanOutContext is ReplayFanOut with cooperative cancellation:
+// the context is checked before each geometry replay is claimed.
+func ReplayFanOutContext(ctx context.Context, r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
 	r.Caches = make([]CacheStats, len(geoms))
 	var mcs []trace.MissCounts
 	if r.Metrics != nil {
 		mcs = make([]trace.MissCounts, len(geoms))
 	}
-	err := parallel.ForEach(parallelism, len(geoms), func(g int) error {
+	err := parallel.ForEachContext(ctx, parallelism, len(geoms), func(g int) error {
 		p, err := trace.NewPair(geoms[g])
 		if err != nil {
 			return err
@@ -350,17 +396,23 @@ func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelis
 // its reference stream, then replays it through the given cache
 // geometries on at most parallelism workers.
 func RunOnePar(w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
+	return RunOneParContext(context.Background(), w, impl, geoms, opt, parallelism)
+}
+
+// RunOneParContext is RunOnePar with cooperative cancellation of both
+// the simulation and the replay fan-out.
+func RunOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
 	// Surface geometry errors before paying for a simulation.
 	for _, g := range geoms {
 		if err := g.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	r, rec, err := RecordOne(w, impl, opt)
+	r, rec, err := RecordOneContext(ctx, w, impl, opt)
 	if err != nil {
 		return nil, err
 	}
-	if err := ReplayFanOut(r, rec, geoms, parallelism); err != nil {
+	if err := ReplayFanOutContext(ctx, r, rec, geoms, parallelism); err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -304,6 +305,56 @@ func (m *Machine) Run() (err error) {
 		}
 	}()
 	for !m.halted {
+		pri := m.choose()
+		if pri < 0 {
+			m.halted = true
+			break
+		}
+		m.step(pri)
+		if m.cfg.MaxInstructions != 0 && m.instrs >= m.cfg.MaxInstructions {
+			return fmt.Errorf("%w: instruction limit %d exceeded", ErrTrap, m.cfg.MaxInstructions)
+		}
+	}
+	return m.trapErr
+}
+
+// CancelCheckInterval is the cooperative-cancellation granularity of
+// RunContext: the context is polled once every this many simulated
+// instructions, so a cancelled simulation stops within one interval.
+// The interval is large enough that the poll is invisible next to the
+// per-instruction interpreter work, and small enough that even the
+// longest benchmarks (hundreds of millions of instructions) die
+// promptly.
+const CancelCheckInterval = 1 << 14
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled every CancelCheckInterval instructions, and cancellation halts
+// the machine and returns an error wrapping ctx.Err(). A context that
+// can never be cancelled delegates to Run and pays no per-instruction
+// overhead.
+func (m *Machine) RunContext(ctx context.Context) (err error) {
+	done := ctx.Done()
+	if done == nil {
+		return m.Run()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v (at low ip=%#x high ip=%#x after %d instructions)",
+				ErrTrap, r, m.ip[Low], m.ip[High], m.instrs)
+		}
+	}()
+	nextCheck := m.instrs + CancelCheckInterval
+	for !m.halted {
+		if m.instrs >= nextCheck {
+			nextCheck = m.instrs + CancelCheckInterval
+			select {
+			case <-done:
+				m.halted = true
+				return fmt.Errorf("machine: run cancelled after %d instructions: %w",
+					m.instrs, ctx.Err())
+			default:
+			}
+		}
 		pri := m.choose()
 		if pri < 0 {
 			m.halted = true

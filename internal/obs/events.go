@@ -35,16 +35,36 @@ type threadKey struct {
 	pid, tid int32
 }
 
-// EventBuffer accumulates events in memory and serialises them as a
-// Chrome trace-event JSON object ({"traceEvents": [...]}). Not safe for
-// concurrent use; lockstep multi-node simulation is single-threaded.
+// EventBuffer collects timeline events in one of two modes. In the
+// default in-memory mode it accumulates events and serialises them on
+// demand with WriteJSON. In streaming mode (SetWriter, or the
+// WithEventWriter sink option) every event is written to the underlying
+// io.Writer as it is emitted — the same Chrome trace-event JSON
+// document, produced incrementally in bounded memory — and Finish
+// terminates the document after the run. Either mode can additionally
+// be capped (SetCap / WithEventCap): events past the cap are dropped
+// and counted rather than retained.
+//
+// Not safe for concurrent use; lockstep multi-node simulation is
+// single-threaded, and parallel sweeps give each simulation its own
+// sink.
 type EventBuffer struct {
 	events      []Event
 	procNames   map[int32]string
 	threadNames map[threadKey]string
+
+	cap     int    // 0 = unbounded
+	emitted uint64 // events accepted (retained or streamed)
+	dropped uint64
+
+	w        io.Writer // streaming mode when non-nil
+	werr     error
+	started  bool // streaming: header written
+	anyLine  bool // streaming: at least one record written
+	finished bool
 }
 
-// NewEventBuffer returns an empty buffer.
+// NewEventBuffer returns an empty in-memory buffer.
 func NewEventBuffer() *EventBuffer {
 	return &EventBuffer{
 		procNames:   make(map[int32]string),
@@ -52,32 +72,77 @@ func NewEventBuffer() *EventBuffer {
 	}
 }
 
-// Len returns the number of buffered events (metadata excluded).
-func (b *EventBuffer) Len() int { return len(b.events) }
+// SetCap bounds the number of events the buffer accepts; 0 removes the
+// bound. Events emitted past the cap are dropped and counted.
+func (b *EventBuffer) SetCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	b.cap = n
+}
 
-// Events returns the buffered events in emission order.
+// Cap returns the event cap (0 = unbounded).
+func (b *EventBuffer) Cap() int { return b.cap }
+
+// SetWriter switches the buffer into streaming mode: subsequent events
+// and metadata serialise directly to w instead of accumulating. Call
+// Finish after the run to terminate the JSON document.
+func (b *EventBuffer) SetWriter(w io.Writer) { b.w = w }
+
+// Streaming reports whether the buffer is in streaming mode.
+func (b *EventBuffer) Streaming() bool { return b.w != nil }
+
+// Len returns the number of events accepted (metadata excluded); in
+// streaming mode, the number written.
+func (b *EventBuffer) Len() int { return int(b.emitted) }
+
+// Dropped returns the number of events discarded by the cap.
+func (b *EventBuffer) Dropped() uint64 { return b.dropped }
+
+// Events returns the retained events in emission order (empty in
+// streaming mode).
 func (b *EventBuffer) Events() []Event { return b.events }
 
 // SetProcessName labels a pid on the timeline.
 func (b *EventBuffer) SetProcessName(pid int32, name string) {
 	b.procNames[pid] = name
+	if b.w != nil {
+		b.stream(procMetaJSON(pid, name))
+	}
 }
 
 // SetThreadName labels a (pid, tid) track on the timeline.
 func (b *EventBuffer) SetThreadName(pid, tid int32, name string) {
 	b.threadNames[threadKey{pid, tid}] = name
+	if b.w != nil {
+		b.stream(threadMetaJSON(threadKey{pid, tid}, name))
+	}
+}
+
+// add accepts one event, honouring the cap and the mode.
+func (b *EventBuffer) add(e Event) {
+	if b.cap > 0 && b.emitted >= uint64(b.cap) {
+		b.dropped++
+		return
+	}
+	b.emitted++
+	if b.w != nil {
+		b.stream(eventJSON(&e))
+		return
+	}
+	b.events = append(b.events, e)
 }
 
 // Duration records a complete ('X') event spanning [ts, ts+dur).
 func (b *EventBuffer) Duration(name, cat string, pid, tid int32, ts, dur uint64) {
-	b.events = append(b.events, Event{
+	b.add(Event{
 		Name: name, Ph: PhComplete, Cat: cat, Ts: ts, Dur: dur, Pid: pid, Tid: tid,
 	})
 }
 
 // DurationArg is Duration with one argument attached.
 func (b *EventBuffer) DurationArg(name, cat string, pid, tid int32, ts, dur uint64, argK string, argV uint64) {
-	b.events = append(b.events, Event{
+	b.add(Event{
 		Name: name, Ph: PhComplete, Cat: cat, Ts: ts, Dur: dur, Pid: pid, Tid: tid,
 		ArgK: argK, ArgV: argV,
 	})
@@ -85,32 +150,88 @@ func (b *EventBuffer) DurationArg(name, cat string, pid, tid int32, ts, dur uint
 
 // Instant records a point ('i') event.
 func (b *EventBuffer) Instant(name, cat string, pid, tid int32, ts uint64) {
-	b.events = append(b.events, Event{
+	b.add(Event{
 		Name: name, Ph: PhInstant, Cat: cat, Ts: ts, Pid: pid, Tid: tid,
 	})
 }
 
 // FlowStart records the tail ('s') of flow id at ts.
 func (b *EventBuffer) FlowStart(name, cat string, pid, tid int32, ts, id uint64) {
-	b.events = append(b.events, Event{
+	b.add(Event{
 		Name: name, Ph: PhFlowStart, Cat: cat, Ts: ts, Pid: pid, Tid: tid, ID: id,
 	})
 }
 
 // FlowFinish records the head ('f') of flow id at ts.
 func (b *EventBuffer) FlowFinish(name, cat string, pid, tid int32, ts, id uint64) {
-	b.events = append(b.events, Event{
+	b.add(Event{
 		Name: name, Ph: PhFlowFinish, Cat: cat, Ts: ts, Pid: pid, Tid: tid, ID: id,
 	})
 }
 
-// WriteJSON serialises the buffer in Chrome trace-event JSON object
-// format. Metadata (process/thread names) is emitted first, then events
-// in emission order; "displayTimeUnit" is ms so Perfetto shows the
-// instruction-count timestamps compactly.
+const streamHeader = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+
+// stream writes one serialised record in streaming mode, sticky on the
+// first write error.
+func (b *EventBuffer) stream(s string) {
+	if b.werr != nil || b.finished {
+		return
+	}
+	if !b.started {
+		b.started = true
+		if _, err := io.WriteString(b.w, streamHeader); err != nil {
+			b.werr = err
+			return
+		}
+	}
+	if b.anyLine {
+		s = ",\n" + s
+	}
+	if _, err := io.WriteString(b.w, s); err != nil {
+		b.werr = err
+		return
+	}
+	b.anyLine = true
+}
+
+// Finish terminates the streaming JSON document and returns the first
+// write error, if any. It is a no-op in in-memory mode and idempotent
+// in streaming mode.
+func (b *EventBuffer) Finish() error {
+	if b.w == nil {
+		return nil
+	}
+	if b.finished {
+		return b.werr
+	}
+	b.finished = true
+	if b.werr != nil {
+		return b.werr
+	}
+	if !b.started {
+		b.started = true
+		if _, err := io.WriteString(b.w, streamHeader); err != nil {
+			b.werr = err
+			return b.werr
+		}
+	}
+	if _, err := io.WriteString(b.w, "\n]}\n"); err != nil {
+		b.werr = err
+	}
+	return b.werr
+}
+
+// WriteJSON serialises an in-memory buffer in Chrome trace-event JSON
+// object format. Metadata (process/thread names) is emitted first, then
+// events in emission order; "displayTimeUnit" is ms so Perfetto shows
+// the instruction-count timestamps compactly. A streaming buffer has
+// already written its events; use Finish instead.
 func (b *EventBuffer) WriteJSON(w io.Writer) error {
+	if b.w != nil {
+		return fmt.Errorf("obs: WriteJSON on a streaming event buffer (use Finish)")
+	}
 	var sb strings.Builder
-	sb.WriteString("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n")
+	sb.WriteString(streamHeader)
 	first := true
 	emit := func(s string) {
 		if !first {
@@ -120,36 +241,48 @@ func (b *EventBuffer) WriteJSON(w io.Writer) error {
 		sb.WriteString(s)
 	}
 	for _, pid := range sortedPids(b.procNames) {
-		emit(fmt.Sprintf(`{"name": "process_name", "ph": "M", "pid": %d, "tid": 0, "args": {"name": %q}}`,
-			pid, b.procNames[pid]))
+		emit(procMetaJSON(pid, b.procNames[pid]))
 	}
 	for _, k := range sortedThreadKeys(b.threadNames) {
-		emit(fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": %d, "tid": %d, "args": {"name": %q}}`,
-			k.pid, k.tid, b.threadNames[k]))
+		emit(threadMetaJSON(k, b.threadNames[k]))
 	}
 	for i := range b.events {
-		e := &b.events[i]
-		var line strings.Builder
-		fmt.Fprintf(&line, `{"name": %q, "cat": %q, "ph": %q, "ts": %d, "pid": %d, "tid": %d`,
-			e.Name, e.Cat, string(e.Ph), e.Ts, e.Pid, e.Tid)
-		if e.Ph == PhComplete {
-			fmt.Fprintf(&line, `, "dur": %d`, e.Dur)
-		}
-		if e.Ph == PhFlowStart || e.Ph == PhFlowFinish {
-			fmt.Fprintf(&line, `, "id": %d`, e.ID)
-		}
-		if e.Ph == PhInstant {
-			line.WriteString(`, "s": "t"`)
-		}
-		if e.ArgK != "" {
-			fmt.Fprintf(&line, `, "args": {%q: %d}`, e.ArgK, e.ArgV)
-		}
-		line.WriteString("}")
-		emit(line.String())
+		emit(eventJSON(&b.events[i]))
 	}
 	sb.WriteString("\n]}\n")
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// eventJSON serialises one trace record.
+func eventJSON(e *Event) string {
+	var line strings.Builder
+	fmt.Fprintf(&line, `{"name": %q, "cat": %q, "ph": %q, "ts": %d, "pid": %d, "tid": %d`,
+		e.Name, e.Cat, string(e.Ph), e.Ts, e.Pid, e.Tid)
+	if e.Ph == PhComplete {
+		fmt.Fprintf(&line, `, "dur": %d`, e.Dur)
+	}
+	if e.Ph == PhFlowStart || e.Ph == PhFlowFinish {
+		fmt.Fprintf(&line, `, "id": %d`, e.ID)
+	}
+	if e.Ph == PhInstant {
+		line.WriteString(`, "s": "t"`)
+	}
+	if e.ArgK != "" {
+		fmt.Fprintf(&line, `, "args": {%q: %d}`, e.ArgK, e.ArgV)
+	}
+	line.WriteString("}")
+	return line.String()
+}
+
+func procMetaJSON(pid int32, name string) string {
+	return fmt.Sprintf(`{"name": "process_name", "ph": "M", "pid": %d, "tid": 0, "args": {"name": %q}}`,
+		pid, name)
+}
+
+func threadMetaJSON(k threadKey, name string) string {
+	return fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": %d, "tid": %d, "args": {"name": %q}}`,
+		k.pid, k.tid, name)
 }
 
 func sortedPids(m map[int32]string) []int32 {

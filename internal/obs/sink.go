@@ -1,5 +1,7 @@
 package obs
 
+import "io"
+
 // Track ids within a node's timeline. Handler and inlet spans on a given
 // track are sequential (a span's end may coincide with the next span's
 // start but they never partially overlap), so each track renders as a
@@ -21,12 +23,58 @@ type Sink struct {
 	Events  *EventBuffer
 }
 
-// NewSink returns a sink with a fresh registry, plus an event buffer
-// when withEvents is set.
-func NewSink(withEvents bool) *Sink {
+// Option configures a Sink at construction.
+type Option func(*Sink)
+
+// WithEvents attaches an in-memory timeline event buffer to the sink.
+func WithEvents() Option {
+	return func(s *Sink) { s.ensureEvents() }
+}
+
+// WithEventCap attaches an event buffer that retains (or, in streaming
+// mode, emits) at most n timeline events; later events are dropped and
+// counted (EventBuffer.Dropped). The cap bounds memory on paper-scale
+// runs whose full timelines would not fit.
+func WithEventCap(n int) Option {
+	return func(s *Sink) { s.ensureEvents().SetCap(n) }
+}
+
+// WithEventWriter attaches an event buffer in streaming mode: instead
+// of accumulating the timeline in memory, every event is serialised to
+// w as it is emitted (Chrome trace-event JSON, the same format
+// WriteJSON produces), so arbitrarily long runs trace in bounded
+// memory. Call EventBuffer.Finish after the run to terminate the JSON
+// document. Composes with WithEventCap.
+func WithEventWriter(w io.Writer) Option {
+	return func(s *Sink) { s.ensureEvents().SetWriter(w) }
+}
+
+// New returns a sink with a fresh metrics registry, configured by the
+// given options; with no options the sink is metrics-only.
+func New(opts ...Option) *Sink {
 	s := &Sink{Metrics: NewRegistry()}
-	if withEvents {
-		s.Events = NewEventBuffer()
+	for _, o := range opts {
+		o(s)
 	}
 	return s
+}
+
+// NewSink returns a sink with a fresh registry, plus an event buffer
+// when withEvents is set.
+//
+// Deprecated: use New with WithEvents; NewSink survives as a shim for
+// the original boolean signature.
+func NewSink(withEvents bool) *Sink {
+	if withEvents {
+		return New(WithEvents())
+	}
+	return New()
+}
+
+// ensureEvents attaches an event buffer if the sink lacks one.
+func (s *Sink) ensureEvents() *EventBuffer {
+	if s.Events == nil {
+		s.Events = NewEventBuffer()
+	}
+	return s.Events
 }

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// populate emits a representative mix of metadata and events. Metadata
+// goes first, in sorted order, so the streamed document — which writes
+// records strictly in call order — can be compared byte-for-byte
+// against WriteJSON, which sorts metadata ahead of events.
+func populate(b *EventBuffer) {
+	b.SetProcessName(0, "node 0")
+	b.SetThreadName(0, TrackLow, "low")
+	b.SetThreadName(0, TrackHigh, "high")
+	b.Duration("handler", "am", 0, TrackLow, 10, 5)
+	b.DurationArg("quantum", "tam", 0, TrackHigh, 15, 20, "threads", 3)
+	b.Instant("pri-switch", "sched", 0, TrackLow, 16)
+	b.FlowStart("msg", "net", 0, TrackLow, 17, 1)
+	b.FlowFinish("msg", "net", 0, TrackHigh, 19, 1)
+}
+
+// TestStreamingMatchesWriteJSON checks the tentpole property of the
+// streaming exporter: the incrementally written document is
+// byte-identical to the in-memory one.
+func TestStreamingMatchesWriteJSON(t *testing.T) {
+	mem := NewEventBuffer()
+	populate(mem)
+	var want bytes.Buffer
+	if err := mem.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	str := NewEventBuffer()
+	str.SetWriter(&got)
+	populate(str)
+	if err := str.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("streamed document differs from WriteJSON:\nstream %s\nmemory %s",
+			got.String(), want.String())
+	}
+	if len(str.Events()) != 0 {
+		t.Errorf("streaming buffer retained %d events", len(str.Events()))
+	}
+	if str.Len() != mem.Len() {
+		t.Errorf("streaming Len = %d, memory Len = %d", str.Len(), mem.Len())
+	}
+}
+
+// TestStreamingViaSinkOptions drives the streaming mode the way the
+// façade does, through New with options.
+func TestStreamingViaSinkOptions(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(WithEventWriter(&buf), WithEventCap(2))
+	if s.Events == nil || !s.Events.Streaming() || s.Events.Cap() != 2 {
+		t.Fatalf("options not applied: %+v", s.Events)
+	}
+	for i := 0; i < 5; i++ {
+		s.Events.Instant("e", "c", 0, 0, uint64(i))
+	}
+	if err := s.Events.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events.Len() != 2 || s.Events.Dropped() != 3 {
+		t.Errorf("Len/Dropped = %d/%d, want 2/3", s.Events.Len(), s.Events.Dropped())
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("streamed document does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("%d streamed records, want 2", len(doc.TraceEvents))
+	}
+}
+
+// TestEventCapInMemory checks the cap in buffered mode.
+func TestEventCapInMemory(t *testing.T) {
+	b := NewEventBuffer()
+	b.SetCap(3)
+	for i := 0; i < 10; i++ {
+		b.Instant("e", "c", 0, 0, uint64(i))
+	}
+	if b.Len() != 3 || b.Dropped() != 7 {
+		t.Fatalf("Len/Dropped = %d/%d, want 3/7", b.Len(), b.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("capped document invalid: %s", buf.String())
+	}
+}
+
+// TestStreamingEmptyFinish checks Finish on an untouched streaming
+// buffer still writes a valid document, and stays idempotent.
+func TestStreamingEmptyFinish(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewEventBuffer()
+	b.SetWriter(&buf)
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("second Finish wrote more bytes")
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty streamed document invalid: %s", buf.String())
+	}
+}
+
+// TestStreamingWriteJSONRefused checks the mode confusion guard.
+func TestStreamingWriteJSONRefused(t *testing.T) {
+	b := NewEventBuffer()
+	b.SetWriter(&bytes.Buffer{})
+	if err := b.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on a streaming buffer did not error")
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestStreamingStickyWriteError checks a write failure is latched and
+// reported by Finish without panicking on subsequent events.
+func TestStreamingStickyWriteError(t *testing.T) {
+	b := NewEventBuffer()
+	b.SetWriter(&errWriter{n: 2})
+	for i := 0; i < 5; i++ {
+		b.Instant("e", "c", 0, 0, uint64(i))
+	}
+	if err := b.Finish(); err == nil {
+		t.Fatal("Finish did not report the write error")
+	}
+}

@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,17 +28,41 @@ func Workers(n int) int {
 // index order. The first error stops the pool: running tasks finish,
 // unclaimed tasks are abandoned, and that error is returned.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: the context
+// is checked before each task is claimed, so cancellation stops the
+// pool after at most one in-flight task per worker. When the context is
+// cancelled and no task error occurred first, the context's error is
+// returned. A context that can never be cancelled pays no overhead.
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := ctx.Done()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, deterministic error (lowest
 		// failing index).
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -65,6 +90,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					fail(ctx.Err())
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || stopped.Load() {
 					return

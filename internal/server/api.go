@@ -1,0 +1,287 @@
+// Package server implements tamsimd's HTTP/JSON serving layer: a job
+// registry with NDJSON result streaming, a bounded worker pool for
+// simulation and sweep jobs, a compiled-code cache keyed by (program,
+// size, implementation), and a /metricz endpoint exposing server-wide
+// observability.
+//
+// The package reuses the façade's execution machinery — core.Compile /
+// Compiled.NewSim for cached builds, trace record/replay for the cache
+// fan-out, experiments.Sweep for grids — so a job served over HTTP
+// produces byte-identical results to a direct jmtam.Run call.
+package server
+
+import (
+	"fmt"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+	"jmtam/internal/programs"
+)
+
+// CacheSpec is one cache geometry in wire form.
+type CacheSpec struct {
+	SizeKB     int `json:"size_kb"`
+	BlockBytes int `json:"block_bytes"`
+	Assoc      int `json:"assoc"`
+}
+
+func (c CacheSpec) config() cache.Config {
+	return cache.Config{SizeBytes: c.SizeKB * 1024, BlockBytes: c.BlockBytes, Assoc: c.Assoc}
+}
+
+func specOf(g cache.Config) CacheSpec {
+	return CacheSpec{SizeKB: g.SizeBytes / 1024, BlockBytes: g.BlockBytes, Assoc: g.Assoc}
+}
+
+// parseImpl accepts the CLI's implementation names.
+func parseImpl(s string) (core.Impl, error) {
+	switch s {
+	case "am":
+		return core.ImplAM, nil
+	case "md", "":
+		return core.ImplMD, nil
+	case "am-enabled":
+		return core.ImplAMEnabled, nil
+	case "oam":
+		return core.ImplOAM, nil
+	}
+	return 0, fmt.Errorf("unknown impl %q (want am|md|am-enabled|oam)", s)
+}
+
+// RunRequest submits one simulation: a benchmark at a problem size under
+// one implementation, evaluated against a set of cache geometries.
+// Zero-valued fields take the server defaults (the paper's argument for
+// the program, MD, an 8K 4-way 64-byte cache, penalties 12/24/48).
+type RunRequest struct {
+	Program         string      `json:"program"`
+	Arg             int         `json:"arg,omitempty"`
+	Impl            string      `json:"impl,omitempty"`
+	Caches          []CacheSpec `json:"caches,omitempty"`
+	Penalties       []int       `json:"penalties,omitempty"`
+	MaxInstructions uint64      `json:"max_instructions,omitempty"`
+
+	impl  core.Impl
+	geoms []cache.Config
+}
+
+func (r *RunRequest) normalize(defaultMaxInstrs uint64) error {
+	spec, err := programs.ByName(r.Program)
+	if err != nil {
+		return err
+	}
+	if r.Arg == 0 {
+		r.Arg = spec.Arg
+	}
+	if r.Arg < 0 {
+		return fmt.Errorf("arg %d out of range", r.Arg)
+	}
+	if r.impl, err = parseImpl(r.Impl); err != nil {
+		return err
+	}
+	r.Impl = r.impl.String()
+	if len(r.Caches) == 0 {
+		r.Caches = []CacheSpec{{SizeKB: 8, BlockBytes: 64, Assoc: 4}}
+	}
+	r.geoms = make([]cache.Config, len(r.Caches))
+	for i, c := range r.Caches {
+		g := c.config()
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		r.geoms[i] = g
+	}
+	if len(r.Penalties) == 0 {
+		r.Penalties = []int{12, 24, 48}
+	}
+	for _, p := range r.Penalties {
+		if p < 0 {
+			return fmt.Errorf("penalty %d out of range", p)
+		}
+	}
+	if r.MaxInstructions == 0 {
+		r.MaxInstructions = defaultMaxInstrs
+	}
+	return nil
+}
+
+// CycleCount is total execution cycles under one miss penalty.
+type CycleCount struct {
+	Penalty int    `json:"penalty"`
+	Cycles  uint64 `json:"cycles"`
+}
+
+// CacheResult reports one geometry's misses and derived cycle counts.
+type CacheResult struct {
+	CacheSpec
+	IMisses    uint64       `json:"i_misses"`
+	DMisses    uint64       `json:"d_misses"`
+	Writebacks uint64       `json:"writebacks"`
+	Cycles     []CycleCount `json:"cycles"`
+}
+
+// RunResult is the final document of a run job: the simulation summary
+// plus per-geometry cache statistics.
+type RunResult struct {
+	Program      string        `json:"program"`
+	Arg          int           `json:"arg"`
+	Impl         string        `json:"impl"`
+	Instructions uint64        `json:"instructions"`
+	Reads        uint64        `json:"reads"`
+	Writes       uint64        `json:"writes"`
+	Threads      uint64        `json:"threads"`
+	Quanta       uint64        `json:"quanta"`
+	TPQ          float64       `json:"tpq"`
+	IPT          float64       `json:"ipt"`
+	IPQ          float64       `json:"ipq"`
+	Caches       []CacheResult `json:"caches"`
+}
+
+// runResultOf converts a façade-shaped result (the run summary plus
+// per-geometry stats) into the wire document. It is the single
+// conversion point, so a server job and a direct jmtam.Run compared
+// through it are byte-identical by construction or not at all.
+func runResultOf(program string, arg int, impl core.Impl, instrs, reads, writes, threads, quanta uint64,
+	tpq, ipt, ipq float64, stats []experiments.CacheStats, penalties []int) *RunResult {
+	res := &RunResult{
+		Program:      program,
+		Arg:          arg,
+		Impl:         impl.String(),
+		Instructions: instrs,
+		Reads:        reads,
+		Writes:       writes,
+		Threads:      threads,
+		Quanta:       quanta,
+		TPQ:          tpq,
+		IPT:          ipt,
+		IPQ:          ipq,
+		Caches:       make([]CacheResult, len(stats)),
+	}
+	for i, c := range stats {
+		cr := CacheResult{
+			CacheSpec:  specOf(c.Config),
+			IMisses:    c.IMisses,
+			DMisses:    c.DMisses,
+			Writebacks: c.Writebacks,
+			Cycles:     make([]CycleCount, len(penalties)),
+		}
+		for j, p := range penalties {
+			cr.Cycles[j] = CycleCount{
+				Penalty: p,
+				Cycles:  instrs + uint64(p)*(c.IMisses+c.DMisses),
+			}
+		}
+		res.Caches[i] = cr
+	}
+	return res
+}
+
+// SweepRequest submits a parameter-space sweep: workloads × impls ×
+// cache geometries, the experiments.Sweep grid over HTTP. Scale picks a
+// preset workload list ("quick" reduced sizes, "paper" the full Table 2
+// arguments) when Workloads is empty.
+type SweepRequest struct {
+	Scale      string         `json:"scale,omitempty"`
+	Workloads  []WorkloadSpec `json:"workloads,omitempty"`
+	SizesKB    []int          `json:"sizes_kb,omitempty"`
+	Assocs     []int          `json:"assocs,omitempty"`
+	BlockBytes int            `json:"block_bytes,omitempty"`
+	Penalties  []int          `json:"penalties,omitempty"`
+	Impls      []string       `json:"impls,omitempty"`
+
+	impls []core.Impl
+}
+
+// WorkloadSpec names one benchmark instance in wire form.
+type WorkloadSpec struct {
+	Program string `json:"program"`
+	Arg     int    `json:"arg,omitempty"`
+}
+
+func (r *SweepRequest) normalize() error {
+	if len(r.Workloads) == 0 {
+		var ws []experiments.Workload
+		switch r.Scale {
+		case "", "quick":
+			r.Scale = "quick"
+			ws = experiments.QuickWorkloads()
+		case "paper":
+			ws = experiments.PaperWorkloads()
+		default:
+			return fmt.Errorf("unknown scale %q (want quick|paper)", r.Scale)
+		}
+		for _, w := range ws {
+			r.Workloads = append(r.Workloads, WorkloadSpec{Program: w.Name, Arg: w.Arg})
+		}
+	}
+	for i, w := range r.Workloads {
+		spec, err := programs.ByName(w.Program)
+		if err != nil {
+			return err
+		}
+		if w.Arg == 0 {
+			r.Workloads[i].Arg = spec.Arg
+		}
+	}
+	if len(r.SizesKB) == 0 {
+		r.SizesKB = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	}
+	if len(r.Assocs) == 0 {
+		r.Assocs = []int{1, 2, 4}
+	}
+	if r.BlockBytes == 0 {
+		r.BlockBytes = 64
+	}
+	if len(r.Penalties) == 0 {
+		r.Penalties = []int{12, 24, 48}
+	}
+	if len(r.Impls) == 0 {
+		r.Impls = []string{"md", "am"}
+	}
+	r.impls = make([]core.Impl, len(r.Impls))
+	for i, s := range r.Impls {
+		impl, err := parseImpl(s)
+		if err != nil {
+			return err
+		}
+		r.impls[i] = impl
+	}
+	return nil
+}
+
+// SweepRunSummary is one (workload, implementation) outcome within a
+// sweep result: granularity only; per-geometry detail stays in the
+// ratio tables.
+type SweepRunSummary struct {
+	Program      string  `json:"program"`
+	Arg          int     `json:"arg"`
+	Impl         string  `json:"impl"`
+	Instructions uint64  `json:"instructions"`
+	TPQ          float64 `json:"tpq"`
+	IPT          float64 `json:"ipt"`
+	IPQ          float64 `json:"ipq"`
+}
+
+// Table2Row mirrors experiments.Table2Row in wire form.
+type Table2Row struct {
+	Program string  `json:"program"`
+	TPQMD   float64 `json:"tpq_md"`
+	TPQAM   float64 `json:"tpq_am"`
+	IPTMD   float64 `json:"ipt_md"`
+	IPTAM   float64 `json:"ipt_am"`
+	IPQMD   float64 `json:"ipq_md"`
+	IPQAM   float64 `json:"ipq_am"`
+	Ratio12 float64 `json:"ratio_12"`
+	Ratio24 float64 `json:"ratio_24"`
+	Ratio48 float64 `json:"ratio_48"`
+}
+
+// SweepResult is the final document of a sweep job.
+type SweepResult struct {
+	Workloads []WorkloadSpec    `json:"workloads"`
+	Geoms     []CacheSpec       `json:"geoms"`
+	Runs      []SweepRunSummary `json:"runs"`
+	// Table2 is present when the sweep covers the 8K 4-way geometry
+	// (the paper's Table 2 reference point) and both MD and AM.
+	Table2 []Table2Row `json:"table2,omitempty"`
+}

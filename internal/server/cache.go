@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+
+	"jmtam/internal/core"
+)
+
+// cacheKey identifies one compiled artifact: the code store and layout
+// for a (program, problem size, implementation) triple are immutable
+// once built, so repeat jobs bind a fresh Program onto the cached
+// artifact and skip code generation entirely.
+type cacheKey struct {
+	prog string
+	arg  int
+	impl core.Impl
+}
+
+// codeCache is a bounded FIFO cache of compiled artifacts. The compile
+// itself runs outside the lock — two racing jobs for the same key may
+// both compile, and the later insert wins; that wastes one compile but
+// never blocks unrelated jobs behind a slow build.
+type codeCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*core.Compiled
+	order   []cacheKey
+	hits    uint64
+	misses  uint64
+}
+
+func newCodeCache(max int) *codeCache {
+	if max <= 0 {
+		max = 32
+	}
+	return &codeCache{max: max, entries: make(map[cacheKey]*core.Compiled)}
+}
+
+// get returns the cached artifact for k, compiling (and inserting) on a
+// miss. The returned bool reports a hit.
+func (c *codeCache) get(k cacheKey, compile func() (*core.Compiled, error)) (*core.Compiled, bool, error) {
+	c.mu.Lock()
+	if comp, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return comp, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	comp, err := compile()
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if _, ok := c.entries[k]; !ok {
+		c.entries[k] = comp
+		c.order = append(c.order, k)
+		if len(c.order) > c.max {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, evict)
+		}
+	}
+	c.mu.Unlock()
+	return comp, false, nil
+}
+
+// stats returns (hits, misses, entries).
+func (c *codeCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

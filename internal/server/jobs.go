@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted run or sweep. Every NDJSON line a job emits is
+// retained, so a subscriber — the submitting request or a later
+// GET ?stream=1 — replays the event stream from the beginning and then
+// follows live; nothing is dropped and late joiners see a complete
+// stream.
+type Job struct {
+	ID      string
+	Kind    string // "run" or "sweep"
+	Created time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  JobState
+	errMsg string
+	result json.RawMessage
+	lines  [][]byte
+	cancel context.CancelFunc
+}
+
+func newJob(id, kind string) *Job {
+	j := &Job{ID: id, Kind: kind, Created: time.Now(), state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// emit appends one NDJSON line (the JSON encoding of v) and wakes
+// subscribers.
+func (j *Job) emit(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"type":"error","error":%q}`, err.Error()))
+	}
+	j.mu.Lock()
+	j.lines = append(j.lines, b)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// setRunning moves queued → running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// setState records the job's state.
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state. The caller emits the final
+// NDJSON line before calling finish, so a subscriber that observes the
+// terminal state has the complete stream.
+func (j *Job) finish(state JobState, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cancel requests cooperative cancellation; it is idempotent and a
+// no-op once the job is terminal.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (j *Job) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	State  JobState        `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job for GET /v1/runs/{id}.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.ID, Kind: j.Kind, State: j.state, Error: j.errMsg, Result: j.result}
+}
+
+// streamTo writes the job's NDJSON lines to w from the beginning,
+// flushing after every batch, and returns once the job is terminal and
+// fully drained (or the write fails — the subscriber went away).
+func (j *Job) streamTo(w http.ResponseWriter) {
+	fl, _ := w.(http.Flusher)
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.lines) && !j.state.terminal() {
+			j.cond.Wait()
+		}
+		batch := j.lines[next:]
+		next = len(j.lines)
+		done := j.state.terminal() && next == len(j.lines)
+		j.mu.Unlock()
+		for _, line := range batch {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		if fl != nil && len(batch) > 0 {
+			fl.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// jobRegistry indexes jobs by ID and assigns deterministic sequential
+// IDs ("r-000001", "s-000002", ...).
+type jobRegistry struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*Job
+	order []string
+}
+
+func newJobRegistry() *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*Job)}
+}
+
+func (r *jobRegistry) add(kind string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	id := fmt.Sprintf("%c-%06d", kind[0], r.seq)
+	j := newJob(id, kind)
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	return j
+}
+
+func (r *jobRegistry) get(id string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+func (r *jobRegistry) list() []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Job, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.jobs[id])
+	}
+	return out
+}

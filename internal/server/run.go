@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+	"jmtam/internal/parallel"
+	"jmtam/internal/programs"
+	"jmtam/internal/trace"
+)
+
+// executeRun runs one simulation job: bind a fresh Program onto the
+// cached (or freshly compiled) artifact, simulate once with a trace
+// recording attached, then fan the recording out across the requested
+// cache geometries, emitting one NDJSON progress event per completed
+// geometry. The arithmetic is the same as jmtam.Run's — one recording,
+// ReplayPair per geometry, position-indexed assembly — so the result
+// document matches a direct façade call exactly.
+func (s *Server) executeRun(ctx context.Context, job *Job, req *RunRequest) (json.RawMessage, error) {
+	spec, err := programs.ByName(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	// Programs carry per-run closure state (Setup/Verify), so every job
+	// gets a fresh Program; only the immutable compiled artifact is
+	// shared across jobs.
+	prog := spec.Build(req.Arg)
+	key := cacheKey{prog: req.Program, arg: req.Arg, impl: req.impl}
+	opt := core.Options{MaxInstructions: req.MaxInstructions}
+	comp, hit, err := s.cache.get(key, func() (*core.Compiled, error) {
+		return core.Compile(req.impl, prog, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := comp.NewSim(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	rec := &trace.Recording{}
+	sim.Tracer = rec
+	if err := sim.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	job.emit(map[string]any{
+		"type": "simulated", "id": job.ID,
+		"instructions": sim.M.Instructions(), "cache_hit": hit,
+	})
+
+	stats := make([]experiments.CacheStats, len(req.geoms))
+	err = parallel.ForEachContext(ctx, s.cfg.ReplayParallelism, len(req.geoms), func(i int) error {
+		pr, err := rec.ReplayPair(req.geoms[i])
+		if err != nil {
+			return err
+		}
+		stats[i] = experiments.CacheStats{
+			Config:     pr.I.Config(),
+			IMisses:    pr.I.Stats().Misses,
+			DMisses:    pr.D.Stats().Misses,
+			Writebacks: pr.D.Stats().Writebacks,
+		}
+		job.emit(map[string]any{
+			"type": "geometry", "id": job.ID, "index": i,
+			"cache":      specOf(stats[i].Config),
+			"i_misses":   stats[i].IMisses,
+			"d_misses":   stats[i].DMisses,
+			"writebacks": stats[i].Writebacks,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := runResultOf(req.Program, req.Arg, req.impl,
+		sim.M.Instructions(), rec.TotalReads(), rec.TotalWrites(),
+		sim.Gran.Threads, sim.Gran.Quanta,
+		sim.Gran.TPQ(), sim.Gran.IPT(), sim.Gran.IPQ(),
+		stats, req.Penalties)
+	return json.Marshal(res)
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"jmtam/internal/obs"
+	"jmtam/internal/parallel"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds the number of concurrently executing jobs
+	// (0 = GOMAXPROCS). Jobs past the bound queue until a slot frees.
+	Workers int
+	// ReplayParallelism bounds the geometry-replay fan-out within one
+	// job (0 = 1): the job pool is the unit of concurrency, so per-job
+	// fan-out defaults to serial, which also makes a job's geometry
+	// progress events arrive in index order.
+	ReplayParallelism int
+	// CacheEntries bounds the compiled-code cache (0 = 32 artifacts).
+	CacheEntries int
+	// DefaultMaxInstructions is the per-simulation instruction budget
+	// applied when a request leaves max_instructions unset
+	// (0 = 2e9, the experiments package's default).
+	DefaultMaxInstructions uint64
+	// MaxBodyBytes bounds request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the tamsimd serving state: job registry, worker pool,
+// compiled-code cache and the server-wide metrics registry.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	pool  *parallel.Pool
+	jobs  *jobRegistry
+	cache *codeCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// regMu guards reg: obs.Registry is not safe for concurrent use,
+	// and handler goroutines update it concurrently.
+	regMu sync.Mutex
+	reg   *obs.Registry
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.DefaultMaxInstructions == 0 {
+		cfg.DefaultMaxInstructions = 2_000_000_000
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.ReplayParallelism == 0 {
+		cfg.ReplayParallelism = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		pool:       parallel.NewPool(cfg.Workers),
+		jobs:       newJobRegistry(),
+		cache:      newCodeCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		reg:        obs.NewRegistry(),
+	}
+	s.routes()
+	return s
+}
+
+// Close cancels every outstanding job and waits for the workers to
+// drain.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.count("http.requests", 1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/runs", s.handleRunSubmit)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// --- metrics helpers --------------------------------------------------------
+
+func (s *Server) count(name string, d uint64) {
+	s.regMu.Lock()
+	s.reg.Counter(name).Add(d)
+	s.regMu.Unlock()
+}
+
+func (s *Server) gauge(name string, d int64) {
+	s.regMu.Lock()
+	s.reg.Gauge(name).Add(d)
+	s.regMu.Unlock()
+}
+
+func (s *Server) observe(name string, v uint64) {
+	s.regMu.Lock()
+	s.reg.Histogram(name).Observe(v)
+	s.regMu.Unlock()
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	hits, misses, entries := s.cache.stats()
+	s.reg.Counter("codecache.hits").Add(hits - s.reg.Counter("codecache.hits").Value())
+	s.reg.Counter("codecache.misses").Add(misses - s.reg.Counter("codecache.misses").Value())
+	s.reg.Gauge("codecache.entries").Set(int64(entries))
+	s.reg.Gauge("pool.slots").Set(int64(s.pool.Cap()))
+	s.reg.Gauge("pool.in_use").Set(int64(s.pool.InUse()))
+	if err := s.reg.WriteJSON(w); err != nil {
+		// The header is already out; nothing useful to do.
+		return
+	}
+}
+
+// --- submission -------------------------------------------------------------
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := s.decode(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.normalize(s.cfg.DefaultMaxInstructions); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := s.submit("run", func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		return s.executeRun(ctx, j, &req)
+	})
+	s.respondToSubmit(w, r, job)
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := s.submit("sweep", func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		return s.executeSweep(ctx, j, &req)
+	})
+	s.respondToSubmit(w, r, job)
+}
+
+// submit registers a job and launches its lifecycle goroutine: acquire
+// a pool slot (counted as queue time), execute, and publish the
+// terminal event + state.
+func (s *Server) submit(kind string, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) *Job {
+	job := s.jobs.add(kind)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.setCancel(cancel)
+	s.count("jobs.submitted", 1)
+	s.gauge("jobs.queued", 1)
+	job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": kind})
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		start := time.Now()
+		err := s.pool.Acquire(ctx)
+		s.gauge("jobs.queued", -1)
+		if err != nil {
+			s.finishJob(job, nil, err, start)
+			return
+		}
+		defer s.pool.Release()
+		s.gauge("jobs.running", 1)
+		s.count("jobs.started", 1)
+		job.setRunning()
+		job.emit(map[string]any{"type": "started", "id": job.ID,
+			"queue_ms": time.Since(start).Milliseconds()})
+		result, err := exec(ctx, job)
+		s.gauge("jobs.running", -1)
+		s.finishJob(job, result, err, start)
+	}()
+	return job
+}
+
+// finishJob emits the terminal NDJSON line, moves the job to its
+// terminal state and records latency metrics.
+func (s *Server) finishJob(job *Job, result json.RawMessage, err error, start time.Time) {
+	ms := uint64(time.Since(start).Milliseconds())
+	switch {
+	case err == nil:
+		job.emit(map[string]any{"type": "result", "id": job.ID, "result": result})
+		job.finish(StateDone, result, "")
+		s.count("jobs.finished", 1)
+	case errors.Is(err, context.Canceled):
+		job.emit(map[string]any{"type": "canceled", "id": job.ID, "error": err.Error()})
+		job.finish(StateCanceled, nil, err.Error())
+		s.count("jobs.canceled", 1)
+	default:
+		job.emit(map[string]any{"type": "error", "id": job.ID, "error": err.Error()})
+		job.finish(StateFailed, nil, err.Error())
+		s.count("jobs.failed", 1)
+	}
+	s.observe("job.latency.ms."+job.Kind, ms)
+}
+
+// respondToSubmit either streams the job's NDJSON event stream on the
+// open connection (the default; closing the connection cancels the
+// job) or, with ?detach=1, returns 202 with the job document
+// immediately.
+func (s *Server) respondToSubmit(w http.ResponseWriter, r *http.Request, job *Job) {
+	if r.URL.Query().Get("detach") == "1" {
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// A submitter that goes away takes its job with it; detached jobs
+	// have no watcher and run to completion.
+	stop := context.AfterFunc(r.Context(), job.Cancel)
+	defer stop()
+	job.streamTo(w)
+}
+
+// --- status, streaming, cancellation ---------------------------------------
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Result = nil // list view stays compact
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job := s.jobs.get(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	if r.URL.Query().Get("stream") == "1" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		job.streamTo(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobs.get(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Status())
+}

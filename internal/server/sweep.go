@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+)
+
+// executeSweep runs a grid job through experiments.Sweep, relaying its
+// progress callback as NDJSON events. Sweeps bypass the compiled-code
+// cache: a grid simulates each (workload, impl) exactly once anyway, so
+// caching would only pin paper-scale artifacts for no repeat benefit.
+func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
+	sw := &experiments.Sweep{
+		SizesKB:     req.SizesKB,
+		Assocs:      req.Assocs,
+		BlockBytes:  req.BlockBytes,
+		Penalties:   req.Penalties,
+		Impls:       req.impls,
+		Parallelism: s.cfg.ReplayParallelism,
+		OnProgress: func(p experiments.Progress) {
+			job.emit(map[string]any{
+				"type": "run", "id": job.ID,
+				"done": p.Done, "total": p.Total,
+				"program": p.Workload.Name, "arg": p.Workload.Arg,
+				"impl": p.Impl.String(),
+			})
+		},
+	}
+	for _, w := range req.Workloads {
+		sw.Workloads = append(sw.Workloads, experiments.Workload{Name: w.Program, Arg: w.Arg})
+	}
+	ds, err := sw.ExecuteContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Workloads: req.Workloads}
+	for _, g := range ds.Geoms {
+		res.Geoms = append(res.Geoms, specOf(g))
+	}
+	for _, w := range sw.Workloads {
+		for _, impl := range sw.Impls {
+			r := ds.Runs[w.Name][impl]
+			if r == nil {
+				continue
+			}
+			res.Runs = append(res.Runs, SweepRunSummary{
+				Program:      w.Name,
+				Arg:          w.Arg,
+				Impl:         impl.String(),
+				Instructions: r.Instructions,
+				TPQ:          r.TPQ,
+				IPT:          r.IPT,
+				IPQ:          r.IPQ,
+			})
+		}
+	}
+	if ds.GeomIndex(8, 4) >= 0 && hasImpl(sw.Impls, core.ImplMD) && hasImpl(sw.Impls, core.ImplAM) {
+		for _, row := range experiments.Table2(ds) {
+			res.Table2 = append(res.Table2, Table2Row{
+				Program: row.Program,
+				TPQMD:   row.TPQMD, TPQAM: row.TPQAM,
+				IPTMD: row.IPTMD, IPTAM: row.IPTAM,
+				IPQMD: row.IPQMD, IPQAM: row.IPQAM,
+				Ratio12: row.Ratio12, Ratio24: row.Ratio24, Ratio48: row.Ratio48,
+			})
+		}
+	}
+	return json.Marshal(res)
+}
+
+func hasImpl(impls []core.Impl, want core.Impl) bool {
+	for _, i := range impls {
+		if i == want {
+			return true
+		}
+	}
+	return false
+}

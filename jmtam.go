@@ -26,7 +26,9 @@
 package jmtam
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
@@ -83,9 +85,33 @@ type (
 	Histogram   = obs.Histogram
 )
 
-// NewSink returns a sink with a metrics registry and, when withEvents is
-// set, a timeline event buffer.
-func NewSink(withEvents bool) *Sink { return obs.NewSink(withEvents) }
+// SinkOption configures a Sink at construction; see NewSink.
+type SinkOption = obs.Option
+
+// WithEvents attaches an in-memory timeline event buffer to the sink,
+// exportable with EventBuffer.WriteJSON and loadable in Perfetto.
+func WithEvents() SinkOption { return obs.WithEvents() }
+
+// WithEventCap bounds the timeline at n events; later events are
+// dropped and counted (EventBuffer.Dropped), so paper-scale runs can be
+// traced without unbounded buffers.
+func WithEventCap(n int) SinkOption { return obs.WithEventCap(n) }
+
+// WithEventWriter streams the timeline to w as events are emitted (the
+// same Chrome-trace-event JSON WriteJSON produces, built incrementally
+// in bounded memory). Call EventBuffer.Finish after the run to
+// terminate the document.
+func WithEventWriter(w io.Writer) SinkOption { return obs.WithEventWriter(w) }
+
+// NewSink returns a sink with a metrics registry, configured by the
+// given options: NewSink() is metrics-only; add WithEvents,
+// WithEventCap or WithEventWriter for a timeline.
+func NewSink(opts ...SinkOption) *Sink { return obs.New(opts...) }
+
+// NewSinkWithEvents is the redesigned NewSink's predecessor.
+//
+// Deprecated: use NewSink with the WithEvents option.
+func NewSinkWithEvents(withEvents bool) *Sink { return obs.NewSink(withEvents) }
 
 // RenderMetrics renders a metrics registry as an ASCII report: counters,
 // gauges, then histograms as bar charts.
@@ -112,6 +138,16 @@ func Ptr(a uint32) Word { return word.Ptr(a) }
 // ready-to-run simulation. Attach cache geometries through
 // Sim.Collector.AddPair before calling Sim.Run.
 func Build(impl Impl, p *Program, opt Options) (*Sim, error) {
+	return core.Build(impl, p, opt)
+}
+
+// BuildContext is Build honouring a context: an already-cancelled
+// context returns its error without compiling, and the returned Sim's
+// RunContext continues the cancellation story into the step loop.
+func BuildContext(ctx context.Context, impl Impl, p *Program, opt Options) (*Sim, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return core.Build(impl, p, opt)
 }
 
@@ -168,19 +204,28 @@ func (r *Result) Cycles(i, penalty int) uint64 {
 // recording through each cache pair concurrently (bounded by
 // GOMAXPROCS), yielding statistics identical to inline evaluation.
 func Run(impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, error) {
+	return RunContext(context.Background(), impl, p, opt, geoms...)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// the context every machine.CancelCheckInterval instructions and the
+// geometry fan-out checks it between replays, so a cancelled run — even
+// one hung mid-benchmark — returns an error wrapping ctx.Err() within
+// one check interval.
+func RunContext(ctx context.Context, impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, error) {
 	// Surface geometry errors before paying for a simulation.
 	for _, g := range geoms {
 		if err := g.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	sim, err := core.Build(impl, p, opt)
+	sim, err := BuildContext(ctx, impl, p, opt)
 	if err != nil {
 		return nil, err
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
-	if err := sim.Run(); err != nil {
+	if err := sim.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -196,7 +241,7 @@ func Run(impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, err
 		IPQ:          sim.Gran.IPQ(),
 		Caches:       make([]experiments.CacheStats, len(geoms)),
 	}
-	err = parallel.ForEach(0, len(geoms), func(i int) error {
+	err = parallel.ForEachContext(ctx, 0, len(geoms), func(i int) error {
 		pr, err := rec.ReplayPair(geoms[i])
 		if err != nil {
 			return err

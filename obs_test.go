@@ -28,7 +28,11 @@ type traceEvent struct {
 
 func runWithSink(t *testing.T, impl Impl, withEvents bool) (*Result, *Sink) {
 	t.Helper()
-	snk := NewSink(withEvents)
+	var opts []SinkOption
+	if withEvents {
+		opts = append(opts, WithEvents())
+	}
+	snk := NewSink(opts...)
 	res, err := Run(impl, Benchmark("qs", 16), Options{Obs: snk},
 		CacheConfig{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4})
 	if err != nil {
