@@ -4,25 +4,37 @@
 //
 //	benchjson                      # writes BENCH_table2.json
 //	benchjson -o /tmp/bench.json -scale paper
+//	benchjson -distributed 2       # same sweep through the shard coordinator
 //
 // The "quick" scale (the default) matches BenchmarkTable2 in the root
-// package; "paper" runs the full benchmark arguments.
+// package; "paper" runs the full benchmark arguments. With -distributed N
+// the sweep is farmed out across N in-process tamsimd workers over
+// loopback HTTP — same numbers, plus the coordinator and serving
+// overhead in the timing.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 
 	"jmtam/internal/experiments"
+	"jmtam/internal/server"
+	"jmtam/internal/shard"
+	"jmtam/internal/stats"
 )
 
 // result is the schema of BENCH_table2.json.
 type result struct {
-	Scale   string  `json:"scale"`
-	MsPerOp float64 `json:"ms_per_op"`
+	Scale string `json:"scale"`
+	// Distributed is the worker count when the sweep ran through the
+	// shard coordinator; absent for the in-process path.
+	Distributed int     `json:"distributed,omitempty"`
+	MsPerOp     float64 `json:"ms_per_op"`
 	// GeomeanRatio maps miss penalty (cycles) to the geometric-mean
 	// MD/AM cycle ratio at the headline 8K 4-way geometry.
 	GeomeanRatio map[string]float64 `json:"geomean_md_am_ratio_8k_4way"`
@@ -33,6 +45,7 @@ type result struct {
 func main() {
 	out := flag.String("o", "BENCH_table2.json", "output file")
 	scale := flag.String("scale", "quick", "workload scale: quick|paper")
+	distributed := flag.Int("distributed", 0, "farm the sweep across N in-process workers over loopback HTTP (0 = run in-process)")
 	flag.Parse()
 
 	var ws []experiments.Workload
@@ -46,29 +59,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	var ds *experiments.Dataset
-	br := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			var err error
-			ds, err = experiments.DefaultSweep(ws).Execute()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
-			}
-		}
-	})
-
 	res := result{
 		Scale:        *scale,
-		MsPerOp:      float64(br.NsPerOp()) / 1e6,
+		Distributed:  *distributed,
 		GeomeanRatio: map[string]float64{},
 		PerProgram:   map[string]float64{},
 	}
-	for _, p := range ds.Sweep.Penalties {
-		res.GeomeanRatio[fmt.Sprintf("miss%d", p)] = ds.GeoMeanRatio(8, 4, p)
-	}
-	for _, w := range ds.Sweep.Workloads {
-		res.PerProgram[w.Name] = ds.Ratio(w.Name, 8, 4, 24)
+	if *distributed > 0 {
+		benchDistributed(&res, ws, *distributed)
+	} else {
+		benchLocal(&res, ws)
 	}
 
 	buf, err := json.MarshalIndent(res, "", "  ")
@@ -83,4 +83,93 @@ func main() {
 	}
 	fmt.Printf("%s: %.1f ms/op, geomean ratio (miss 24) %.4f\n",
 		*out, res.MsPerOp, res.GeomeanRatio["miss24"])
+}
+
+func benchLocal(res *result, ws []experiments.Workload) {
+	var ds *experiments.Dataset
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			ds, err = experiments.DefaultSweep(ws).Execute()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+	})
+	res.MsPerOp = float64(br.NsPerOp()) / 1e6
+	for _, p := range ds.Sweep.Penalties {
+		res.GeomeanRatio[fmt.Sprintf("miss%d", p)] = ds.GeoMeanRatio(8, 4, p)
+	}
+	for _, w := range ds.Sweep.Workloads {
+		res.PerProgram[w.Name] = ds.Ratio(w.Name, 8, 4, 24)
+	}
+}
+
+// benchDistributed times the same grid through the shard coordinator
+// against n in-process tamsimd workers on loopback HTTP, then derives
+// the ratio tables from the position-indexed unit results.
+func benchDistributed(res *result, ws []experiments.Workload, n int) {
+	sw := experiments.DefaultSweep(ws)
+	spec := &shard.Spec{
+		SizesKB:    sw.SizesKB,
+		Assocs:     sw.Assocs,
+		BlockBytes: sw.BlockBytes,
+		Penalties:  sw.Penalties,
+		Impls:      []string{"md", "am"},
+	}
+	for _, w := range ws {
+		spec.Workloads = append(spec.Workloads, shard.Workload{Program: w.Name, Arg: w.Arg})
+	}
+	var workers []string
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		workers = append(workers, ts.URL)
+	}
+	coord := shard.New(shard.Config{Workers: workers})
+
+	var units []shard.UnitResult
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			units, err = coord.Run(context.Background(), spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+	})
+	res.MsPerOp = float64(br.NsPerOp()) / 1e6
+
+	g84 := -1
+	for i, g := range spec.CacheConfigs() {
+		if g.SizeBytes == 8*1024 && g.Assoc == 4 {
+			g84 = i
+			break
+		}
+	}
+	cycles := func(u shard.UnitResult, p int) uint64 {
+		c := u.Caches[g84]
+		return u.Instructions + uint64(p)*(c.IMisses+c.DMisses)
+	}
+	// Units are workload-major, impl-minor and spec.Impls is [md, am].
+	for _, p := range spec.Penalties {
+		var xs []float64
+		for wi := range spec.Workloads {
+			md, am := units[2*wi], units[2*wi+1]
+			r := float64(cycles(md, p)) / float64(cycles(am, p))
+			xs = append(xs, r)
+			if p == 24 {
+				res.PerProgram[md.Program] = r
+			}
+		}
+		res.GeomeanRatio[fmt.Sprintf("miss%d", p)] = stats.GeoMean(xs)
+	}
 }

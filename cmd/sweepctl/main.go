@@ -1,0 +1,182 @@
+// Command sweepctl drives a tamsimd daemon's sweep API from the shell:
+//
+//	sweepctl                                  # submit the quick grid, follow progress
+//	sweepctl -scale paper -o table2.json      # full Table 2 grid, result to a file
+//	sweepctl -f req.json -detail              # submit a hand-written request
+//	sweepctl -status s-000001                 # poll one job
+//	sweepctl -cancel s-000001                 # cancel one job
+//
+// Submissions stream the job's NDJSON events: progress lines (including
+// the coordinator's per-shard lease/retry/re-queue events when the
+// daemon is sharding across workers) go to stderr, the final result
+// document to stdout or -o. With -detach the job ID is printed
+// immediately instead and the job keeps running on the daemon.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8347", "tamsimd base URL")
+	scale := flag.String("scale", "quick", "workload scale when no -f request: quick|paper")
+	reqFile := flag.String("f", "", "sweep request JSON file (\"-\" = stdin; overrides -scale)")
+	detail := flag.Bool("detail", false, "request per-geometry miss statistics in the result")
+	detach := flag.Bool("detach", false, "submit and print the job ID instead of streaming")
+	out := flag.String("o", "", "write the final result document here (default stdout)")
+	status := flag.String("status", "", "print one job's status and exit")
+	cancel := flag.String("cancel", "", "cancel one job and exit")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	switch {
+	case *status != "":
+		get(base + "/v1/runs/" + *status)
+	case *cancel != "":
+		del(base + "/v1/runs/" + *cancel)
+	default:
+		submit(base, *scale, *reqFile, *detail, *detach, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepctl:", err)
+	os.Exit(1)
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+func del(url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		os.Exit(1)
+	}
+}
+
+func buildRequest(scale, reqFile string, detail bool) ([]byte, error) {
+	var req map[string]any
+	switch reqFile {
+	case "":
+		req = map[string]any{"scale": scale}
+	case "-":
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(b, &req); err != nil {
+			return nil, err
+		}
+	default:
+		b, err := os.ReadFile(reqFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(b, &req); err != nil {
+			return nil, err
+		}
+	}
+	if detail {
+		req["detail"] = true
+	}
+	return json.Marshal(req)
+}
+
+func submit(base, scale, reqFile string, detail, detach bool, out string) {
+	body, err := buildRequest(scale, reqFile, detail)
+	if err != nil {
+		fatal(err)
+	}
+	url := base + "/v1/sweeps"
+	if detach {
+		url += "?detach=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		io.Copy(os.Stderr, resp.Body)
+		os.Exit(1)
+	}
+	if detach {
+		io.Copy(os.Stdout, resp.Body)
+		return
+	}
+
+	// Follow the NDJSON stream: narrate progress on stderr, capture the
+	// terminal line.
+	var result json.RawMessage
+	var terminal string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev struct {
+			Type   string          `json:"type"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			fatal(fmt.Errorf("bad stream line %q: %w", line, err))
+		}
+		switch ev.Type {
+		case "result":
+			terminal, result = ev.Type, ev.Result
+		case "error", "canceled":
+			terminal = ev.Type
+			fmt.Fprintf(os.Stderr, "sweepctl: job %s: %s\n", ev.Type, ev.Error)
+		default:
+			fmt.Fprintf(os.Stderr, "%s\n", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if terminal != "result" {
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, result, "", "  "); err != nil {
+		fatal(err)
+	}
+	buf.WriteByte('\n')
+	if out == "" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepctl: result written to %s\n", out)
+}

@@ -18,6 +18,26 @@
 // exposes the server-wide metrics registry: job counts by outcome,
 // queue and pool gauges, code-cache hit rates and per-kind job latency
 // histograms.
+//
+// Distributed sweeps: -shard-workers farms each sweep's (workload,
+// impl) shards out to remote tamsimd workers with leases, retries,
+// backoff, hedging and circuit breaking, degrading to local execution
+// when no worker is reachable. Start the leaves with -worker (a plain
+// serving node, conventionally journal-less) and point the coordinator
+// at them:
+//
+//	tamsimd -worker -addr :8348
+//	tamsimd -worker -addr :8349
+//	tamsimd -addr :8347 -journal /var/lib/tamsimd/journal.ndjson \
+//	        -shard-workers http://127.0.0.1:8348,http://127.0.0.1:8349
+//
+// -journal write-ahead journals every job state transition (fsynced
+// NDJSON); a restarted daemon re-queues incomplete jobs under their
+// original IDs and still serves results for completed ones.
+//
+// The -chaos-* flags wrap the coordinator's outbound transport in
+// internal/faultnet's seeded fault injector (drops, 5xxs, mid-stream
+// disconnects, latency spikes) for end-to-end robustness drills.
 package main
 
 import (
@@ -29,10 +49,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"jmtam/internal/faultnet"
 	"jmtam/internal/server"
+	"jmtam/internal/shard"
 )
 
 func main() {
@@ -41,24 +64,76 @@ func main() {
 	replayPar := flag.Int("replay-parallel", 1, "cache-replay workers within one job")
 	cacheEntries := flag.Int("cache-entries", 32, "compiled-program cache capacity")
 	maxInstrs := flag.Uint64("max-instructions", 0, "default per-job instruction budget (0 = 2e9)")
+	journalPath := flag.String("journal", "", "write-ahead job journal path (empty = no journal)")
+	workerMode := flag.Bool("worker", false, "run as a leaf worker (ignores -journal and -shard-workers)")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; farm sweeps out to them")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "per-shard lease before re-queue (0 = 2m)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "straggler hedge delay (0 = no hedging)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability a coordinator request is dropped")
+	chaos5xx := flag.Float64("chaos-5xx", 0, "probability a coordinator request gets a synthetic 503")
+	chaosDisconnect := flag.Float64("chaos-disconnect", 0, "probability a response stream is cut mid-body")
+	chaosSpike := flag.Float64("chaos-spike", 0, "probability a request is delayed by -chaos-spike-ms")
+	chaosSpikeMS := flag.Int("chaos-spike-ms", 250, "latency spike duration in milliseconds")
 	flag.Parse()
 
 	log.SetOutput(os.Stdout)
 	log.SetPrefix("tamsimd: ")
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:                *workers,
 		ReplayParallelism:      *replayPar,
 		CacheEntries:           *cacheEntries,
 		DefaultMaxInstructions: *maxInstrs,
-	})
+	}
+	if *workerMode {
+		log.Print("worker mode: serving shards, no journal, no fan-out")
+	} else {
+		cfg.JournalPath = *journalPath
+		if *shardWorkers != "" {
+			for _, u := range strings.Split(*shardWorkers, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					cfg.ShardWorkers = append(cfg.ShardWorkers, u)
+				}
+			}
+			cfg.Shard = shard.Config{
+				LeaseTimeout: *leaseTimeout,
+				HedgeAfter:   *hedgeAfter,
+				Seed:         *chaosSeed,
+			}
+			if *chaosDrop > 0 || *chaos5xx > 0 || *chaosDisconnect > 0 || *chaosSpike > 0 {
+				cfg.Shard.Transport = faultnet.NewTransport(nil, faultnet.Plan{
+					Seed:       *chaosSeed,
+					Drop:       *chaosDrop,
+					Err5xx:     *chaos5xx,
+					Disconnect: *chaosDisconnect,
+					SpikeProb:  *chaosSpike,
+					Spike:      time.Duration(*chaosSpikeMS) * time.Millisecond,
+				})
+				log.Printf("chaos: injecting faults on the coordinator transport (seed %d)", *chaosSeed)
+			}
+			log.Printf("coordinating sweeps across %d workers", len(cfg.ShardWorkers))
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on http://%s", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// NDJSON job streams are long-lived by design, so there is no
+		// WriteTimeout here; per-write deadlines inside the stream loop
+		// bound stalled subscribers instead. These two cap what a client
+		// can pin without ever sending or between requests.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"jmtam/internal/core"
+)
+
+// TestSweepCancelMidGridLeaksNoGoroutines cancels a sweep from its own
+// progress callback — mid-grid, with parallel workers in flight — and
+// checks that every worker goroutine unwinds. Leaked workers would pin
+// memory and pool slots in a long-lived daemon, so the goroutine count
+// must return to its pre-sweep baseline.
+func TestSweepCancelMidGridLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := &Sweep{
+		Workloads:   []Workload{{"ss", 40}, {"qs", 30}, {"ss", 60}, {"qs", 40}},
+		SizesKB:     []int{1, 8},
+		Assocs:      []int{1, 4},
+		BlockBytes:  64,
+		Penalties:   []int{12},
+		Impls:       []core.Impl{core.ImplMD, core.ImplAM},
+		Parallelism: 4,
+		OnProgress: func(p Progress) {
+			cancel() // first finished cell cancels the rest of the grid
+		},
+	}
+	_, err := s.ExecuteContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation is cooperative: give in-flight simulations a bounded
+	// window to observe it and unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // finalize dead goroutine stacks promptly
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked after cancel: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunOneParCancelBeforeStart pins the fast path: a context already
+// cancelled fails before any simulation work happens.
+func TestRunOneParCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Sweep{
+		Workloads:  []Workload{{"ss", 40}},
+		SizesKB:    []int{1},
+		Assocs:     []int{1},
+		BlockBytes: 64,
+		Penalties:  []int{12},
+		Impls:      []core.Impl{core.ImplMD},
+	}
+	if _, err := s.ExecuteContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

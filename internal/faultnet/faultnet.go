@@ -1,0 +1,298 @@
+// Package faultnet is a deterministic fault-injection layer for the
+// distributed sweep topology: an http.RoundTripper wrapper that injects
+// connection drops, latency spikes, synthetic 5xx responses and
+// mid-stream disconnects on a seeded schedule, and a net.Listener
+// wrapper that can crash a worker (sever every open connection and
+// refuse new ones) at a chosen moment.
+//
+// Fault decisions are drawn from an internal/rng xorshift source, so a
+// given seed produces the same fault sequence on every run: CI can
+// exercise the coordinator's retry, re-queue and circuit-breaker paths
+// reproducibly. Injection never alters payload bytes — a request either
+// fails outright or completes untouched — so any sweep that completes
+// under faults must still be byte-identical to a fault-free run.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"jmtam/internal/rng"
+)
+
+// ErrInjected marks every error produced by the fault layer, so tests
+// and retry classifiers can tell injected faults from real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Plan describes the per-request fault probabilities. Each request
+// draws, in a fixed order, one decision per fault class; probabilities
+// are independent. The zero Plan injects nothing.
+type Plan struct {
+	// Seed selects the deterministic fault schedule.
+	Seed uint64
+	// Drop is the probability the request fails before reaching the
+	// worker (connection refused / reset).
+	Drop float64
+	// Err5xx is the probability the request is answered with a
+	// synthesized 503 without reaching the worker.
+	Err5xx float64
+	// Disconnect is the probability the response stream is severed
+	// partway through the body.
+	Disconnect float64
+	// SpikeProb is the probability a latency spike of Spike is inserted
+	// before the request is forwarded.
+	SpikeProb float64
+	// Spike is the injected extra latency.
+	Spike time.Duration
+}
+
+// Transport wraps a base http.RoundTripper with seeded fault
+// injection.
+type Transport struct {
+	// Base performs real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// OnFault, when non-nil, observes each injected fault kind
+	// ("drop", "5xx", "disconnect", "spike"). Called under the
+	// transport's lock; keep it cheap.
+	OnFault func(kind string, req *http.Request)
+
+	mu     sync.Mutex
+	plan   Plan
+	src    *rng.Source
+	faults uint64
+	trips  uint64
+}
+
+// NewTransport returns a fault-injecting transport over base.
+func NewTransport(base http.RoundTripper, plan Plan) *Transport {
+	return &Transport{Base: base, plan: plan, src: rng.New(plan.Seed)}
+}
+
+// Counts reports the number of round trips attempted and faults
+// injected so far.
+func (t *Transport) Counts() (trips, faults uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trips, t.faults
+}
+
+// decide draws this request's fault, if any. One draw per fault class
+// in a fixed order keeps the schedule a pure function of the seed and
+// the request sequence.
+func (t *Transport) decide(req *http.Request) (kind string, spike time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trips++
+	p := t.plan
+	if t.src.Float64() < p.Drop {
+		kind = "drop"
+	}
+	if t.src.Float64() < p.Err5xx && kind == "" {
+		kind = "5xx"
+	}
+	if t.src.Float64() < p.Disconnect && kind == "" {
+		kind = "disconnect"
+	}
+	if t.src.Float64() < p.SpikeProb {
+		spike = p.Spike
+	}
+	if kind != "" || spike > 0 {
+		t.faults++
+		if t.OnFault != nil {
+			if kind != "" {
+				t.OnFault(kind, req)
+			} else {
+				t.OnFault("spike", req)
+			}
+		}
+	}
+	return kind, spike
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, spike := t.decide(req)
+	if spike > 0 {
+		select {
+		case <-time.After(spike):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch kind {
+	case "drop":
+		return nil, fmt.Errorf("%w: dropped %s %s", ErrInjected, req.Method, req.URL)
+	case "5xx":
+		body := fmt.Sprintf(`{"error":"faultnet: injected 503 for %s"}`, req.URL.Path)
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (injected)",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || kind != "disconnect" {
+		return resp, err
+	}
+	// Sever the stream after a bounded prefix of the body: enough for
+	// the reader to have committed to this response, never the whole
+	// document.
+	resp.Body = &cutBody{rc: resp.Body, remaining: 512}
+	return resp, nil
+}
+
+// cutBody forwards up to remaining bytes and then fails the stream.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, fmt.Errorf("%w: mid-stream disconnect", ErrInjected)
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= n
+	if err == io.EOF {
+		// The response was shorter than the cut point; nothing to sever.
+		return n, err
+	}
+	if c.remaining <= 0 && err == nil {
+		err = fmt.Errorf("%w: mid-stream disconnect", ErrInjected)
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
+
+// Listener wraps a net.Listener so a test or chaos harness can crash
+// the worker behind it: Crash severs every open connection and makes
+// further accepts fail until Revive.
+type Listener struct {
+	net.Listener
+
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	crashed     bool
+	accepts     uint64
+	crashAfter  uint64 // crash once accepts reaches this count (0 = never)
+	onCrash     func()
+	crashOnceOn bool
+}
+
+// Wrap returns a crashable listener over ln.
+func Wrap(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// CrashAfter arms the listener to crash as soon as n connections have
+// been accepted (counting from the beginning). onCrash, when non-nil,
+// is invoked once at crash time.
+func (l *Listener) CrashAfter(n uint64, onCrash func()) {
+	l.mu.Lock()
+	l.crashAfter = n
+	l.onCrash = onCrash
+	l.crashOnceOn = true
+	l.mu.Unlock()
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepts++
+	if l.crashOnceOn && l.crashAfter > 0 && l.accepts >= l.crashAfter {
+		l.crashOnceOn = false
+		l.mu.Unlock()
+		c.Close()
+		l.Crash()
+		return nil, fmt.Errorf("%w: worker crashed", ErrInjected)
+	}
+	if l.crashed {
+		l.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("%w: worker crashed", ErrInjected)
+	}
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	return &trackedConn{Conn: c, l: l}, nil
+}
+
+// Crash severs every open connection and closes the underlying
+// listener: the worker disappears mid-flight as an abruptly killed
+// process would, and new dials are refused. A restarted worker is a
+// fresh listener.
+func (l *Listener) Crash() {
+	l.mu.Lock()
+	if l.crashed {
+		l.mu.Unlock()
+		return
+	}
+	l.crashed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = make(map[net.Conn]struct{})
+	onCrash := l.onCrash
+	l.mu.Unlock()
+	l.Listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	if onCrash != nil {
+		onCrash()
+	}
+}
+
+// Crashed reports whether the listener is currently down.
+func (l *Listener) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// Accepts returns the number of connections accepted so far.
+func (l *Listener) Accepts() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepts
+}
+
+func (l *Listener) forget(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// trackedConn removes itself from the listener's live set on close.
+type trackedConn struct {
+	net.Conn
+	l    *Listener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() { c.l.forget(c.Conn) })
+	return c.Conn.Close()
+}

@@ -65,7 +65,9 @@ type RunRequest struct {
 	geoms []cache.Config
 }
 
-func (r *RunRequest) normalize(defaultMaxInstrs uint64) error {
+// Normalize validates the request and resolves defaults. It must be
+// called once before the request is executed or journaled.
+func (r *RunRequest) Normalize(defaultMaxInstrs uint64) error {
 	spec, err := programs.ByName(r.Program)
 	if err != nil {
 		return err
@@ -188,6 +190,10 @@ type SweepRequest struct {
 	BlockBytes int            `json:"block_bytes,omitempty"`
 	Penalties  []int          `json:"penalties,omitempty"`
 	Impls      []string       `json:"impls,omitempty"`
+	// Detail adds per-geometry cache statistics to each run summary —
+	// the shard coordinator requires it to reassemble a distributed
+	// sweep.
+	Detail bool `json:"detail,omitempty"`
 
 	impls []core.Impl
 }
@@ -198,7 +204,9 @@ type WorkloadSpec struct {
 	Arg     int    `json:"arg,omitempty"`
 }
 
-func (r *SweepRequest) normalize() error {
+// Normalize validates the request and resolves defaults. It must be
+// called once before the request is executed or journaled.
+func (r *SweepRequest) Normalize() error {
 	if len(r.Workloads) == 0 {
 		var ws []experiments.Workload
 		switch r.Scale {
@@ -260,6 +268,9 @@ type SweepRunSummary struct {
 	TPQ          float64 `json:"tpq"`
 	IPT          float64 `json:"ipt"`
 	IPQ          float64 `json:"ipq"`
+	// Caches is present when the request set detail: per-geometry miss
+	// statistics in geometry index order.
+	Caches []CacheResult `json:"caches,omitempty"`
 }
 
 // Table2Row mirrors experiments.Table2Row in wire form.

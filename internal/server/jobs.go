@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -134,9 +136,14 @@ func (j *Job) Status() JobStatus {
 
 // streamTo writes the job's NDJSON lines to w from the beginning,
 // flushing after every batch, and returns once the job is terminal and
-// fully drained (or the write fails — the subscriber went away).
-func (j *Job) streamTo(w http.ResponseWriter) {
+// fully drained (or the write fails — the subscriber went away). Each
+// batch gets a fresh write deadline, so a subscriber that stops reading
+// releases the handler goroutine instead of pinning it; transports that
+// cannot set per-request deadlines (httptest recorders) stream without
+// one.
+func (j *Job) streamTo(w http.ResponseWriter, writeTimeout time.Duration) {
 	fl, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	next := 0
 	for {
 		j.mu.Lock()
@@ -147,6 +154,9 @@ func (j *Job) streamTo(w http.ResponseWriter) {
 		next = len(j.lines)
 		done := j.state.terminal() && next == len(j.lines)
 		j.mu.Unlock()
+		if writeTimeout > 0 && len(batch) > 0 {
+			rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
 		for _, line := range batch {
 			if _, err := w.Write(append(line, '\n')); err != nil {
 				return
@@ -179,6 +189,26 @@ func (r *jobRegistry) add(kind string) *Job {
 	defer r.mu.Unlock()
 	r.seq++
 	id := fmt.Sprintf("%c-%06d", kind[0], r.seq)
+	j := newJob(id, kind)
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	return j
+}
+
+// restore re-indexes a journal-recovered job under its original ID,
+// advancing seq past the ID's numeric suffix so post-restart IDs never
+// collide with journaled ones.
+func (r *jobRegistry) restore(id, kind string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j := r.jobs[id]; j != nil {
+		return j
+	}
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil && n > r.seq {
+			r.seq = n
+		}
+	}
 	j := newJob(id, kind)
 	r.jobs[id] = j
 	r.order = append(r.order, id)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// journalRecord is one NDJSON line of the write-ahead job journal. A
+// job's life is a sequence of records sharing its ID: "accept" (with
+// kind and the normalized request), "start", and one terminal record —
+// "done" (with the result document), "fail" or "cancel".
+type journalRecord struct {
+	Op     string          `json:"op"`
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind,omitempty"`
+	Req    json.RawMessage `json:"req,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// journalJob is one job's folded journal state after replay.
+type journalJob struct {
+	ID     string
+	Kind   string
+	Req    json.RawMessage
+	State  JobState
+	Result json.RawMessage
+	Error  string
+}
+
+// journal is the append-only NDJSON job journal. Every append is
+// fsynced before it returns: a record the server acted on is on disk,
+// so a restarted daemon can resume or re-queue exactly the work that
+// was in flight. Appends are serialized; an append error is reported to
+// the caller (the server counts it and carries on — journaling degrades
+// to best-effort rather than taking the serving path down).
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal replays an existing journal (if any) and opens it for
+// appending. Replay folds records per job in file order; a truncated or
+// corrupt line — a crash can cut a write short — ends replay at the
+// last intact record. It returns the jobs in first-appearance order.
+func openJournal(path string) (*journal, []*journalJob, error) {
+	var jobs []*journalJob
+	byID := make(map[string]*journalJob)
+	if raw, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break // torn tail write; everything before it is intact
+			}
+			j := byID[rec.ID]
+			if j == nil {
+				if rec.Op != "accept" {
+					continue // terminal record for a job we never accepted
+				}
+				j = &journalJob{ID: rec.ID, State: StateQueued}
+				byID[rec.ID] = j
+				jobs = append(jobs, j)
+			}
+			switch rec.Op {
+			case "accept":
+				j.Kind = rec.Kind
+				j.Req = rec.Req
+				j.State = StateQueued
+			case "start":
+				j.State = StateRunning
+			case "done":
+				j.State = StateDone
+				j.Result = rec.Result
+			case "fail":
+				j.State = StateFailed
+				j.Error = rec.Error
+			case "cancel":
+				j.State = StateCanceled
+				j.Error = rec.Error
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{f: f, path: path}, jobs, nil
+}
+
+// append writes one record and fsyncs it.
+func (j *journal) append(rec journalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// close closes the underlying file. Later appends fail.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -11,6 +11,7 @@ import (
 
 	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
+	"jmtam/internal/shard"
 )
 
 // Config parameterizes a Server.
@@ -31,16 +32,35 @@ type Config struct {
 	DefaultMaxInstructions uint64
 	// MaxBodyBytes bounds request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// JournalPath, when set, enables the write-ahead job journal: every
+	// accept/start/terminal transition is an fsynced NDJSON record, so a
+	// restarted daemon re-queues the work that was in flight and still
+	// serves results for completed job IDs.
+	JournalPath string
+	// StreamWriteTimeout bounds each write on a job's NDJSON stream so a
+	// stalled subscriber cannot pin a handler goroutine forever (0 = 30s).
+	StreamWriteTimeout time.Duration
+	// ShardWorkers lists remote tamsimd base URLs ("http://host:port").
+	// When nonempty, sweep jobs are partitioned into (workload, impl)
+	// shards and farmed out through a shard.Coordinator instead of
+	// running in-process.
+	ShardWorkers []string
+	// Shard tunes the coordinator. Its Workers field is taken from
+	// ShardWorkers; Metrics defaults to the server's /metricz registry
+	// and LocalParallelism to ReplayParallelism.
+	Shard shard.Config
 }
 
 // Server is the tamsimd serving state: job registry, worker pool,
 // compiled-code cache and the server-wide metrics registry.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	pool  *parallel.Pool
-	jobs  *jobRegistry
-	cache *codeCache
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *parallel.Pool
+	jobs    *jobRegistry
+	cache   *codeCache
+	journal *journal
+	coord   *shard.Coordinator
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -52,8 +72,10 @@ type Server struct {
 	reg   *obs.Registry
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With a journal configured it
+// replays the journal first: completed jobs are restored under their
+// original IDs with their results, incomplete ones are re-queued.
+func New(cfg Config) (*Server, error) {
 	if cfg.DefaultMaxInstructions == 0 {
 		cfg.DefaultMaxInstructions = 2_000_000_000
 	}
@@ -62,6 +84,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ReplayParallelism == 0 {
 		cfg.ReplayParallelism = 1
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -74,16 +99,55 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		reg:        obs.NewRegistry(),
 	}
+	if len(cfg.ShardWorkers) > 0 {
+		scfg := cfg.Shard
+		scfg.Workers = cfg.ShardWorkers
+		if scfg.Metrics == nil {
+			scfg.Metrics = (*serverMetrics)(s)
+		}
+		if scfg.LocalParallelism == 0 {
+			scfg.LocalParallelism = cfg.ReplayParallelism
+		}
+		s.coord = shard.New(scfg)
+	}
 	s.routes()
-	return s
+	if cfg.JournalPath != "" {
+		j, recovered, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		s.journal = j
+		s.count("journal.errors", 0)
+		s.count("journal.requeued", 0)
+		for _, jj := range recovered {
+			s.recoverJob(jj)
+		}
+	}
+	return s, nil
 }
 
 // Close cancels every outstanding job and waits for the workers to
-// drain.
+// drain, then closes the journal.
 func (s *Server) Close() {
 	s.baseCancel()
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.close()
+	}
 }
+
+// serverMetrics adapts the server's mutex-guarded registry to
+// shard.Metrics, so coordinator counters land on /metricz.
+type serverMetrics Server
+
+func (m *serverMetrics) Count(name string, d uint64) { (*Server)(m).count(name, d) }
+func (m *serverMetrics) GaugeSet(name string, v int64) {
+	m.regMu.Lock()
+	m.reg.Gauge(name).Set(v)
+	m.regMu.Unlock()
+}
+func (m *serverMetrics) Observe(name string, v uint64) { (*Server)(m).observe(name, v) }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -173,11 +237,11 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(s.cfg.DefaultMaxInstructions); err != nil {
+	if err := req.Normalize(s.cfg.DefaultMaxInstructions); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job := s.submit("run", func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	job := s.submit("run", &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		return s.executeRun(ctx, j, &req)
 	})
 	s.respondToSubmit(w, r, job)
@@ -189,26 +253,41 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job := s.submit("sweep", func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	job := s.submit("sweep", &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		return s.executeSweep(ctx, j, &req)
 	})
 	s.respondToSubmit(w, r, job)
 }
 
-// submit registers a job and launches its lifecycle goroutine: acquire
-// a pool slot (counted as queue time), execute, and publish the
-// terminal event + state.
-func (s *Server) submit(kind string, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) *Job {
+// submit registers a job, journals its acceptance (with the normalized
+// request, so a restarted daemon can re-run it) and launches its
+// lifecycle goroutine.
+func (s *Server) submit(kind string, req any, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) *Job {
 	job := s.jobs.add(kind)
+	if s.journal != nil {
+		raw, err := json.Marshal(req)
+		if err == nil {
+			s.journalAppend(journalRecord{Op: "accept", ID: job.ID, Kind: kind, Req: raw})
+		} else {
+			s.count("journal.errors", 1)
+		}
+	}
+	s.launch(job, exec)
+	return job
+}
+
+// launch runs a job's lifecycle: acquire a pool slot (counted as queue
+// time), execute, and publish the terminal event + state.
+func (s *Server) launch(job *Job, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job.setCancel(cancel)
 	s.count("jobs.submitted", 1)
 	s.gauge("jobs.queued", 1)
-	job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": kind})
+	job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
 
 	s.wg.Add(1)
 	go func() {
@@ -225,34 +304,121 @@ func (s *Server) submit(kind string, exec func(ctx context.Context, j *Job) (jso
 		s.gauge("jobs.running", 1)
 		s.count("jobs.started", 1)
 		job.setRunning()
+		s.journalAppend(journalRecord{Op: "start", ID: job.ID})
 		job.emit(map[string]any{"type": "started", "id": job.ID,
 			"queue_ms": time.Since(start).Milliseconds()})
 		result, err := exec(ctx, job)
 		s.gauge("jobs.running", -1)
 		s.finishJob(job, result, err, start)
 	}()
-	return job
 }
 
-// finishJob emits the terminal NDJSON line, moves the job to its
-// terminal state and records latency metrics.
+// finishJob journals the terminal transition, emits the terminal NDJSON
+// line, moves the job to its terminal state and records latency
+// metrics. The journal write comes first: a client that observes a
+// terminal state can rely on it surviving a restart.
 func (s *Server) finishJob(job *Job, result json.RawMessage, err error, start time.Time) {
 	ms := uint64(time.Since(start).Milliseconds())
 	switch {
 	case err == nil:
+		s.journalAppend(journalRecord{Op: "done", ID: job.ID, Result: result})
 		job.emit(map[string]any{"type": "result", "id": job.ID, "result": result})
 		job.finish(StateDone, result, "")
 		s.count("jobs.finished", 1)
 	case errors.Is(err, context.Canceled):
+		// A client cancel is a durable outcome; a daemon-shutdown cancel
+		// is not — the job stays incomplete in the journal so a restart
+		// re-queues it instead of reporting it canceled.
+		if s.baseCtx.Err() == nil {
+			s.journalAppend(journalRecord{Op: "cancel", ID: job.ID, Error: err.Error()})
+		}
 		job.emit(map[string]any{"type": "canceled", "id": job.ID, "error": err.Error()})
 		job.finish(StateCanceled, nil, err.Error())
 		s.count("jobs.canceled", 1)
 	default:
+		s.journalAppend(journalRecord{Op: "fail", ID: job.ID, Error: err.Error()})
 		job.emit(map[string]any{"type": "error", "id": job.ID, "error": err.Error()})
 		job.finish(StateFailed, nil, err.Error())
 		s.count("jobs.failed", 1)
 	}
 	s.observe("job.latency.ms."+job.Kind, ms)
+}
+
+// journalAppend writes one journal record, if journaling is on. Append
+// failures are counted and otherwise ignored: journaling degrades to
+// best-effort rather than taking the serving path down.
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.count("journal.errors", 1)
+	}
+}
+
+// recoverJob re-materializes one journal-replayed job: terminal jobs
+// come back with their original ID, stream and result; incomplete ones
+// (accepted or cut off mid-run by a crash) re-queue under their
+// original ID, so a client holding a pre-restart job URL eventually
+// gets the real result.
+func (s *Server) recoverJob(jj *journalJob) {
+	job := s.jobs.restore(jj.ID, jj.Kind)
+	if jj.State.terminal() {
+		job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
+		switch jj.State {
+		case StateDone:
+			job.emit(map[string]any{"type": "result", "id": job.ID, "result": jj.Result})
+			job.finish(StateDone, jj.Result, "")
+		case StateCanceled:
+			job.emit(map[string]any{"type": "canceled", "id": job.ID, "error": jj.Error})
+			job.finish(StateCanceled, nil, jj.Error)
+		default:
+			job.emit(map[string]any{"type": "error", "id": job.ID, "error": jj.Error})
+			job.finish(StateFailed, nil, jj.Error)
+		}
+		return
+	}
+	exec, err := s.execFor(jj.Kind, jj.Req)
+	if err != nil {
+		// The journaled request no longer parses (version skew, torn
+		// record): fail the job durably rather than dropping it.
+		s.journalAppend(journalRecord{Op: "fail", ID: jj.ID, Error: err.Error()})
+		job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
+		job.emit(map[string]any{"type": "error", "id": job.ID, "error": err.Error()})
+		job.finish(StateFailed, nil, err.Error())
+		return
+	}
+	s.count("journal.requeued", 1)
+	s.launch(job, exec)
+}
+
+// execFor rebuilds the execution closure for a journaled request.
+func (s *Server) execFor(kind string, raw json.RawMessage) (func(ctx context.Context, j *Job) (json.RawMessage, error), error) {
+	switch kind {
+	case "run":
+		req := new(RunRequest)
+		if err := json.Unmarshal(raw, req); err != nil {
+			return nil, err
+		}
+		if err := req.Normalize(s.cfg.DefaultMaxInstructions); err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, j *Job) (json.RawMessage, error) {
+			return s.executeRun(ctx, j, req)
+		}, nil
+	case "sweep":
+		req := new(SweepRequest)
+		if err := json.Unmarshal(raw, req); err != nil {
+			return nil, err
+		}
+		if err := req.Normalize(); err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, j *Job) (json.RawMessage, error) {
+			return s.executeSweep(ctx, j, req)
+		}, nil
+	}
+	return nil, fmt.Errorf("journal: unknown job kind %q", kind)
 }
 
 // respondToSubmit either streams the job's NDJSON event stream on the
@@ -270,7 +436,7 @@ func (s *Server) respondToSubmit(w http.ResponseWriter, r *http.Request, job *Jo
 	// have no watcher and run to completion.
 	stop := context.AfterFunc(r.Context(), job.Cancel)
 	defer stop()
-	job.streamTo(w)
+	job.streamTo(w, s.cfg.StreamWriteTimeout)
 }
 
 // --- status, streaming, cancellation ---------------------------------------
@@ -295,7 +461,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("stream") == "1" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
-		job.streamTo(w)
+		job.streamTo(w, s.cfg.StreamWriteTimeout)
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Status())

@@ -6,13 +6,41 @@ import (
 
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
+	"jmtam/internal/shard"
 )
 
-// executeSweep runs a grid job through experiments.Sweep, relaying its
-// progress callback as NDJSON events. Sweeps bypass the compiled-code
-// cache: a grid simulates each (workload, impl) exactly once anyway, so
-// caching would only pin paper-scale artifacts for no repeat benefit.
+// executeSweep runs a grid job. With a shard coordinator configured the
+// grid is partitioned into leased shards and farmed out to remote
+// workers (degrading to local execution when none is reachable);
+// otherwise it runs in-process through experiments.Sweep. Both paths
+// produce position-indexed unit results and assemble the final document
+// through assembleSweepResult, so a distributed sweep is byte-identical
+// to a local one. Sweeps bypass the compiled-code cache: a grid
+// simulates each (workload, impl) exactly once anyway, so caching would
+// only pin paper-scale artifacts for no repeat benefit.
 func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
+	var units []shard.UnitResult
+	var err error
+	if s.coord != nil {
+		units, err = s.coord.RunObserved(ctx, req.Spec(), func(e shard.Event) {
+			job.emit(map[string]any{
+				"type": "shard", "id": job.ID, "event": e.Type,
+				"shard": e.Shard, "worker": e.Worker,
+				"attempt": e.Attempt, "error": e.Err,
+			})
+		})
+	} else {
+		units, err = s.localSweepUnits(ctx, job, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(assembleSweepResult(req, units))
+}
+
+// localSweepUnits executes the grid in-process and converts the dataset
+// into position-indexed unit results.
+func (s *Server) localSweepUnits(ctx context.Context, job *Job, req *SweepRequest) ([]shard.UnitResult, error) {
 	sw := &experiments.Sweep{
 		SizesKB:     req.SizesKB,
 		Assocs:      req.Assocs,
@@ -36,47 +64,148 @@ func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) 
 	if err != nil {
 		return nil, err
 	}
-
-	res := &SweepResult{Workloads: req.Workloads}
-	for _, g := range ds.Geoms {
-		res.Geoms = append(res.Geoms, specOf(g))
-	}
-	for _, w := range sw.Workloads {
-		for _, impl := range sw.Impls {
-			r := ds.Runs[w.Name][impl]
+	var units []shard.UnitResult
+	for _, w := range req.Workloads {
+		for _, impl := range req.impls {
+			r := ds.Runs[w.Program][impl]
 			if r == nil {
 				continue
 			}
-			res.Runs = append(res.Runs, SweepRunSummary{
-				Program:      w.Name,
+			u := shard.UnitResult{
+				Program:      w.Program,
 				Arg:          w.Arg,
 				Impl:         impl.String(),
 				Instructions: r.Instructions,
 				TPQ:          r.TPQ,
 				IPT:          r.IPT,
 				IPQ:          r.IPQ,
-			})
+				Caches:       make([]shard.GeomStats, len(r.Caches)),
+			}
+			for i, cs := range r.Caches {
+				u.Caches[i] = shard.GeomStats{
+					SizeKB:     cs.Config.SizeBytes / 1024,
+					BlockBytes: cs.Config.BlockBytes,
+					Assoc:      cs.Config.Assoc,
+					IMisses:    cs.IMisses,
+					DMisses:    cs.DMisses,
+					Writebacks: cs.Writebacks,
+				}
+			}
+			units = append(units, u)
 		}
 	}
-	if ds.GeomIndex(8, 4) >= 0 && hasImpl(sw.Impls, core.ImplMD) && hasImpl(sw.Impls, core.ImplAM) {
-		for _, row := range experiments.Table2(ds) {
-			res.Table2 = append(res.Table2, Table2Row{
-				Program: row.Program,
-				TPQMD:   row.TPQMD, TPQAM: row.TPQAM,
-				IPTMD: row.IPTMD, IPTAM: row.IPTAM,
-				IPQMD: row.IPQMD, IPQAM: row.IPQAM,
-				Ratio12: row.Ratio12, Ratio24: row.Ratio24, Ratio48: row.Ratio48,
-			})
-		}
-	}
-	return json.Marshal(res)
+	return units, nil
 }
 
-func hasImpl(impls []core.Impl, want core.Impl) bool {
-	for _, i := range impls {
-		if i == want {
-			return true
+// Spec converts a normalized request into the shard coordinator's wire
+// spec. Impl names stay in request form ("md", "am") — that is what
+// workers parse; they echo the display form back and the shard layer
+// reconciles the two.
+func (r *SweepRequest) Spec() *shard.Spec {
+	spec := &shard.Spec{
+		SizesKB:    r.SizesKB,
+		Assocs:     r.Assocs,
+		BlockBytes: r.BlockBytes,
+		Penalties:  r.Penalties,
+		Impls:      r.Impls,
+	}
+	for _, w := range r.Workloads {
+		spec.Workloads = append(spec.Workloads, shard.Workload{Program: w.Program, Arg: w.Arg})
+	}
+	return spec
+}
+
+// assembleSweepResult builds the final sweep document from
+// position-indexed unit results (workload-major, implementation-minor —
+// shard.Spec.Units order). It is the single assembly point for the
+// local and distributed paths: identical unit numbers in, byte-identical
+// document out, regardless of which worker ran which shard.
+func assembleSweepResult(req *SweepRequest, units []shard.UnitResult) *SweepResult {
+	res := &SweepResult{Workloads: req.Workloads}
+	for _, kb := range req.SizesKB {
+		for _, a := range req.Assocs {
+			res.Geoms = append(res.Geoms, CacheSpec{SizeKB: kb, BlockBytes: req.BlockBytes, Assoc: a})
 		}
 	}
-	return false
+	for _, u := range units {
+		sum := SweepRunSummary{
+			Program:      u.Program,
+			Arg:          u.Arg,
+			Impl:         u.Impl,
+			Instructions: u.Instructions,
+			TPQ:          u.TPQ,
+			IPT:          u.IPT,
+			IPQ:          u.IPQ,
+		}
+		if req.Detail {
+			sum.Caches = make([]CacheResult, len(u.Caches))
+			for i, g := range u.Caches {
+				cr := CacheResult{
+					CacheSpec:  CacheSpec{SizeKB: g.SizeKB, BlockBytes: g.BlockBytes, Assoc: g.Assoc},
+					IMisses:    g.IMisses,
+					DMisses:    g.DMisses,
+					Writebacks: g.Writebacks,
+					Cycles:     make([]CycleCount, len(req.Penalties)),
+				}
+				for j, p := range req.Penalties {
+					cr.Cycles[j] = CycleCount{
+						Penalty: p,
+						Cycles:  u.Instructions + uint64(p)*(g.IMisses+g.DMisses),
+					}
+				}
+				sum.Caches[i] = cr
+			}
+		}
+		res.Runs = append(res.Runs, sum)
+	}
+
+	// Table 2 is derivable when the grid covers the paper's 8K 4-way
+	// reference geometry under both MD and AM.
+	g84, mdPos, amPos := -1, -1, -1
+	for i, g := range res.Geoms {
+		if g.SizeKB == 8 && g.Assoc == 4 {
+			g84 = i
+			break
+		}
+	}
+	for i, impl := range req.impls {
+		switch impl {
+		case core.ImplMD:
+			mdPos = i
+		case core.ImplAM:
+			amPos = i
+		}
+	}
+	if g84 < 0 || mdPos < 0 || amPos < 0 {
+		return res
+	}
+	nimpl := len(req.impls)
+	cycles := func(u *shard.UnitResult, penalty int) uint64 {
+		c := u.Caches[g84]
+		return u.Instructions + uint64(penalty)*(c.IMisses+c.DMisses)
+	}
+	ratio := func(md, am *shard.UnitResult, penalty int) float64 {
+		amc := cycles(am, penalty)
+		if amc == 0 {
+			return 0
+		}
+		return float64(cycles(md, penalty)) / float64(amc)
+	}
+	for wi := range req.Workloads {
+		md := &units[wi*nimpl+mdPos]
+		am := &units[wi*nimpl+amPos]
+		if len(md.Caches) <= g84 || len(am.Caches) <= g84 {
+			continue
+		}
+		res.Table2 = append(res.Table2, Table2Row{
+			Program: md.Program,
+			TPQMD:   md.TPQ, TPQAM: am.TPQ,
+			IPTMD: md.IPT, IPTAM: am.IPT,
+			IPQMD: md.IPQ, IPQAM: am.IPQ,
+			Ratio12: ratio(md, am, 12),
+			Ratio24: ratio(md, am, 24),
+			Ratio48: ratio(md, am, 48),
+		})
+	}
+	return res
 }

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// PermanentError marks a failure retries cannot fix: a worker rejected
+// the request as malformed, or the simulation itself failed — outcomes
+// that would be identical on every worker and locally.
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string { return "shard: permanent: " + e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+func permanent(format string, args ...any) error {
+	return &PermanentError{Err: fmt.Errorf(format, args...)}
+}
+
+// workerSweepRequest is the wire form of a one-unit shard request to a
+// worker's POST /v1/sweeps (detail adds per-geometry miss counts to the
+// run summaries).
+type workerSweepRequest struct {
+	Workloads  []Workload `json:"workloads"`
+	SizesKB    []int      `json:"sizes_kb"`
+	Assocs     []int      `json:"assocs"`
+	BlockBytes int        `json:"block_bytes"`
+	Penalties  []int      `json:"penalties"`
+	Impls      []string   `json:"impls"`
+	Detail     bool       `json:"detail"`
+}
+
+// workerSweepResult mirrors the worker's SweepResult document, detail
+// fields included.
+type workerSweepResult struct {
+	Runs []UnitResult `json:"runs"`
+}
+
+// streamLine is one NDJSON event on a worker's job stream.
+type streamLine struct {
+	Type   string          `json:"type"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// attempt leases one shard to a worker: POST the one-unit sweep, follow
+// the NDJSON stream to its terminal line, and parse the unit result.
+// The context carries the lease deadline; expiry surfaces as
+// context.DeadlineExceeded, which the caller books as a re-queue.
+func (c *Coordinator) attempt(ctx context.Context, w *worker, spec *Spec, u Unit) (UnitResult, error) {
+	wreq := workerSweepRequest{
+		Workloads:  []Workload{u.Workload},
+		SizesKB:    spec.SizesKB,
+		Assocs:     spec.Assocs,
+		BlockBytes: spec.BlockBytes,
+		Penalties:  spec.Penalties,
+		Impls:      []string{u.Impl},
+		Detail:     true,
+	}
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return UnitResult{}, &PermanentError{Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return UnitResult{}, &PermanentError{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return UnitResult{}, fmt.Errorf("worker %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return UnitResult{}, permanent("worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
+		}
+		return UnitResult{}, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
+	}
+
+	var last streamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return UnitResult{}, fmt.Errorf("worker %s: bad stream line: %w", w.url, err)
+		}
+		last = l
+	}
+	if err := sc.Err(); err != nil {
+		return UnitResult{}, fmt.Errorf("worker %s: stream: %w", w.url, err)
+	}
+	switch last.Type {
+	case "result":
+		return parseUnitResult(last.Result, spec, u, w.url)
+	case "error":
+		// Deterministic simulation failure: every worker (and a local
+		// run) would fail the same way.
+		return UnitResult{}, permanent("worker %s: job failed: %s", w.url, last.Error)
+	case "canceled":
+		// The worker is shutting down; another worker can run the shard.
+		return UnitResult{}, fmt.Errorf("worker %s: job canceled mid-shard", w.url)
+	default:
+		// Stream ended without a terminal line: the worker died or the
+		// connection was severed mid-stream.
+		return UnitResult{}, fmt.Errorf("worker %s: stream ended without a terminal event (last %q)", w.url, last.Type)
+	}
+}
+
+// parseUnitResult validates one worker sweep document against the shard
+// it was leased for.
+func parseUnitResult(raw json.RawMessage, spec *Spec, u Unit, url string) (UnitResult, error) {
+	var res workerSweepResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return UnitResult{}, fmt.Errorf("worker %s: bad result document: %w", url, err)
+	}
+	if len(res.Runs) != 1 {
+		return UnitResult{}, fmt.Errorf("worker %s: %d runs in shard result, want 1", url, len(res.Runs))
+	}
+	r := res.Runs[0]
+	if r.Program != u.Workload.Program || r.Impl != implName(u.Impl) {
+		return UnitResult{}, fmt.Errorf("worker %s: shard result is (%s,%s), want (%s,%s)",
+			url, r.Program, r.Impl, u.Workload.Program, u.Impl)
+	}
+	if want := len(spec.SizesKB) * len(spec.Assocs); len(r.Caches) != want {
+		return UnitResult{}, fmt.Errorf("worker %s: %d geometry rows in shard result, want %d", url, len(r.Caches), want)
+	}
+	return r, nil
+}
+
+// implName canonicalizes an implementation name the way workers echo it
+// back ("" parses as MD and is echoed as "md").
+func implName(s string) string {
+	impl, err := parseImpl(s)
+	if err != nil {
+		return s
+	}
+	return impl.String()
+}
+
+// probe checks a worker's /healthz, bounding the wait.
+func (c *Coordinator) probe(ctx context.Context, w *worker) error {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("worker %s: healthz %s", w.url, resp.Status)
+	}
+	return nil
+}
+
+// transient reports whether err is worth retrying on another worker.
+func transient(err error) bool {
+	var pe *PermanentError
+	return err != nil && !errors.As(err, &pe) && !errors.Is(err, context.Canceled)
+}
+
+// leaseExpired reports whether an attempt failed because its lease
+// deadline passed (as opposed to an immediate transport error).
+func leaseExpired(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

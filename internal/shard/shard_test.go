@@ -1,0 +1,348 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jmtam/internal/faultnet"
+	"jmtam/internal/obs"
+)
+
+// testSpec is a small synthetic grid: 2 workloads × 2 impls = 4 shards,
+// 2×2 geometries each.
+func testSpec() *Spec {
+	return &Spec{
+		Workloads:  []Workload{{Program: "ss", Arg: 40}, {Program: "gauss", Arg: 8}},
+		SizesKB:    []int{1, 8},
+		Assocs:     []int{1, 4},
+		BlockBytes: 64,
+		Penalties:  []int{12},
+		Impls:      []string{"md", "am"},
+	}
+}
+
+// fakeUnit derives a deterministic result for a one-unit worker request:
+// a pure function of (program, arg, impl, geometry), so every stub
+// worker agrees and position-indexed reassembly is checkable.
+func fakeUnit(req workerSweepRequest) UnitResult {
+	w := req.Workloads[0]
+	impl := implName(req.Impls[0])
+	h := uint64(len(w.Program))*1_000_000 + uint64(w.Arg)*1000 + uint64(len(impl))
+	u := UnitResult{
+		Program: w.Program, Arg: w.Arg, Impl: impl,
+		Instructions: h, TPQ: 1.5, IPT: 2.25, IPQ: 3.375,
+	}
+	for _, kb := range req.SizesKB {
+		for _, a := range req.Assocs {
+			u.Caches = append(u.Caches, GeomStats{
+				SizeKB: kb, BlockBytes: req.BlockBytes, Assoc: a,
+				IMisses: h%97 + uint64(kb), DMisses: uint64(a), Writebacks: 1,
+			})
+		}
+	}
+	return u
+}
+
+func wantUnits(spec *Spec) []UnitResult {
+	var want []UnitResult
+	for _, u := range spec.Units() {
+		want = append(want, fakeUnit(workerSweepRequest{
+			Workloads: []Workload{u.Workload}, Impls: []string{u.Impl},
+			SizesKB: spec.SizesKB, Assocs: spec.Assocs, BlockBytes: spec.BlockBytes,
+		}))
+	}
+	return want
+}
+
+// stubWorker serves /healthz and a minimal /v1/sweeps that streams the
+// fakeUnit result. beforeResult, when non-nil, runs after the request is
+// parsed and may substitute the terminal behavior entirely by returning
+// false.
+func stubWorker(t *testing.T, beforeResult func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req workerSweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if beforeResult != nil && !beforeResult(w, r, req) {
+			return
+		}
+		doc, _ := json.Marshal(workerSweepResult{Runs: []UnitResult{fakeUnit(req)}})
+		fmt.Fprintf(w, `{"type":"accepted"}`+"\n")
+		fmt.Fprintf(w, `{"type":"result","result":%s}`+"\n", doc)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func counterValue(m *RegistryMetrics, name string) uint64 {
+	var v uint64
+	m.Snapshot(func(reg *obs.Registry) { v = reg.Counter(name).Value() })
+	return v
+}
+
+// assertCounter checks the counter is at least lo and, when exact is
+// true, exactly lo.
+func assertCounter(t *testing.T, m *RegistryMetrics, name string, lo uint64, exact bool) {
+	t.Helper()
+	v := counterValue(m, name)
+	if v < lo || (exact && v != lo) {
+		t.Fatalf("%s = %d, want >= %d (exact=%v)", name, v, lo, exact)
+	}
+}
+
+func TestSpecUnitsOrder(t *testing.T) {
+	spec := testSpec()
+	units := spec.Units()
+	want := []Unit{
+		{Workload{"ss", 40}, "md"}, {Workload{"ss", 40}, "am"},
+		{Workload{"gauss", 8}, "md"}, {Workload{"gauss", 8}, "am"},
+	}
+	if !reflect.DeepEqual(units, want) {
+		t.Fatalf("units = %v, want %v", units, want)
+	}
+	geoms := spec.CacheConfigs()
+	if len(geoms) != 4 || geoms[0].SizeBytes != 1024 || geoms[1].Assoc != 4 || geoms[2].SizeBytes != 8192 {
+		t.Fatalf("geoms order wrong: %+v", geoms)
+	}
+}
+
+func TestCoordinatorAllRemote(t *testing.T) {
+	w1 := stubWorker(t, nil)
+	w2 := stubWorker(t, nil)
+	m := NewRegistryMetrics()
+	c := New(Config{Workers: []string{w1.URL, w2.URL}, Metrics: m, DisableLocal: true})
+	spec := testSpec()
+	got, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantUnits(spec); !reflect.DeepEqual(got, want) {
+		t.Fatalf("results not position-indexed:\ngot  %+v\nwant %+v", got, want)
+	}
+	assertCounter(t, m, "shard.shards", 4, true)
+	assertCounter(t, m, "shard.remote", 4, true)
+	assertCounter(t, m, "shard.retries", 0, true)
+	assertCounter(t, m, "shard.requeues", 0, true)
+	assertCounter(t, m, "shard.local", 0, true)
+}
+
+func TestCoordinatorRetriesTransientThenSucceeds(t *testing.T) {
+	var badCalls atomic.Int64
+	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+		badCalls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		return false
+	})
+	good := stubWorker(t, nil)
+	m := NewRegistryMetrics()
+	c := New(Config{
+		Workers: []string{bad.URL, good.URL}, Metrics: m,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		DisableLocal: true,
+	})
+	spec := testSpec()
+	got, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantUnits(spec); !reflect.DeepEqual(got, want) {
+		t.Fatalf("faulty worker changed results")
+	}
+	if badCalls.Load() == 0 {
+		t.Fatal("bad worker was never tried")
+	}
+	assertCounter(t, m, "shard.retries", 1, false)
+	assertCounter(t, m, "shard.remote", uint64(len(spec.Units())), true)
+}
+
+func TestCoordinatorPermanentErrorAborts(t *testing.T) {
+	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+		http.Error(w, "no such program", http.StatusBadRequest)
+		return false
+	})
+	c := New(Config{Workers: []string{bad.URL}, BaseBackoff: time.Millisecond})
+	_, err := c.Run(context.Background(), testSpec())
+	var pe *PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PermanentError", err)
+	}
+}
+
+func TestCoordinatorLocalFallbackWhenAllDead(t *testing.T) {
+	// A listener that is closed immediately: connection refused, the
+	// transient flavor a crashed worker produces.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	m := NewRegistryMetrics()
+	var events []Event
+	var mu sync.Mutex
+	c := New(Config{
+		Workers: []string{deadURL}, Metrics: m,
+		MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+		OnEvent: func(e Event) { mu.Lock(); events = append(events, e); mu.Unlock() },
+	})
+	spec := &Spec{
+		Workloads:  []Workload{{Program: "ss", Arg: 40}},
+		SizesKB:    []int{1},
+		Assocs:     []int{1},
+		BlockBytes: 64,
+		Penalties:  []int{12},
+		Impls:      []string{"md"},
+	}
+	got, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Program != "ss" || got[0].Instructions == 0 {
+		t.Fatalf("local fallback result = %+v", got)
+	}
+	assertCounter(t, m, "shard.local", 1, true)
+	assertCounter(t, m, "shard.breaker.opens", 1, false)
+	mu.Lock()
+	defer mu.Unlock()
+	var sawLocal bool
+	for _, e := range events {
+		if e.Type == "local" {
+			sawLocal = true
+		}
+	}
+	if !sawLocal {
+		t.Fatalf("no local event in %+v", events)
+	}
+}
+
+func TestCoordinatorLocalMatchesRemoteExecution(t *testing.T) {
+	// DisableLocal + no workers must fail rather than silently degrade.
+	c := New(Config{DisableLocal: true})
+	if _, err := c.Run(context.Background(), testSpec()); err == nil {
+		t.Fatal("DisableLocal with no workers should fail")
+	}
+}
+
+func TestCoordinatorLeaseExpiryRequeues(t *testing.T) {
+	// The hung worker parses the request then stalls until the client
+	// gives up: a worker that died mid-shard without closing the socket.
+	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+		return false
+	})
+	good := stubWorker(t, nil)
+	m := NewRegistryMetrics()
+	c := New(Config{
+		Workers: []string{hung.URL, good.URL}, Metrics: m,
+		LeaseTimeout: 80 * time.Millisecond,
+		BaseBackoff:  time.Millisecond, MaxBackoff: time.Millisecond,
+		DisableLocal: true, MaxAttempts: 6,
+	})
+	spec := testSpec()
+	got, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantUnits(spec); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hung worker changed results")
+	}
+	assertCounter(t, m, "shard.requeues", 1, false)
+}
+
+func TestCoordinatorHedgesStragglers(t *testing.T) {
+	slow := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+		time.Sleep(300 * time.Millisecond)
+		return true
+	})
+	fast := stubWorker(t, nil)
+	m := NewRegistryMetrics()
+	c := New(Config{
+		Workers: []string{slow.URL, fast.URL}, Metrics: m,
+		HedgeAfter:  20 * time.Millisecond,
+		BaseBackoff: time.Millisecond, DisableLocal: true,
+	})
+	spec := &Spec{
+		Workloads:  []Workload{{Program: "ss", Arg: 40}},
+		SizesKB:    []int{1},
+		Assocs:     []int{1},
+		BlockBytes: 64,
+		Penalties:  []int{12},
+		Impls:      []string{"md"},
+	}
+	got, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantUnits(spec); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hedged result differs")
+	}
+	// Round-robin start order decides which worker is primary, so the
+	// hedge counter is 0 (fast primary) or 1 (slow primary); either way
+	// the slow attempt must not have delayed correctness above.
+	if v := counterValue(m, "shard.hedges"); v > 1 {
+		t.Fatalf("shard.hedges = %d, want 0 or 1", v)
+	}
+}
+
+func TestCoordinatorDeterministicUnderChaos(t *testing.T) {
+	good := stubWorker(t, nil)
+	clean := New(Config{Workers: []string{good.URL}, DisableLocal: true})
+	spec := testSpec()
+	want, err := clean.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []uint64{1, 7, 42} {
+		m := NewRegistryMetrics()
+		chaotic := New(Config{
+			Workers: []string{good.URL}, Metrics: m,
+			Transport: faultnet.NewTransport(nil, faultnet.Plan{
+				Seed: seed, Drop: 0.2, Err5xx: 0.2, Disconnect: 0.2,
+			}),
+			BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+			MaxAttempts: 20, DisableLocal: true, Seed: seed,
+		})
+		got, err := chaotic.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: chaos changed results", seed)
+		}
+	}
+}
+
+func TestCoordinatorCancelPropagates(t *testing.T) {
+	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+		return false
+	})
+	c := New(Config{Workers: []string{hung.URL}, DisableLocal: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Run(ctx, testSpec())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package shard distributes a sweep's (workload × implementation)
+// grid across remote tamsimd workers over the /v1/sweeps HTTP API,
+// tolerating worker failure without changing results.
+//
+// The coordinator partitions the grid into shards — one grid cell,
+// i.e. one (workload, implementation) simulation plus its full
+// cache-geometry fan-out, per shard — and leases each shard to a
+// worker for a bounded time. Transient failures (connection drops,
+// 5xxs, mid-stream disconnects) retry with jittered exponential
+// backoff on the next worker; an expired lease (worker died or stalled
+// mid-shard) re-queues the shard; stragglers past the hedge threshold
+// get one bounded duplicate attempt; and when no worker is reachable
+// the shard degrades gracefully to local in-process execution. Results
+// are assembled position-indexed, so the merged output is
+// byte-identical to a local experiments.Sweep execution regardless of
+// which worker ran which shard or how many retries occurred.
+package shard
+
+import (
+	"fmt"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+)
+
+// Workload names one benchmark instance in wire form.
+type Workload struct {
+	Program string `json:"program"`
+	Arg     int    `json:"arg,omitempty"`
+}
+
+// Spec is the sweep to distribute: the same parameter space as a
+// tamsimd SweepRequest, already normalized (no empty fields).
+type Spec struct {
+	Workloads  []Workload `json:"workloads"`
+	SizesKB    []int      `json:"sizes_kb"`
+	Assocs     []int      `json:"assocs"`
+	BlockBytes int        `json:"block_bytes"`
+	Penalties  []int      `json:"penalties"`
+	Impls      []string   `json:"impls"`
+}
+
+// Validate rejects specs the workers would reject, before any shard is
+// leased.
+func (s *Spec) Validate() error {
+	if len(s.Workloads) == 0 || len(s.Impls) == 0 {
+		return fmt.Errorf("shard: spec needs at least one workload and one impl")
+	}
+	if len(s.SizesKB) == 0 || len(s.Assocs) == 0 || s.BlockBytes == 0 {
+		return fmt.Errorf("shard: spec needs a full cache-geometry grid")
+	}
+	for _, impl := range s.Impls {
+		if _, err := parseImpl(impl); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.CacheConfigs() {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unit is one grid cell: a (workload, implementation) simulation plus
+// its geometry fan-out. One unit is one leased shard.
+type Unit struct {
+	Workload Workload
+	Impl     string
+}
+
+// Units expands the spec's grid in deterministic order:
+// workload-major, implementation-minor — the same order a local sweep
+// assembles its runs in.
+func (s *Spec) Units() []Unit {
+	units := make([]Unit, 0, len(s.Workloads)*len(s.Impls))
+	for _, w := range s.Workloads {
+		for _, impl := range s.Impls {
+			units = append(units, Unit{Workload: w, Impl: impl})
+		}
+	}
+	return units
+}
+
+// CacheConfigs returns the geometry grid in index order (size-major,
+// then associativity), matching the order workers report detail rows
+// in.
+func (s *Spec) CacheConfigs() []cache.Config {
+	var geoms []cache.Config
+	for _, kb := range s.SizesKB {
+		for _, a := range s.Assocs {
+			geoms = append(geoms, cache.Config{
+				SizeBytes: kb * 1024, BlockBytes: s.BlockBytes, Assoc: a,
+			})
+		}
+	}
+	return geoms
+}
+
+// GeomStats is one geometry's miss statistics within a unit result.
+type GeomStats struct {
+	SizeKB     int    `json:"size_kb"`
+	BlockBytes int    `json:"block_bytes"`
+	Assoc      int    `json:"assoc"`
+	IMisses    uint64 `json:"i_misses"`
+	DMisses    uint64 `json:"d_misses"`
+	Writebacks uint64 `json:"writebacks"`
+}
+
+// UnitResult is one completed grid cell: the simulation summary plus
+// per-geometry cache statistics, indexed as Spec.CacheConfigs. It
+// carries everything a sweep document derives — identical numbers in,
+// identical document out, whether the unit ran remotely or locally.
+type UnitResult struct {
+	Program      string      `json:"program"`
+	Arg          int         `json:"arg"`
+	Impl         string      `json:"impl"`
+	Instructions uint64      `json:"instructions"`
+	TPQ          float64     `json:"tpq"`
+	IPT          float64     `json:"ipt"`
+	IPQ          float64     `json:"ipq"`
+	Caches       []GeomStats `json:"caches"`
+}
+
+// parseImpl accepts the CLI's implementation names.
+func parseImpl(s string) (core.Impl, error) {
+	switch s {
+	case "am":
+		return core.ImplAM, nil
+	case "md", "":
+		return core.ImplMD, nil
+	case "am-enabled":
+		return core.ImplAMEnabled, nil
+	case "oam":
+		return core.ImplOAM, nil
+	}
+	return 0, fmt.Errorf("unknown impl %q (want am|md|am-enabled|oam)", s)
+}
