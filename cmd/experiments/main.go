@@ -19,18 +19,26 @@ import (
 	"strings"
 
 	"jmtam"
+	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/report"
 )
 
 func main() {
-	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|mdopt|oam|classes|mix|penalties|all")
+	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|mdopt|oam|classes|mix|penalties|noderatio|all")
 	scale := flag.String("scale", "quick", "problem sizes: quick|paper")
 	format := flag.String("format", "text", "figure output: text (ASCII charts) | csv (figure,penalty,series,sizeKB,ratio rows)")
 	par := flag.Int("parallel", 0, "concurrent simulations and trace replays (0 = GOMAXPROCS); results are identical at any setting")
 	metricsDir := flag.String("metrics-dir", "", "collect per-run observability metrics during the sweep and write one registry JSON dump per (workload, implementation) into this directory")
+	nodes := flag.Int("nodes", 1, "mesh node count for the cache sweep artifacts (power of two, at most 64); >1 runs every workload on an N-node mesh (e.g. Table 2 at N=4)")
+	placementName := flag.String("placement", "round-robin", "frame placement policy for -nodes > 1: round-robin|local")
 	flag.Parse()
+
+	placement, err := core.ParsePlacement(*placementName)
+	if err != nil {
+		check(err)
+	}
 
 	var ws []experiments.Workload
 	switch *scale {
@@ -65,8 +73,14 @@ func main() {
 		sweep := experiments.DefaultSweep(ws)
 		sweep.Parallelism = *par
 		sweep.CollectMetrics = *metricsDir != ""
-		fmt.Printf("running sweep over %d workloads x 2 implementations x %d cache geometries...\n\n",
-			len(ws), len(sweep.SizesKB)*len(sweep.Assocs))
+		sweep.Options.Nodes = *nodes
+		sweep.Options.Placement = placement
+		meshNote := ""
+		if *nodes > 1 {
+			meshNote = fmt.Sprintf(" on %d-node meshes", *nodes)
+		}
+		fmt.Printf("running sweep over %d workloads x 2 implementations x %d cache geometries%s...\n\n",
+			len(ws), len(sweep.SizesKB)*len(sweep.Assocs), meshNote)
 		ds, err := sweep.Execute()
 		check(err)
 		if *metricsDir != "" {
@@ -167,6 +181,22 @@ func main() {
 		check(err)
 		fmt.Println("Dynamic instruction mix")
 		fmt.Print(report.Mix(rows))
+		fmt.Println()
+	}
+
+	if want("noderatio") {
+		geom := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+		counts := []int{1, 2, 4, 8}
+		opt := core.Options{Placement: placement}
+		rows, err := experiments.NodeRatioSweep(ws, counts, geom, 24, opt, *par)
+		check(err)
+		fmt.Println("Multi-node: MD/AM ratio vs node count (8K 4-way per node, miss 24)")
+		fmt.Print(report.NodeRatios(rows))
+		fmt.Println()
+		hops, err := experiments.HopLatencySweep(ws, 4, []uint64{1, 2, 4, 8, 16}, opt, *par)
+		check(err)
+		fmt.Println("Multi-node: MD/AM elapsed-tick ratio vs per-hop delay (4 nodes)")
+		fmt.Print(report.HopLatency(hops))
 		fmt.Println()
 	}
 

@@ -5,11 +5,19 @@
 //	tamsim -prog mmt -arg 20 -impl am -cache 8 -assoc 4 -block 64
 //	tamsim -prog qs -impl md -cache 1,8,64 -assoc 1,4 -parallel 4
 //	tamsim -prog qs -impl am -dump
+//	tamsim -prog wavefront -impl am -nodes 4 -placement round-robin
 //
 // -cache, -assoc and -block accept comma-separated lists; every
 // combination is evaluated. The simulation runs once, recording its
 // reference stream, and the recording is replayed through each geometry
 // on a worker pool bounded by -parallel (0 = GOMAXPROCS).
+//
+// With -nodes N (a power of two, at most 64) the benchmark runs
+// unmodified on an N-node mesh: the runtime compiles mesh-aware code,
+// frames are spread by the -placement policy, and remote I-structure
+// requests travel the network as active messages. Each node records
+// its own reference stream and owns a private cache pair per geometry;
+// misses are summed.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/isa"
+	"jmtam/internal/machine"
 	"jmtam/internal/mem"
 	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
@@ -45,6 +54,9 @@ func main() {
 	hist := flag.Bool("hist", false, "also print the quantum-size histogram and instruction mix")
 	eventsOut := flag.String("events", "", "write a Perfetto/Chrome trace-event timeline (JSON) to this file")
 	metricsOut := flag.String("metrics", "", "write the observability metrics registry (JSON) to this file")
+	nodes := flag.Int("nodes", 1, "mesh node count (power of two, at most 64); >1 runs the multi-node TAM runtime")
+	placementName := flag.String("placement", "round-robin", "frame placement policy for -nodes > 1: round-robin|local")
+	pairedQW := flag.Bool("paired-queue-writes", false, "model the MDP's two-word-per-cycle queue write-through (halves charged queue-buffer writes)")
 	flag.Parse()
 
 	var impl core.Impl
@@ -61,6 +73,11 @@ func main() {
 		fail(fmt.Errorf("unknown -impl %q", *implName))
 	}
 
+	placement, err := core.ParsePlacement(*placementName)
+	if err != nil {
+		fail(err)
+	}
+
 	spec, err := programs.ByName(*prog)
 	if err != nil {
 		fail(err)
@@ -71,14 +88,15 @@ func main() {
 	}
 
 	if *dump {
-		sim, err := core.Build(impl, spec.Build(n), core.Options{})
+		c, err := core.Compile(impl, spec.Build(n),
+			core.Options{Nodes: *nodes, Placement: placement})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("; --- system code ---")
-		fmt.Print(sim.RT.Sys.Dump())
+		fmt.Print(c.RT.Sys.Dump())
 		fmt.Println("; --- user code ---")
-		fmt.Print(sim.RT.User.Dump())
+		fmt.Print(c.RT.User.Dump())
 		return
 	}
 
@@ -86,7 +104,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	if *nodes > 1 {
+		runCluster(impl, placement, spec, n, *nodes, *pairedQW, geoms, *par, *hist,
+			*eventsOut, *metricsOut)
+		return
+	}
 	var opt core.Options
+	opt.PairedQueueWrites = *pairedQW
 	var sink *obs.Sink
 	if *eventsOut != "" || *metricsOut != "" || *hist {
 		sink = obs.NewSink(*eventsOut != "")
@@ -135,6 +160,15 @@ func main() {
 				label = geoms[i].String()
 			}
 			mcs[i].AddTo(sink.Metrics, label)
+		}
+		if sink.Events != nil && len(geoms) > 0 {
+			// Miss-density counter track: per-1K-instruction I/D cache
+			// miss samples at the first geometry, on the same
+			// instruction clock as the scheduler spans, so conflict-miss
+			// bursts line up with the quanta they occur in.
+			if _, err := rec.MissDensityTrack(sink.Events, int32(sim.M.Node()), geoms[0], 1000); err != nil {
+				fail(err)
+			}
 		}
 		// The recording replaced the inline collector; fold its
 		// per-class reference counts into the registry here.
@@ -213,6 +247,145 @@ func main() {
 		}
 		fmt.Printf("events written to %s (%d records; load in https://ui.perfetto.dev)\n",
 			*eventsOut, sink.Events.Len())
+	}
+}
+
+// runCluster executes the benchmark on an N-node mesh and reports the
+// aggregate statistics, elapsed lockstep time, per-node instruction
+// counts and the network traffic breakdown.
+func runCluster(impl core.Impl, placement core.Placement, spec programs.Spec, arg, nodes int, pairedQW bool, geoms []cache.Config, par int, hist bool, eventsOut, metricsOut string) {
+	opt := core.Options{Nodes: nodes, Placement: placement, PairedQueueWrites: pairedQW}
+	var sink *obs.Sink
+	if eventsOut != "" || metricsOut != "" || hist {
+		sink = obs.NewSink(eventsOut != "")
+		opt.Obs = sink
+	}
+	cs, err := core.BuildCluster(impl, spec.Build(arg), opt)
+	if err != nil {
+		fail(err)
+	}
+	recs := make([]*trace.Recording, cs.Nodes)
+	cs.Tracers = make([]machine.Tracer, cs.Nodes)
+	for k := range recs {
+		recs[k] = &trace.Recording{}
+		cs.Tracers[k] = recs[k]
+	}
+	if err := cs.Run(); err != nil {
+		fail(err)
+	}
+
+	// Each node owns a private cache pair per geometry; misses sum.
+	caches := make([]experiments.CacheStats, len(geoms))
+	err = parallel.ForEach(par, len(geoms), func(i int) error {
+		st := experiments.CacheStats{Config: geoms[i]}
+		for _, rec := range recs {
+			p, err := trace.NewPair(geoms[i])
+			if err != nil {
+				return err
+			}
+			rec.Replay(p)
+			st.Config = p.I.Config()
+			st.IMisses += p.I.Stats().Misses
+			st.DMisses += p.D.Stats().Misses
+			st.Writebacks += p.D.Stats().Writebacks
+		}
+		caches[i] = st
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var reads, writes, refs, traceBytes uint64
+	for _, rec := range recs {
+		reads += rec.TotalReads()
+		writes += rec.TotalWrites()
+		refs += uint64(rec.Len())
+		traceBytes += uint64(rec.Bytes())
+	}
+	if sink != nil {
+		// The recordings replaced the inline collectors; fold their
+		// per-class reference counts into the registry here.
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			name := cls.String()
+			for _, rec := range recs {
+				sink.Metrics.Counter("ref.fetch." + name).Add(rec.Fetches[cls])
+				sink.Metrics.Counter("ref.read." + name).Add(rec.Reads[cls])
+				sink.Metrics.Counter("ref.write." + name).Add(rec.Writes[cls])
+			}
+		}
+		if sink.Events != nil && len(geoms) > 0 {
+			// Per-node miss-density counter tracks at the first geometry.
+			for k, rec := range recs {
+				if _, err := rec.MissDensityTrack(sink.Events, int32(k), geoms[0], 1000); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+
+	g := cs.MergedGran()
+	instrs := cs.Instructions()
+	fmt.Printf("%s %d under %v on %d nodes (%v placement)\n", spec.Name, arg, impl, cs.Nodes, placement)
+	fmt.Printf("  %s\n\n", spec.Doc)
+	fmt.Printf("  instructions      %12d\n", instrs)
+	for k, m := range cs.C.Machines {
+		fmt.Printf("    node %-2d         %12d\n", k, m.Instructions())
+	}
+	fmt.Printf("  elapsed ticks     %12d\n", cs.Ticks())
+	fmt.Printf("  data reads        %12d\n", reads)
+	fmt.Printf("  data writes       %12d\n", writes)
+	fmt.Printf("  threads           %12d\n", g.Threads)
+	fmt.Printf("  quanta            %12d\n", g.Quanta)
+	fmt.Printf("  threads/quantum   %12.1f\n", g.TPQ())
+	fmt.Printf("  instrs/thread     %12.1f\n", g.IPT())
+	fmt.Printf("  instrs/quantum    %12.1f\n", g.IPQ())
+	fmt.Printf("  trace             %12d refs (%d KB recorded)\n", refs, traceBytes/1024)
+	fmt.Printf("  net messages      %12d delivered (%d words sent)\n",
+		cs.C.Net.Delivered, cs.C.Net.WordsSent)
+	if sink != nil {
+		for _, name := range sink.Metrics.CounterNames() {
+			if strings.HasPrefix(name, "net.class.") || strings.HasPrefix(name, "net.latency.") {
+				fmt.Printf("    %-16s%12d\n", strings.TrimPrefix(name, "net."),
+					sink.Metrics.Counter(name).Value())
+			}
+		}
+	}
+	for i, c := range caches {
+		fmt.Printf("\n  cache %v (per node)\n", c.Config)
+		fmt.Printf("  I-misses          %12d\n", c.IMisses)
+		fmt.Printf("  D-misses          %12d\n", c.DMisses)
+		fmt.Printf("  writebacks        %12d\n", c.Writebacks)
+		for _, p := range []int{12, 24, 48} {
+			fmt.Printf("  cycles (miss=%2d)  %12d\n", p,
+				instrs+uint64(p)*(caches[i].IMisses+caches[i].DMisses))
+		}
+	}
+
+	if hist {
+		fmt.Println()
+		fmt.Print(indent(report.Histogram(
+			"quantum-size histogram (threads per quantum)", &g.QuantumHist), "  "))
+		fmt.Print(indent(report.Histogram(
+			"quantum-length histogram (instructions per quantum)", &g.QuantumInstrs), "  "))
+	}
+
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, func(w *os.File) error {
+			return sink.Metrics.WriteJSON(w)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics written to %s\n", metricsOut)
+	}
+	if eventsOut != "" {
+		if err := writeFile(eventsOut, func(w *os.File) error {
+			return sink.Events.WriteJSON(w)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("events written to %s (%d records; load in https://ui.perfetto.dev)\n",
+			eventsOut, sink.Events.Len())
 	}
 }
 

@@ -5,10 +5,12 @@
 // each node computes locally (sum of squares of a range) and replies,
 // and node 0 accumulates.
 //
-// The TAM backends themselves are uniprocessor, as in the paper; this
-// example exercises the multi-node substrate with a hand-written
-// message-driven program — exactly the style the MD implementation is
-// built from.
+// The TAM backends also run multi-node (tamsim -nodes N, or
+// Options.Nodes through the jmtam façade): core compiles mesh-aware
+// runtime code with distributed frame placement and remote I-structure
+// handlers. This example goes one level lower, exercising the mesh
+// substrate with a hand-written message-driven program — exactly the
+// style the MD implementation is built from.
 package main
 
 import (

@@ -347,6 +347,10 @@ func (s *Segment) Halt() { s.emit(isa.Instr{Op: isa.OpHalt}) }
 // Trap emits a runtime error with the given code.
 func (s *Segment) Trap(code int64) { s.emit(isa.Instr{Op: isa.OpTrap, Imm: code}) }
 
+// MyNode emits Rd <- int(local node number) — the MDP's network node
+// register. On a uniprocessor it reads zero.
+func (s *Segment) MyNode(rd uint8) { s.emit(isa.Instr{Op: isa.OpNode, Rd: rd}) }
+
 // TagSet emits Rd <- Ra with its tag forced to t.
 func (s *Segment) TagSet(rd, ra, t uint8) {
 	s.emit(isa.Instr{Op: isa.OpTagSet, Rd: rd, Ra: ra, Imm: int64(t)})

@@ -4,14 +4,19 @@
 // nodes travel through the netsim mesh and are buffered into the
 // destination's hardware queue on arrival, exactly like local sends.
 //
-// The paper's measurements are uniprocessor; the cluster is the
+// The paper's measurements are uniprocessor. The cluster is the
 // substrate for its "our systems can run on multiple processors"
-// remark, and is exercised by hand-written multi-node programs (see
-// examples/multinode) rather than by the TAM backends, whose runtime
-// state (heap, frames, ready queue) is per-node.
+// remark, exercised both by hand-written multi-node programs (see
+// examples/multinode) and by the TAM backends themselves: core compiles
+// mesh-aware runtime code (distributed frame placement, remote
+// I-structure handlers) and drives an N-node cluster through
+// core.ClusterSim, with per-node runtime state in each machine's
+// private system data and the frame/heap segments shared but
+// partitioned for allocation.
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"jmtam/internal/machine"
@@ -24,6 +29,15 @@ import (
 type Cluster struct {
 	Net      *netsim.Network
 	Machines []*machine.Machine
+
+	// Classify, when non-nil, labels each inter-node message from its
+	// priority and payload (e.g. "ifetch", "falloc", "user"). Every
+	// send then bumps net.class.<label> (message count) and
+	// net.latency.<label> (total modelled latency) in the sink attached
+	// via SetSink, so network traffic can be attributed to remote
+	// I-structure requests versus frame-spawn traffic. Set before
+	// running.
+	Classify func(pri int, ws []word.Word) string
 
 	tick uint64
 }
@@ -40,7 +54,16 @@ func New(machines []*machine.Machine, cfg netsim.Config) (*Cluster, error) {
 	for i, m := range machines {
 		node := i
 		m.SetRouter(node, func(dst, pri int, ws []word.Word) error {
-			return c.Net.Send(node, dst, pri, ws, c.tick)
+			if err := c.Net.Send(node, dst, pri, ws, c.tick); err != nil {
+				return err
+			}
+			if c.Classify != nil && c.Net.Obs != nil {
+				cls := c.Classify(pri, ws)
+				r := c.Net.Obs.Metrics
+				r.Counter("net.class." + cls).Add(1)
+				r.Counter("net.latency." + cls).Add(c.Net.Latency(node, dst, len(ws)))
+			}
+			return nil
 		})
 	}
 	return c, nil
@@ -85,7 +108,22 @@ func (c *Cluster) FinishMetrics() {
 // Run executes until global quiescence (every machine idle, no messages
 // in flight) or until maxTicks elapses; zero means no limit.
 func (c *Cluster) Run(maxTicks uint64) error {
+	return c.RunContext(context.Background(), maxTicks)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled every few thousand ticks, so a cancelled (or hung) cluster
+// run stops promptly with an error wrapping ctx.Err().
+func (c *Cluster) RunContext(ctx context.Context, maxTicks uint64) error {
+	const pollTicks = 1 << 13
+	nextPoll := c.tick + pollTicks
 	for {
+		if c.tick >= nextPoll {
+			nextPoll = c.tick + pollTicks
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cluster: cancelled at tick %d: %w", c.tick, err)
+			}
+		}
 		progress := false
 		for _, m := range c.Machines {
 			ok, err := m.StepOne()
@@ -95,10 +133,14 @@ func (c *Cluster) Run(maxTicks uint64) error {
 			progress = progress || ok
 		}
 		c.tick++
+		before := c.Net.Delivered
 		if err := c.deliverDue(); err != nil {
 			return err
 		}
-		if !progress {
+		// Quiescence requires that this tick neither stepped a machine
+		// nor delivered a message: a delivery can wake an idle machine,
+		// so it counts as progress even when every StepOne came up dry.
+		if !progress && c.Net.Delivered == before {
 			if c.Net.Pending() == 0 {
 				return nil
 			}

@@ -18,7 +18,9 @@ import (
 // additionally in threads; in inlets R5 is the message base), R3/R4 are
 // clobbered by macros, R6 is the frame pointer, and macros that call
 // library routines (Post/PostEnd under the AM backends, Fork under OAM)
-// clobber R1, R2 and R7.
+// clobber R1, R2 and R7. On a multi-node mesh every message-sending
+// macro additionally clobbers R3/R4 to compute the destination node, so
+// registers passed to them must not be R3.
 type Body struct {
 	*asm.Segment
 	rt     *Runtime
@@ -28,6 +30,7 @@ type Body struct {
 
 	terminated    bool
 	pushed        bool // this body pushed onto the continuation vector
+	routePending  bool // multi-node: BeginMsg* awaits the frame word to route by
 	fallthroughTo *Thread
 	fallBRPC      uint32 // PC just after the candidate fall-through branch
 }
@@ -409,14 +412,76 @@ func noteTarget(t *Thread, b *Body) {
 	t.postCount++
 }
 
+// --- Multi-node routing ------------------------------------------------------
+
+// routeHome emits the home-node computation for the segment address in
+// reg, directing the open message to the node owning that address.
+// shift selects the segment partition (rt.frameShift or rt.heapShift).
+// Clobbers R3, so reg must not be R3. No-op on a uniprocessor.
+func (b *Body) routeHome(reg uint8, shift uint) {
+	if !b.rt.multi() {
+		return
+	}
+	if reg == 3 {
+		panic("core: routed address register collides with routing scratch R3")
+	}
+	b.ShrI(3, reg, int64(shift))
+	b.AndI(3, 3, int64(b.rt.nodes-1))
+	b.MsgDest(3)
+}
+
+// placeAlloc emits the destination of an allocation request (falloc or
+// halloc) according to the placement policy. Clobbers R3/R4. Must be
+// called with a message open. No-op on a uniprocessor.
+func (b *Body) placeAlloc() {
+	if !b.rt.multi() {
+		return
+	}
+	switch b.rt.placement {
+	case PlaceRoundRobin:
+		b.LDAbs(3, GPlaceNext)
+		b.AddI(4, 3, 1)
+		b.AndI(4, 4, int64(b.rt.nodes-1))
+		b.STAbs(GPlaceNext, 4)
+		b.MsgDest(3)
+	case PlaceLocal:
+		// The request stays on the issuing node.
+	}
+}
+
+// SendW appends register ra to the message being built. Between
+// BeginMsg/BeginMsgDyn and SendE the first SendW must carry the
+// destination frame pointer (the standard inlet-message convention); on
+// a multi-node mesh the builder derives the message's destination node
+// from that first word, clobbering R3.
+func (b *Body) SendW(ra uint8) {
+	if b.routePending {
+		b.routePending = false
+		b.routeHome(ra, b.rt.frameShift)
+	}
+	b.Segment.SendW(ra)
+}
+
+// SendE finishes the message being built.
+func (b *Body) SendE() {
+	if b.routePending {
+		panic("core: BeginMsg message finished without a destination frame word")
+	}
+	b.Segment.SendE()
+}
+
 // --- Split-phase operations and system calls --------------------------------
 
 // IFetch issues a split-phase I-structure read of the heap cell whose
 // address is in addrReg; the value is delivered to in (an inlet of the
-// current codeblock) as its argument.
+// current codeblock) as its argument. On a multi-node mesh the request
+// is routed to the cell's home node — a remote ifetch is itself an
+// active message, handled by the remote node's iread handler, whose
+// reply routes back to this frame's owner.
 func (b *Body) IFetch(addrReg uint8, in *Inlet) {
 	b.mustLive("IFetch")
 	b.MsgI(machine.High)
+	b.routeHome(addrReg, b.rt.heapShift)
 	b.SendWA(b.rt.ireadAddr)
 	b.SendW(addrReg)
 	b.SendWI(b.impl().inletPri())
@@ -430,6 +495,7 @@ func (b *Body) IFetch(addrReg uint8, in *Inlet) {
 func (b *Body) IStore(addrReg, valReg uint8) {
 	b.mustLive("IStore")
 	b.MsgI(machine.High)
+	b.routeHome(addrReg, b.rt.heapShift)
 	b.SendWA(b.rt.iwriteAddr)
 	b.SendW(addrReg)
 	b.SendW(valReg)
@@ -437,13 +503,40 @@ func (b *Body) IStore(addrReg, valReg uint8) {
 }
 
 // FAlloc requests a frame for codeblock target; the new frame pointer is
-// delivered to replyInlet (an inlet of the current codeblock).
+// delivered to replyInlet (an inlet of the current codeblock). On a
+// multi-node mesh the frame-placement policy decides which node the
+// request — and therefore the activation — lands on.
 func (b *Body) FAlloc(target *Codeblock, replyInlet *Inlet) {
 	b.mustLive("FAlloc")
 	if target.descAddr == 0 {
 		panic(fmt.Sprintf("core: FAlloc target %s not laid out", target.Name))
 	}
 	b.MsgI(machine.High)
+	b.placeAlloc()
+	b.SendWA(b.rt.fallocAddr)
+	b.SendWA(target.descAddr)
+	b.SendWI(b.impl().inletPri())
+	b.SendWALabel(replyInlet.Label())
+	b.SendW(isa.RFP)
+	b.SendE()
+}
+
+// FAllocOn is FAlloc with explicit placement: the frame request is sent
+// to the node whose number is in nodeReg, overriding the placement
+// policy. On a uniprocessor the node register is ignored. nodeReg must
+// not be R3.
+func (b *Body) FAllocOn(target *Codeblock, replyInlet *Inlet, nodeReg uint8) {
+	b.mustLive("FAllocOn")
+	if target.descAddr == 0 {
+		panic(fmt.Sprintf("core: FAllocOn target %s not laid out", target.Name))
+	}
+	b.MsgI(machine.High)
+	if b.rt.multi() {
+		if nodeReg == 3 {
+			panic("core: FAllocOn node register collides with routing scratch R3")
+		}
+		b.MsgDest(nodeReg)
+	}
 	b.SendWA(b.rt.fallocAddr)
 	b.SendWA(target.descAddr)
 	b.SendWI(b.impl().inletPri())
@@ -458,6 +551,7 @@ func (b *Body) FAlloc(target *Codeblock, replyInlet *Inlet) {
 func (b *Body) HAlloc(wordsReg uint8, replyInlet *Inlet) {
 	b.mustLive("HAlloc")
 	b.MsgI(machine.High)
+	b.placeAlloc()
 	b.SendWA(b.rt.hallocAddr)
 	b.SendW(wordsReg)
 	b.SendWI(b.impl().inletPri())
@@ -479,6 +573,7 @@ func (b *Body) SetCountImm(i int, v int64) {
 func (b *Body) ReleaseFrame() {
 	b.mustLive("ReleaseFrame")
 	b.MsgI(machine.High)
+	b.routeHome(isa.RFP, b.rt.frameShift)
 	b.SendWA(b.rt.releaseAddr)
 	b.SendW(isa.RFP)
 	b.SendE()
@@ -489,8 +584,9 @@ func (b *Body) ReleaseFrame() {
 func (b *Body) SendMsg(in *Inlet, frameReg uint8, vals ...uint8) {
 	b.mustLive("SendMsg")
 	b.MsgI(b.impl().inletPri())
+	b.routeHome(frameReg, b.rt.frameShift)
 	b.SendWALabel(in.Label())
-	b.SendW(frameReg)
+	b.Segment.SendW(frameReg)
 	for _, v := range vals {
 		b.SendW(v)
 	}
@@ -502,11 +598,14 @@ func (b *Body) SendMsg(in *Inlet, frameReg uint8, vals ...uint8) {
 // pointer and the argument words with SendW (loads may be interleaved
 // with the sends, as MDP code does) and finish with SendE. Do not call
 // Post, Fork, FAlloc or any other message-sending macro between BeginMsg
-// and SendE: the hardware has one send buffer per priority level.
+// and SendE: the hardware has one send buffer per priority level. On a
+// multi-node mesh the first SendW after BeginMsg routes the message to
+// the frame's owner (see Body.SendW).
 func (b *Body) BeginMsg(in *Inlet) {
 	b.mustLive("BeginMsg")
 	b.MsgI(b.impl().inletPri())
 	b.SendWALabel(in.Label())
+	b.routePending = b.rt.multi()
 }
 
 // BeginMsgDyn starts a message to the inlet whose code address is in
@@ -514,7 +613,8 @@ func (b *Body) BeginMsg(in *Inlet) {
 func (b *Body) BeginMsgDyn(inletReg uint8) {
 	b.mustLive("BeginMsgDyn")
 	b.MsgI(b.impl().inletPri())
-	b.SendW(inletReg)
+	b.Segment.SendW(inletReg)
+	b.routePending = b.rt.multi()
 }
 
 // SendMsgDyn sends values to the inlet whose code address is in
@@ -522,9 +622,13 @@ func (b *Body) BeginMsgDyn(inletReg uint8) {
 // for parent continuations passed as arguments.
 func (b *Body) SendMsgDyn(inletReg, frameReg uint8, vals ...uint8) {
 	b.mustLive("SendMsgDyn")
+	if b.rt.multi() && inletReg == 3 {
+		panic("core: SendMsgDyn inlet register collides with routing scratch R3")
+	}
 	b.MsgI(b.impl().inletPri())
-	b.SendW(inletReg)
-	b.SendW(frameReg)
+	b.routeHome(frameReg, b.rt.frameShift)
+	b.Segment.SendW(inletReg)
+	b.Segment.SendW(frameReg)
 	for _, v := range vals {
 		b.SendW(v)
 	}

@@ -7,6 +7,7 @@ import (
 	"jmtam/internal/isa"
 	"jmtam/internal/machine"
 	"jmtam/internal/mem"
+	"jmtam/internal/netsim"
 	"jmtam/internal/obs"
 	"jmtam/internal/stats"
 	"jmtam/internal/trace"
@@ -37,6 +38,26 @@ type Options struct {
 	// Instrumentation is passive: results are identical with or without
 	// it.
 	Obs *obs.Sink
+	// Nodes runs the program on an N-node mesh (0 or 1 = uniprocessor).
+	// Must be a power of two. Multi-node compilation makes the system
+	// handlers and message macros mesh-aware: allocation requests are
+	// placed by the Placement policy, I-structure requests route to the
+	// addressed cell's home node, and replies route to the continuation
+	// frame's owner. Affects code generation, so it is fixed at Compile
+	// time; run via Compiled.NewCluster (or the jmtam façade).
+	Nodes int
+	// Placement selects the frame/heap placement policy for multi-node
+	// runs (default PlaceRoundRobin); ignored on a uniprocessor.
+	Placement Placement
+	// PairedQueueWrites models the MDP's two-word-per-cycle queue
+	// write-through: arriving message words buffer in pairs, so only
+	// every other word charges a data write. Off by default (the
+	// historical one-write-per-word accounting); only meaningful when
+	// queue-write tracing is on.
+	PairedQueueWrites bool
+	// Net overrides the mesh geometry and latency model for multi-node
+	// runs (nil = netsim.DefaultConfig for the node count).
+	Net *netsim.Config
 }
 
 // Sim is one ready-to-run simulation: a program compiled by one backend,
@@ -206,22 +227,60 @@ func (s *Sim) finishMetrics() {
 }
 
 // Host gives programs untraced (loader/debugger) access to the simulated
-// machine for setup and verification.
+// machine for setup and verification. On a multi-node cluster it spans
+// every node: host data allocations follow the placement policy across
+// the per-node heap partitions, the root frame lives in node 0's frame
+// partition, and Start routes the boot message to the frame's owner.
+// Peeks and result reads go through node 0, whose system data holds the
+// result area (results are stored by the root activation, which node 0
+// owns). With one node the behaviour is identical to the historical
+// uniprocessor host.
 type Host struct {
-	sim      *Sim
-	heapBump uint32
+	impl       Impl
+	nodes      int
+	placement  Placement
+	frameShift uint
+	heapShift  uint
+	ms         []*machine.Machine
+	heapBump   []uint32 // per-node heap bump (host view)
+	rr         int      // round-robin cursor for AllocData
+}
+
+// newUniHost returns the uniprocessor host for a single machine.
+func newUniHost(impl Impl, m *machine.Machine) *Host {
+	fs, hs := partitionShifts(1)
+	return &Host{
+		impl: impl, nodes: 1, frameShift: fs, heapShift: hs,
+		ms: []*machine.Machine{m}, heapBump: []uint32{mem.HeapBase},
+	}
+}
+
+// heapLimit returns the exclusive upper bound of node k's heap chunk.
+func (h *Host) heapLimit(k int) uint32 {
+	if h.nodes <= 1 {
+		return mem.TopOfMemory
+	}
+	return mem.HeapBase + uint32(k+1)<<h.heapShift
 }
 
 // AllocData reserves words of heap and returns its base address. The
-// memory is zero-initialized (integer zeros).
+// memory is zero-initialized (integer zeros). On a cluster the chunk is
+// carved from one node's heap partition, chosen by the placement policy
+// (round-robin scatters successive host allocations across the mesh).
 func (h *Host) AllocData(words int) uint32 {
-	a := h.heapBump
-	h.heapBump += uint32(words) * mem.WordBytes
-	if h.heapBump > mem.TopOfMemory {
+	k := 0
+	if h.nodes > 1 && h.placement == PlaceRoundRobin {
+		k = h.rr
+		h.rr = (h.rr + 1) % h.nodes
+	}
+	a := h.heapBump[k]
+	end := a + uint32(words)*mem.WordBytes
+	if end > h.heapLimit(k) {
 		panic("core: heap exhausted")
 	}
-	// Keep the runtime's dynamic allocator downstream of host data.
-	h.sim.M.Mem.Store(GHeapBump, word.Ptr(h.heapBump))
+	h.heapBump[k] = end
+	// Keep node k's dynamic allocator downstream of host data.
+	h.ms[k].Mem.Store(GHeapBump, word.Ptr(end))
 	return a
 }
 
@@ -230,13 +289,15 @@ func (h *Host) AllocData(words int) uint32 {
 func (h *Host) AllocIStruct(words int) uint32 {
 	a := h.AllocData(words)
 	for i := 0; i < words; i++ {
-		h.sim.M.Mem.Store(a+uint32(4*i), word.Empty())
+		h.ms[0].Mem.Store(a+uint32(4*i), word.Empty())
 	}
 	return a
 }
 
-// Poke writes a word of simulated memory without tracing.
-func (h *Host) Poke(addr uint32, w word.Word) { h.sim.M.Mem.Store(addr, w) }
+// Poke writes a word of simulated memory without tracing. On a cluster
+// the write goes through node 0 (the frame and heap segments are shared;
+// system data addressed this way is node 0's).
+func (h *Host) Poke(addr uint32, w word.Word) { h.ms[0].Mem.Store(addr, w) }
 
 // PokeInt writes an integer word.
 func (h *Host) PokeInt(addr uint32, v int64) { h.Poke(addr, word.Int(v)) }
@@ -244,8 +305,8 @@ func (h *Host) PokeInt(addr uint32, v int64) { h.Poke(addr, word.Int(v)) }
 // PokeFloat writes a float word.
 func (h *Host) PokeFloat(addr uint32, v float64) { h.Poke(addr, word.Float(v)) }
 
-// Peek reads a word of simulated memory without tracing.
-func (h *Host) Peek(addr uint32) word.Word { return h.sim.M.Mem.Load(addr) }
+// Peek reads a word of simulated memory without tracing (node 0's view).
+func (h *Host) Peek(addr uint32) word.Word { return h.ms[0].Mem.Load(addr) }
 
 // Result returns word i of the program result area.
 func (h *Host) Result(i int) word.Word {
@@ -254,27 +315,31 @@ func (h *Host) Result(i int) word.Word {
 
 // AllocFrame allocates and initializes a frame for cb exactly as the
 // frame-allocation handler would, but untraced; used to create the root
-// activation.
+// activation. On a cluster the frame comes from node 0's partition.
 func (h *Host) AllocFrame(cb *Codeblock) uint32 {
-	m := h.sim.M.Mem
+	m := h.ms[0].Mem
 	f := m.Load(GFrameBump).Addr()
-	m.Store(GFrameBump, word.Ptr(f+uint32(cb.frameWords)*mem.WordBytes))
+	nb := f + uint32(cb.frameWords)*mem.WordBytes
+	if h.nodes > 1 && nb > mem.FrameBase+uint32(1)<<h.frameShift {
+		panic("core: root frame overflows node 0's frame partition")
+	}
+	m.Store(GFrameBump, word.Ptr(nb))
 	m.Store(f+fhDesc, word.Ptr(cb.descAddr))
-	impl := h.sim.Impl
-	if impl != ImplMD {
-		_, rcvOff := cb.layout(impl)
+	if h.impl != ImplMD {
+		_, rcvOff := cb.layout(h.impl)
 		m.Store(f+uint32(rcvOff), word.Int(0)) // bottom sentinel
 		m.Store(f+fhRCVTail, word.Ptr(f+uint32(rcvOff)+4))
 		m.Store(f+fhFlags, word.Int(0))
 	}
 	for i, c := range cb.InitCounts {
-		m.Store(f+uint32(impl.headerWords()*4+4*i), word.Int(c))
+		m.Store(f+uint32(h.impl.headerWords()*4+4*i), word.Int(c))
 	}
 	return f
 }
 
 // Start injects a message invoking the given inlet of the activation at
-// frame, with the given arguments, at the backend's inlet priority.
+// frame, with the given arguments, at the backend's inlet priority. On
+// a cluster the message is injected on the node owning the frame.
 func (h *Host) Start(in *Inlet, frame uint32, args ...word.Word) error {
 	if in.addr == 0 {
 		return fmt.Errorf("core: inlet %s has no address (not emitted?)", in.Label())
@@ -282,5 +347,9 @@ func (h *Host) Start(in *Inlet, frame uint32, args ...word.Word) error {
 	ws := make([]word.Word, 0, 2+len(args))
 	ws = append(ws, word.Ptr(in.addr), word.Ptr(frame))
 	ws = append(ws, args...)
-	return h.sim.M.Inject(int(h.sim.Impl.inletPri()), ws)
+	node := 0
+	if h.nodes > 1 {
+		node = int((frame >> h.frameShift) & uint32(h.nodes-1))
+	}
+	return h.ms[node].Inject(int(h.impl.inletPri()), ws)
 }

@@ -24,10 +24,16 @@ type Compiled struct {
 	RT   *Runtime
 	Code *machine.CodeStore
 
-	progName string
-	blocks   []compiledBlock
-	noMDOpt  bool
+	progName  string
+	blocks    []compiledBlock
+	noMDOpt   bool
+	nodes     int
+	placement Placement
 }
+
+// Nodes returns the node count the artifact was compiled for (1 for
+// uniprocessor code).
+func (c *Compiled) Nodes() int { return c.nodes }
 
 // compiledBlock snapshots the layout and code addresses assigned to one
 // codeblock during compilation, keyed for rebinding by structural
@@ -42,8 +48,9 @@ type compiledBlock struct {
 
 // Compile runs code generation for prog under the given backend and
 // returns the immutable compilation artifact. Only Options fields that
-// affect code generation (NoMDOptimize) are consulted. Code-generation
-// panics (macro misuse in program bodies) are converted into errors.
+// affect code generation (NoMDOptimize, Nodes, Placement) are consulted.
+// Code-generation panics (macro misuse in program bodies) are converted
+// into errors.
 func Compile(impl Impl, prog *Program, opt Options) (c *Compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -53,7 +60,14 @@ func Compile(impl Impl, prog *Program, opt Options) (c *Compiled, err error) {
 	if err := prog.validate(); err != nil {
 		return nil, err
 	}
-	rt := newRuntime(impl)
+	nodes := opt.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes&(nodes-1) != 0 || nodes > 64 {
+		return nil, fmt.Errorf("core: %d nodes: node count must be a power of two, at most 64", nodes)
+	}
+	rt := newRuntime(impl, nodes, opt.Placement)
 	rt.mdOpt = !opt.NoMDOptimize
 
 	// Lay out every descriptor before emitting code: FAlloc sites need
@@ -91,11 +105,13 @@ func Compile(impl Impl, prog *Program, opt Options) (c *Compiled, err error) {
 	}
 
 	c = &Compiled{
-		Impl:     impl,
-		RT:       rt,
-		Code:     machine.NewCodeStore(rt.Sys.Code(), rt.User.Code()),
-		progName: prog.Name,
-		noMDOpt:  opt.NoMDOptimize,
+		Impl:      impl,
+		RT:        rt,
+		Code:      machine.NewCodeStore(rt.Sys.Code(), rt.User.Code()),
+		progName:  prog.Name,
+		noMDOpt:   opt.NoMDOptimize,
+		nodes:     nodes,
+		placement: opt.Placement,
 	}
 	for _, cb := range prog.Blocks {
 		b := compiledBlock{
@@ -164,13 +180,18 @@ func (c *Compiled) NewSim(prog *Program, opt Options) (sim *Sim, err error) {
 	if err := c.bind(prog); err != nil {
 		return nil, err
 	}
+	if c.nodes > 1 {
+		return nil, fmt.Errorf("core: %s/%v compiled for %d nodes; use NewCluster",
+			prog.Name, c.Impl, c.nodes)
+	}
 	impl := c.Impl
 
 	m := mem.NewDefault()
 	mach := machine.NewMachine(m, c.Code, machine.Config{
-		QueueCapWords:    opt.QueueCapWords,
-		CountQueueWrites: !opt.NoQueueWriteTrace,
-		MaxInstructions:  opt.MaxInstructions,
+		QueueCapWords:     opt.QueueCapWords,
+		CountQueueWrites:  !opt.NoQueueWriteTrace,
+		PairedQueueWrites: opt.PairedQueueWrites,
+		MaxInstructions:   opt.MaxInstructions,
 	})
 
 	// Initialize runtime globals and materialize descriptors (untraced:
@@ -203,7 +224,7 @@ func (c *Compiled) NewSim(prog *Program, opt Options) (sim *Sim, err error) {
 		Gran:      &stats.Granularity{},
 		Obs:       opt.Obs,
 	}
-	sim.Host = &Host{sim: sim, heapBump: mem.HeapBase}
+	sim.Host = newUniHost(impl, mach)
 
 	// Attach the sink before Setup runs so boot-time message
 	// injections are observed (their flow arrows start at ts 0).

@@ -90,6 +90,7 @@ const (
 	GNodeBump   = mem.SysDataBase + 16 // deferred-node bump pointer
 	GHeapBump   = mem.SysDataBase + 20 // heap-region bump pointer
 	GReadyTail  = mem.SysDataBase + 24 // AM: tail of ready-frame list (FIFO)
+	GPlaceNext  = mem.SysDataBase + 28 // multi-node: round-robin placement cursor
 	GResultBase = mem.SysDataBase + 256
 	ResultWords = 64
 
@@ -178,4 +179,67 @@ func (i Impl) headerWords() int {
 		return mdHeaderWords
 	}
 	return amHeaderWords
+}
+
+// Placement selects the frame/heap placement policy for multi-node
+// runs: where falloc and halloc requests are sent, and therefore which
+// node owns (allocates and serves) the resulting frame or I-structure.
+// Ignored on a uniprocessor.
+type Placement int
+
+const (
+	// PlaceRoundRobin scatters allocations across the mesh: each node
+	// keeps a cursor (GPlaceNext) and sends successive falloc/halloc
+	// requests to successive nodes. This is the default, approximating
+	// the flat work distribution of the paper's J-Machine runs.
+	PlaceRoundRobin Placement = iota
+	// PlaceLocal sends every allocation request to the requesting
+	// node, so activation trees spread only through explicit FAllocOn
+	// placement (locality-affinity: children inherit the parent's
+	// node unless told otherwise).
+	PlaceLocal
+)
+
+// String names the placement policy.
+func (p Placement) String() string {
+	switch p {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceLocal:
+		return "local"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement parses a placement-policy name as accepted by the
+// command-line tools ("round-robin"/"rr" or "local").
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "round-robin", "rr", "roundrobin":
+		return PlaceRoundRobin, nil
+	case "local":
+		return PlaceLocal, nil
+	}
+	return 0, fmt.Errorf("core: unknown placement %q (want round-robin or local)", s)
+}
+
+// partitionShifts returns the home-node shift for the frame and heap
+// segments at the given node count: a segment address's owning node is
+// (addr >> shift) & (nodes-1). Each node owns one 2^shift-byte chunk of
+// the shared segment; the segment bases are segment-size aligned, so
+// node 0's chunk starts at the base. nodes must be a power of two that
+// divides both segment sizes.
+func partitionShifts(nodes int) (frameShift, heapShift uint) {
+	frameShift = log2u(uint32(mem.DefaultFrameWords)*mem.WordBytes) - log2u(uint32(nodes))
+	heapShift = log2u(uint32(mem.DefaultHeapWords)*mem.WordBytes) - log2u(uint32(nodes))
+	return frameShift, heapShift
+}
+
+func log2u(v uint32) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }

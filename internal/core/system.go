@@ -27,14 +27,49 @@ type Runtime struct {
 	// mdOpt enables the §2.3 static optimizations in the MD backend.
 	mdOpt bool
 
+	// Multi-node code generation. nodes > 1 turns the system handlers
+	// and the Body message macros into mesh-aware code: requests are
+	// routed to the node owning the addressed frame or heap cell, and
+	// replies to the node owning the continuation frame. The frame and
+	// heap segments are shared by all nodes but partitioned for
+	// allocation into nodes equal power-of-two chunks; a segment
+	// address's home node is (addr >> shift) & (nodes-1).
+	nodes      int
+	placement  Placement
+	frameShift uint
+	heapShift  uint
+
 	labelSeq int
 }
 
 // newRuntime creates a runtime for the backend and emits its system code.
-func newRuntime(impl Impl) *Runtime {
-	rt := &Runtime{Impl: impl, mdOpt: true, Sys: asm.NewSys(), User: asm.NewUser()}
+func newRuntime(impl Impl, nodes int, placement Placement) *Runtime {
+	if nodes < 1 {
+		nodes = 1
+	}
+	rt := &Runtime{
+		Impl: impl, mdOpt: true,
+		nodes: nodes, placement: placement,
+		Sys: asm.NewSys(), User: asm.NewUser(),
+	}
+	rt.frameShift, rt.heapShift = partitionShifts(nodes)
 	rt.emitSystem()
 	return rt
+}
+
+// multi reports whether mesh-aware code is being generated.
+func (rt *Runtime) multi() bool { return rt.nodes > 1 }
+
+// routeReplySys emits the home-node computation for the continuation
+// frame held in R4, directing the message being built to the frame's
+// owner. Clobbers R7. No-op on a uniprocessor.
+func (rt *Runtime) routeReplySys(s *asm.Segment) {
+	if !rt.multi() {
+		return
+	}
+	s.ShrI(7, 4, int64(rt.frameShift))
+	s.AndI(7, 7, int64(rt.nodes-1))
+	s.MsgDest(7)
 }
 
 // uniq generates a unique local label.
@@ -103,6 +138,17 @@ func (rt *Runtime) emitFAlloc() uint32 {
 	s.LD(2, 0, dFrameWords)
 	s.MulI(2, 2, 4)
 	s.Add(2, 1, 2)
+	if rt.multi() {
+		// The new frame must fit this node's partition chunk: same
+		// chunk iff the shifted addresses of its first and last byte
+		// agree (chunks are 2^frameShift-aligned, so no mask needed).
+		s.SubI(3, 2, 4)
+		s.ShrI(3, 3, int64(rt.frameShift))
+		s.ShrI(4, 1, int64(rt.frameShift))
+		s.BEQ(3, 4, "fa.fit")
+		s.Trap(TrapPartitionOverflow)
+		s.Label("fa.fit")
+	}
 	s.STAbs(GFrameBump, 2)
 	s.BR("fa.init")
 	s.Label("fa.reuse")
@@ -137,6 +183,7 @@ func (rt *Runtime) emitFAlloc() uint32 {
 	s.LD(3, isa.RMsg, 12)
 	s.SendW(3)
 	s.LD(4, isa.RMsg, 16)
+	rt.routeReplySys(s)
 	s.SendW(4)
 	s.SendW(1)
 	s.SendE()
@@ -176,6 +223,7 @@ func (rt *Runtime) emitIRead() uint32 {
 	s.LD(3, isa.RMsg, 12)
 	s.SendW(3)
 	s.LD(4, isa.RMsg, 16)
+	rt.routeReplySys(s)
 	s.SendW(4)
 	s.SendW(1)
 	s.SendE()
@@ -237,6 +285,7 @@ func (rt *Runtime) emitIWrite() uint32 {
 	s.LD(4, 3, nInlet)
 	s.SendW(4)
 	s.LD(4, 3, nFrame)
+	rt.routeReplySys(s)
 	s.SendW(4)
 	s.SendW(2)
 	s.SendE()
@@ -253,7 +302,8 @@ func (rt *Runtime) emitIWrite() uint32 {
 
 // Trap codes raised by system code.
 const (
-	TrapDoubleWrite = 1 // I-structure written twice
+	TrapDoubleWrite       = 1 // I-structure written twice
+	TrapPartitionOverflow = 2 // multi-node: allocation overflowed the node's chunk
 )
 
 // emitHAlloc emits the heap-allocation handler, used for I-structure
@@ -272,6 +322,17 @@ func (rt *Runtime) emitHAlloc() uint32 {
 	s.LDAbs(1, GHeapBump)
 	s.MulI(2, 0, 4)
 	s.Add(2, 1, 2)
+	if rt.multi() {
+		// Same partition-chunk check as falloc; a zero-word request
+		// allocates nothing and cannot overflow.
+		s.BZ(0, "ha.fit")
+		s.SubI(3, 2, 4)
+		s.ShrI(3, 3, int64(rt.heapShift))
+		s.ShrI(4, 1, int64(rt.heapShift))
+		s.BEQ(3, 4, "ha.fit")
+		s.Trap(TrapPartitionOverflow)
+		s.Label("ha.fit")
+	}
 	s.STAbs(GHeapBump, 2)
 	s.TagSet(3, isa.RZ, uint8(word.TagEmpty)) // empty word
 	s.Mov(2, 1)
@@ -288,6 +349,7 @@ func (rt *Runtime) emitHAlloc() uint32 {
 	s.LD(3, isa.RMsg, 12)
 	s.SendW(3)
 	s.LD(4, isa.RMsg, 16)
+	rt.routeReplySys(s)
 	s.SendW(4)
 	s.SendW(1)
 	s.SendE()

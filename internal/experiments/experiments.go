@@ -118,6 +118,13 @@ type Run struct {
 	Workload Workload
 	Impl     core.Impl
 
+	// Nodes is the mesh size the workload ran on (1 = uniprocessor),
+	// and Ticks the cluster's elapsed lockstep time (for multi-node
+	// runs; 0 on the uniprocessor path, where elapsed time is the
+	// cycle model's concern).
+	Nodes int
+	Ticks uint64
+
 	Instructions    uint64
 	Counts          trace.Counts
 	TPQ, IPT, IPQ   float64
@@ -324,6 +331,7 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 	r := &Run{
 		Workload:     w,
 		Impl:         impl,
+		Nodes:        1,
 		Instructions: sim.M.Instructions(),
 		Counts:       rec.Counts,
 		TPQ:          sim.Gran.TPQ(),
@@ -400,8 +408,15 @@ func RunOnePar(w Workload, impl core.Impl, geoms []cache.Config, opt core.Option
 }
 
 // RunOneParContext is RunOnePar with cooperative cancellation of both
-// the simulation and the replay fan-out.
+// the simulation and the replay fan-out. When opt.Nodes > 1 the
+// workload runs on an N-node mesh instead of the uniprocessor: each
+// node records its own reference stream and the geometry fan-out
+// replays every node through its own private cache pair, summing the
+// misses (see RunClusterParContext).
 func RunOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
+	if opt.Nodes > 1 {
+		return RunClusterParContext(ctx, w, impl, geoms, opt, parallelism)
+	}
 	// Surface geometry errors before paying for a simulation.
 	for _, g := range geoms {
 		if err := g.Validate(); err != nil {

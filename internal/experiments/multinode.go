@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/machine"
+	"jmtam/internal/mem"
+	"jmtam/internal/netsim"
+	"jmtam/internal/parallel"
+	"jmtam/internal/programs"
+	"jmtam/internal/trace"
+)
+
+// RecordCluster simulates one workload on an opt.Nodes mesh with a
+// per-node trace recording attached, returning the run (cache
+// statistics unfilled) and one reference stream per node. Granularity
+// statistics are merged across nodes; Run.Ticks carries the cluster's
+// elapsed lockstep time, the multi-node analogue of a cycle count.
+func RecordCluster(w Workload, impl core.Impl, opt core.Options) (*Run, []*trace.Recording, error) {
+	return RecordClusterContext(context.Background(), w, impl, opt)
+}
+
+// RecordClusterContext is RecordCluster with cooperative cancellation
+// of the cluster step loop.
+func RecordClusterContext(ctx context.Context, w Workload, impl core.Impl, opt core.Options) (*Run, []*trace.Recording, error) {
+	spec, err := programs.ByName(w.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.MaxInstructions == 0 {
+		opt.MaxInstructions = 2_000_000_000
+	}
+	cs, err := core.BuildCluster(impl, spec.Build(w.Arg), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]*trace.Recording, cs.Nodes)
+	cs.Tracers = make([]machine.Tracer, cs.Nodes)
+	for k := range recs {
+		recs[k] = &trace.Recording{}
+		cs.Tracers[k] = recs[k]
+	}
+	if err := cs.RunContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	g := cs.MergedGran()
+	r := &Run{
+		Workload:     w,
+		Impl:         impl,
+		Nodes:        cs.Nodes,
+		Ticks:        cs.Ticks(),
+		Instructions: cs.Instructions(),
+		TPQ:          g.TPQ(),
+		IPT:          g.IPT(),
+		IPQ:          g.IPQ(),
+		Threads:      g.Threads,
+		Quanta:       g.Quanta,
+	}
+	for _, rec := range recs {
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			r.Counts.Fetches[cls] += rec.Fetches[cls]
+			r.Counts.Reads[cls] += rec.Reads[cls]
+			r.Counts.Writes[cls] += rec.Writes[cls]
+		}
+	}
+	if cs.Obs != nil {
+		r.Metrics = cs.Obs.Metrics
+		// The recordings replaced the inline collectors, so the run
+		// finalizer could not fold reference-class counts; do it here.
+		for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+			name := cls.String()
+			r.Metrics.Counter("ref.fetch." + name).Add(r.Counts.Fetches[cls])
+			r.Metrics.Counter("ref.read." + name).Add(r.Counts.Reads[cls])
+			r.Metrics.Counter("ref.write." + name).Add(r.Counts.Writes[cls])
+		}
+	}
+	return r, recs, nil
+}
+
+// ReplayClusterFanOutContext fills r.Caches by replaying the per-node
+// recordings through every geometry: each node gets its own private
+// I/D cache pair per geometry (a mesh node owns its caches), and the
+// per-node misses are summed into one CacheStats per geometry. One
+// worker handles one geometry (all nodes), so the fan-out parallelizes
+// across geometries exactly like the uniprocessor ReplayFanOut.
+func ReplayClusterFanOutContext(ctx context.Context, r *Run, recs []*trace.Recording, geoms []cache.Config, parallelism int) error {
+	r.Caches = make([]CacheStats, len(geoms))
+	var mcs []trace.MissCounts
+	if r.Metrics != nil {
+		mcs = make([]trace.MissCounts, len(geoms))
+	}
+	err := parallel.ForEachContext(ctx, parallelism, len(geoms), func(g int) error {
+		cst := CacheStats{Config: geoms[g]}
+		for _, rec := range recs {
+			p, err := trace.NewPair(geoms[g])
+			if err != nil {
+				return err
+			}
+			if mcs != nil {
+				mc := rec.ReplayObserved(p)
+				for c := mem.Class(0); c < mem.NumClasses; c++ {
+					mcs[g].Fetch[c] += mc.Fetch[c]
+					mcs[g].Read[c] += mc.Read[c]
+					mcs[g].Write[c] += mc.Write[c]
+				}
+			} else {
+				rec.Replay(p)
+			}
+			cst.Config = p.I.Config()
+			cst.IMisses += p.I.Stats().Misses
+			cst.DMisses += p.D.Stats().Misses
+			cst.Writebacks += p.D.Stats().Writebacks
+		}
+		r.Caches[g] = cst
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for g := range mcs {
+		mcs[g].AddTo(r.Metrics, geoms[g].String())
+	}
+	return nil
+}
+
+// RunClusterParContext simulates one workload on an opt.Nodes mesh,
+// recording each node's reference stream, then replays the streams
+// through the given cache geometries (per-node private caches, misses
+// summed per geometry). RunOneParContext dispatches here whenever
+// Options.Nodes > 1, so a Sweep gains a nodes axis simply by setting
+// Sweep.Options.Nodes.
+func RunClusterParContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
+	// Surface geometry errors before paying for a simulation.
+	for _, g := range geoms {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r, recs, err := RecordClusterContext(ctx, w, impl, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReplayClusterFanOutContext(ctx, r, recs, geoms, parallelism); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// --- MD/AM ratio versus node count and hop latency ---------------------------
+
+// NodeRatioRow compares the two implementations on one mesh size: the
+// MD/AM ratio by aggregate cycles (instructions plus miss penalties,
+// summed over nodes — the paper's uniprocessor metric extended to N
+// processors' total work) and by elapsed lockstep ticks (wall-clock on
+// the mesh, where idle processors cost time but not work).
+type NodeRatioRow struct {
+	Nodes              int
+	MDCycles, AMCycles uint64
+	MDTicks, AMTicks   uint64
+	RatioCycles        float64
+	RatioTicks         float64
+}
+
+// NodeRatioSweep runs every workload under MD and AM at each node
+// count and aggregates per node count: total cycles at the given cache
+// geometry and miss penalty, and total elapsed ticks. The 2 x
+// len(nodeCounts) x len(ws) cluster simulations run on at most
+// parallelism workers (0 = GOMAXPROCS); totals accumulate in job
+// order, so rows are identical at every parallelism setting. Node
+// counts must be powers of two (1 selects the uniprocessor-equivalent
+// 1-node cluster so elapsed ticks stay comparable).
+func NodeRatioSweep(ws []Workload, nodeCounts []int, geom cache.Config, penalty int, opt core.Options, parallelism int) ([]NodeRatioRow, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	type job struct {
+		n    int
+		impl core.Impl
+		w    Workload
+	}
+	var jobs []job
+	for _, n := range nodeCounts {
+		for _, impl := range impls {
+			for _, w := range ws {
+				jobs = append(jobs, job{n, impl, w})
+			}
+		}
+	}
+	runs := make([]*Run, len(jobs))
+	par := parallel.Workers(parallelism)
+	err := parallel.ForEach(par, len(jobs), func(i int) error {
+		o := opt
+		o.Nodes = jobs[i].n
+		r, err := RunClusterParContext(context.Background(), jobs[i].w, jobs[i].impl,
+			[]cache.Config{geom}, o, 1)
+		if err != nil {
+			return fmt.Errorf("%s/%s n=%d: %w", jobs[i].w.Name, jobs[i].impl, jobs[i].n, err)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rowIdx := make(map[int]int, len(nodeCounts))
+	rows := make([]NodeRatioRow, len(nodeCounts))
+	for i, n := range nodeCounts {
+		rowIdx[n] = i
+		rows[i].Nodes = n
+	}
+	for i, j := range jobs {
+		row := &rows[rowIdx[j.n]]
+		c := runs[i].Cycles(0, penalty, false)
+		if j.impl == core.ImplMD {
+			row.MDCycles += c
+			row.MDTicks += runs[i].Ticks
+		} else {
+			row.AMCycles += c
+			row.AMTicks += runs[i].Ticks
+		}
+	}
+	for i := range rows {
+		rows[i].RatioCycles = ratio64(rows[i].MDCycles, rows[i].AMCycles)
+		rows[i].RatioTicks = ratio64(rows[i].MDTicks, rows[i].AMTicks)
+	}
+	return rows, nil
+}
+
+// HopRatioRow compares the two implementations at one per-hop routing
+// delay on a fixed mesh: total elapsed ticks and their MD/AM ratio.
+// Remote I-structure fetches are themselves active messages, so hop
+// latency stretches both systems' split-phase round trips; the ratio
+// isolates how each scheduling discipline hides it.
+type HopRatioRow struct {
+	PerHop           uint64
+	MDTicks, AMTicks uint64
+	RatioTicks       float64
+}
+
+// HopLatencySweep runs every workload under MD and AM on a nodes-sized
+// mesh at each per-hop delay, aggregating elapsed lockstep ticks per
+// delay. The base and per-word costs come from the netsim default
+// configuration; only PerHop varies.
+func HopLatencySweep(ws []Workload, nodes int, perHops []uint64, opt core.Options, parallelism int) ([]HopRatioRow, error) {
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	type job struct {
+		hop  int
+		impl core.Impl
+		w    Workload
+	}
+	var jobs []job
+	for h := range perHops {
+		for _, impl := range impls {
+			for _, w := range ws {
+				jobs = append(jobs, job{h, impl, w})
+			}
+		}
+	}
+	ticks := make([]uint64, len(jobs))
+	par := parallel.Workers(parallelism)
+	err := parallel.ForEach(par, len(jobs), func(i int) error {
+		o := opt
+		o.Nodes = nodes
+		cfg := netsim.DefaultConfig(nodes)
+		cfg.PerHop = perHops[jobs[i].hop]
+		o.Net = &cfg
+		r, _, err := RecordClusterContext(context.Background(), jobs[i].w, jobs[i].impl, o)
+		if err != nil {
+			return fmt.Errorf("%s/%s perhop=%d: %w",
+				jobs[i].w.Name, jobs[i].impl, perHops[jobs[i].hop], err)
+		}
+		ticks[i] = r.Ticks
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HopRatioRow, len(perHops))
+	for i, h := range perHops {
+		rows[i].PerHop = h
+	}
+	for i, j := range jobs {
+		if j.impl == core.ImplMD {
+			rows[j.hop].MDTicks += ticks[i]
+		} else {
+			rows[j.hop].AMTicks += ticks[i]
+		}
+	}
+	for i := range rows {
+		rows[i].RatioTicks = ratio64(rows[i].MDTicks, rows[i].AMTicks)
+	}
+	return rows, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+)
+
+var tinyWorkloads = []Workload{{"mmt", 8}, {"wavefront", 8}}
+
+func TestRunClusterFillsCachesAndTicks(t *testing.T) {
+	geoms := []cache.Config{
+		{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 1 * 1024, BlockBytes: 64, Assoc: 1},
+	}
+	r, err := RunOnePar(tinyWorkloads[0], core.ImplAM, geoms,
+		core.Options{Nodes: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 4 {
+		t.Errorf("Nodes = %d, want 4", r.Nodes)
+	}
+	if r.Ticks == 0 {
+		t.Error("Ticks = 0, want elapsed lockstep time")
+	}
+	if len(r.Caches) != 2 {
+		t.Fatalf("got %d cache stats, want 2", len(r.Caches))
+	}
+	for i, c := range r.Caches {
+		if c.IMisses == 0 {
+			t.Errorf("geometry %d: no instruction misses recorded", i)
+		}
+	}
+	// The smaller direct-mapped geometry cannot miss less.
+	if r.Caches[1].IMisses+r.Caches[1].DMisses < r.Caches[0].IMisses+r.Caches[0].DMisses {
+		t.Error("1K direct-mapped misses fewer than 8K 4-way")
+	}
+	if r.Counts.TotalFetches() == 0 || r.Instructions == 0 {
+		t.Error("reference counts or instructions empty")
+	}
+}
+
+func TestSweepNodesAxis(t *testing.T) {
+	s := &Sweep{
+		Workloads:  tinyWorkloads,
+		SizesKB:    []int{8},
+		Assocs:     []int{4},
+		BlockBytes: 64,
+		Penalties:  []int{24},
+		Options:    core.Options{Nodes: 2},
+	}
+	d, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range tinyWorkloads {
+		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
+			r := d.Runs[w.Name][impl]
+			if r == nil {
+				t.Fatalf("%s/%s missing", w.Name, impl)
+			}
+			if r.Nodes != 2 {
+				t.Errorf("%s/%s Nodes = %d, want 2", w.Name, impl, r.Nodes)
+			}
+		}
+		if ratio := d.Ratio(w.Name, 8, 4, 24); ratio <= 0 {
+			t.Errorf("%s ratio = %v, want > 0", w.Name, ratio)
+		}
+	}
+}
+
+func TestNodeRatioSweepDeterministic(t *testing.T) {
+	geom := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+	rows1, err := NodeRatioSweep(tinyWorkloads, []int{1, 2, 4}, geom, 24,
+		core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := NodeRatioSweep(tinyWorkloads, []int{1, 2, 4}, geom, 24,
+		core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows1) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows1))
+	}
+	for i := range rows1 {
+		if rows1[i] != rows2[i] {
+			t.Errorf("row %d differs across parallelism: %+v vs %+v", i, rows1[i], rows2[i])
+		}
+		if rows1[i].RatioCycles <= 0 || rows1[i].RatioTicks <= 0 {
+			t.Errorf("row %d: non-positive ratios %+v", i, rows1[i])
+		}
+	}
+}
+
+func TestHopLatencySweepStretchesTicks(t *testing.T) {
+	rows, err := HopLatencySweep(tinyWorkloads[:1], 4, []uint64{1, 16},
+		core.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// A 16x per-hop delay must not make the mesh faster.
+	if rows[1].AMTicks < rows[0].AMTicks || rows[1].MDTicks < rows[0].MDTicks {
+		t.Errorf("higher hop latency reduced ticks: %+v", rows)
+	}
+}

@@ -121,9 +121,10 @@ const (
 	OpEI      // enable low-priority interrupts
 	OpDI      // disable low-priority interrupts
 	OpSuspend // end current task; dispatch next message at this priority
-	OpWait    // idle poll: halt the machine if fully quiescent
+	OpWait    // idle poll: halt if quiescent (stall instead under a router)
 	OpHalt    // stop simulation immediately
 	OpTrap    // runtime error Imm
+	OpNode    // Rd <- int(local node number), the MDP's NNR
 
 	NumOps
 )
@@ -146,7 +147,7 @@ var opNames = [NumOps]string{
 	OpMsgI: "msgi", OpMsgR: "msgr", OpMsgDest: "msgdest",
 	OpSendW: "sendw", OpSendWI: "sendwi", OpSendWA: "sendwa", OpSendE: "sende",
 	OpEI: "ei", OpDI: "di", OpSuspend: "suspend", OpWait: "wait",
-	OpHalt: "halt", OpTrap: "trap",
+	OpHalt: "halt", OpTrap: "trap", OpNode: "node",
 }
 
 // Class buckets the opcode for instruction-mix reporting: "mem"
@@ -169,7 +170,7 @@ func (o Op) Class() string {
 		return "msg"
 	case o >= OpEI && o <= OpTrap:
 		return "machine"
-	case o >= OpMovI && o <= OpLEA || o == OpTagSet || o == OpTagGet:
+	case o >= OpMovI && o <= OpLEA || o == OpTagSet || o == OpTagGet || o == OpNode:
 		return "move"
 	default:
 		return "misc"
@@ -284,6 +285,8 @@ func (i Instr) String() string {
 		return fmt.Sprintf("msgi %d", i.Imm)
 	case OpMsgR, OpMsgDest, OpSendW:
 		return fmt.Sprintf("%s %s", i.Op, r(i.Ra))
+	case OpNode:
+		return fmt.Sprintf("node %s", r(i.Rd))
 	case OpSendWI, OpSendWA, OpTrap:
 		return fmt.Sprintf("%s %d", i.Op, i.Imm)
 	}

@@ -230,9 +230,18 @@ func (m *Machine) step(pri int) {
 		return
 	case isa.OpWait:
 		if m.quiescent() {
-			m.halted = true
+			if m.router == nil {
+				m.halted = true
+				return
+			}
+			// On a mesh node quiescence is local: stall at this WAIT
+			// (ip unchanged) until the cluster driver delivers a
+			// message, which clears the stall.
+			m.stalled = true
 			return
 		}
+	case isa.OpNode:
+		r[in.Rd] = word.Int(int64(m.nodeID))
 	case isa.OpHalt:
 		m.halted = true
 		return
@@ -288,6 +297,7 @@ func (m *Machine) deliver(pri int) {
 		}
 		return
 	}
+	m.qwSeq = 0
 	msg, err := m.queues[m.sendPri[pri]].Enqueue(m.sendBuf[pri], m.queueStore)
 	if err != nil {
 		panic(err)

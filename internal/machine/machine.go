@@ -61,6 +61,12 @@ type Config struct {
 	// (paper §1.1.2 footnote), so the default — set by NewMachine — is
 	// true.
 	CountQueueWrites bool
+	// PairedQueueWrites models the MDP's two-word-per-cycle queue
+	// write-through: arriving message words are buffered in pairs, so
+	// only every other word of a message charges a data write. Off by
+	// default (one write per word, the historical accounting); only
+	// meaningful when CountQueueWrites is set.
+	PairedQueueWrites bool
 	// MaxInstructions aborts runaway simulations; zero means no limit.
 	MaxInstructions uint64
 }
@@ -103,7 +109,13 @@ type Machine struct {
 	instrs   uint64
 	opCounts [isa.NumOps]uint64
 	halted   bool
-	trapErr  error
+	// stalled marks a routed machine idling at WAIT: quiescent, but kept
+	// alive so the cluster driver can wake it with a network delivery.
+	stalled bool
+	// qwSeq indexes words within the message currently being buffered,
+	// for the paired (two-word-per-cycle) queue write-through model.
+	qwSeq   int
+	trapErr error
 }
 
 // NewMachine builds a machine around the given memory and code store.
@@ -186,6 +198,10 @@ func (m *Machine) StepOne() (progress bool, err error) {
 	if m.halted {
 		return false, m.trapErr
 	}
+	if m.stalled {
+		// Parked at WAIT; only a network delivery (Inject) wakes it.
+		return false, nil
+	}
 	pri := m.choose()
 	if pri < 0 {
 		return false, nil
@@ -205,10 +221,12 @@ func (m *Machine) Idle() bool { return m.quiescent() && !m.run[Low] }
 // Inject enqueues a message from the host (outside the simulation), used
 // to bootstrap programs. Queue stores are traced like hardware buffering.
 func (m *Machine) Inject(pri int, ws []word.Word) error {
+	m.qwSeq = 0
 	msg, err := m.queues[pri].Enqueue(ws, m.queueStore)
 	if err != nil {
 		return err
 	}
+	m.stalled = false // a delivery wakes a machine parked at WAIT
 	if m.probe != nil {
 		m.probe.enqueue(m.nodeID, pri, msg, m.instrs, m.queues[pri].Len())
 	}
@@ -217,7 +235,13 @@ func (m *Machine) Inject(pri int, ws []word.Word) error {
 
 func (m *Machine) queueStore(addr uint32, w word.Word) {
 	if m.cfg.CountQueueWrites {
-		m.tracer.Write(addr)
+		// Under the paired model the queue write-through retires two
+		// message words per data write, so odd-indexed words ride along
+		// with their predecessor.
+		if !m.cfg.PairedQueueWrites || m.qwSeq%2 == 0 {
+			m.tracer.Write(addr)
+		}
+		m.qwSeq++
 	}
 	m.Mem.Store(addr, w)
 }

@@ -353,6 +353,40 @@ func TestQueueWriteTracing(t *testing.T) {
 	}
 }
 
+func TestPairedQueueWriteTracing(t *testing.T) {
+	sys := asm.NewSys()
+	sys.Halt()
+	user := asm.NewUser()
+	user.Label("main")
+	user.Suspend()
+	sys.Finish()
+	user.Finish()
+	// With the MDP's two-word-per-cycle queue write-through enabled,
+	// buffering an arriving message charges one traced write per word
+	// PAIR: a 3-word injection costs 2, a 4-word injection also 2.
+	for _, tc := range []struct {
+		words  int
+		writes int
+	}{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}} {
+		m := NewMachine(mem.NewDefault(), NewCodeStore(sys.Code(), user.Code()),
+			Config{CountQueueWrites: true, PairedQueueWrites: true})
+		tr := &countTracer{}
+		m.SetTracer(tr)
+		ws := []word.Word{word.Ptr(user.Addr("main"))}
+		for len(ws) < tc.words {
+			ws = append(ws, word.Int(int64(len(ws))))
+		}
+		m.Inject(Low, ws)
+		if tr.writes != tc.writes {
+			t.Errorf("%d-word injection traced %d queue writes, want %d",
+				tc.words, tr.writes, tc.writes)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestQueueOverflowSurfacesAsError(t *testing.T) {
 	sys := asm.NewSys()
 	sys.Halt()

@@ -131,6 +131,26 @@ func NewDefault() *Memory {
 	return New(DefaultSysDataWords, DefaultFrameWords, DefaultHeapWords)
 }
 
+// NewShared returns a memory that aliases base's frame and heap segments
+// but owns a private system-data segment of sysDataWords words. A
+// multi-node cluster gives every node a NewShared view of node 0's
+// memory: frames and I-structures form one global store (partitioned
+// between nodes by the runtime's per-node bump allocators), while
+// message queues, runtime globals and the LCV stay node-private.
+func NewShared(base *Memory, sysDataWords int) *Memory {
+	if sysDataWords < 0 {
+		sysDataWords = 0
+	}
+	if uint32(sysDataWords) > SysDataWords {
+		sysDataWords = int(SysDataWords)
+	}
+	return &Memory{
+		sysData: make([]word.Word, sysDataWords),
+		frames:  base.frames,
+		heap:    base.heap,
+	}
+}
+
 func (m *Memory) locate(addr uint32) ([]word.Word, uint32) {
 	if addr%WordBytes != 0 {
 		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))

@@ -13,6 +13,7 @@ const (
 	PhInstant    = 'i' // point event
 	PhFlowStart  = 's' // flow arrow tail (message send)
 	PhFlowFinish = 'f' // flow arrow head (inlet dispatch)
+	PhCounter    = 'C' // counter sample rendered as a step chart
 )
 
 // Event is one trace record. Ts and Dur are in simulated instructions,
@@ -152,6 +153,17 @@ func (b *EventBuffer) DurationArg(name, cat string, pid, tid int32, ts, dur uint
 func (b *EventBuffer) Instant(name, cat string, pid, tid int32, ts uint64) {
 	b.add(Event{
 		Name: name, Ph: PhInstant, Cat: cat, Ts: ts, Pid: pid, Tid: tid,
+	})
+}
+
+// Counter records a counter ('C') sample: Perfetto renders all samples
+// sharing one name as a step chart in a dedicated counter track under
+// pid, alongside that process's duration spans. The series argument
+// names the plotted value within the track.
+func (b *EventBuffer) Counter(name, cat string, pid int32, ts uint64, series string, value uint64) {
+	b.add(Event{
+		Name: name, Ph: PhCounter, Cat: cat, Ts: ts, Pid: pid,
+		ArgK: series, ArgV: value,
 	})
 }
 

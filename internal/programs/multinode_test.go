@@ -1,0 +1,167 @@
+package programs
+
+import (
+	"fmt"
+	"testing"
+
+	"jmtam/internal/core"
+	"jmtam/internal/machine"
+	"jmtam/internal/trace"
+)
+
+// smallArgs are reduced benchmark arguments for multi-node tests.
+var smallArgs = map[string]int{
+	"mmt": 8, "qs": 24, "dtw": 4, "paraffins": 8, "wavefront": 8, "ss": 16,
+}
+
+var multinodeImpls = []core.Impl{core.ImplAM, core.ImplMD}
+
+// recordingSig flattens a reference recording into comparable values.
+func recordingSig(r *trace.Recording) []uint64 {
+	sig := make([]uint64, 0, r.Len())
+	r.Do(func(k trace.Kind, addr uint32) {
+		sig = append(sig, uint64(k)<<32|uint64(addr))
+	})
+	return sig
+}
+
+// TestMultinodeSmoke runs every benchmark unmodified on 1-, 2- and
+// 4-node meshes under both TAM backends; each run's Verify checks the
+// result against the pure-Go reference.
+func TestMultinodeSmoke(t *testing.T) {
+	for _, spec := range All() {
+		for _, impl := range multinodeImpls {
+			for _, n := range []int{1, 2, 4} {
+				cs, err := core.BuildCluster(impl, spec.Build(smallArgs[spec.Name]),
+					core.Options{Nodes: n, MaxInstructions: 50_000_000})
+				if err != nil {
+					t.Fatalf("%s/%s n=%d build: %v", spec.Name, impl, n, err)
+				}
+				if err := cs.Run(); err != nil {
+					t.Errorf("%s/%s n=%d run: %v", spec.Name, impl, n, err)
+					continue
+				}
+				t.Logf("%s/%s n=%d instrs=%d ticks=%d", spec.Name, impl, n, cs.Instructions(), cs.Ticks())
+			}
+		}
+	}
+}
+
+// TestClusterN1MatchesUniprocessor asserts the tentpole's
+// no-regression property: a 1-node cluster executes the byte-identical
+// reference stream as the uniprocessor simulator for every benchmark
+// under both backends. Multi-node code generation is gated behind
+// nodes > 1 and the lockstep driver adds no work, so nothing may
+// diverge — not the instruction count, not a single fetch/read/write
+// address, not the result.
+func TestClusterN1MatchesUniprocessor(t *testing.T) {
+	for _, spec := range All() {
+		for _, impl := range multinodeImpls {
+			spec, impl := spec, impl
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, impl.Short()), func(t *testing.T) {
+				t.Parallel()
+				uni, err := core.Build(impl, spec.Build(smallArgs[spec.Name]), core.Options{})
+				if err != nil {
+					t.Fatalf("build uni: %v", err)
+				}
+				uniRec := &trace.Recording{}
+				uni.Tracer = uniRec
+				if err := uni.Run(); err != nil {
+					t.Fatalf("run uni: %v", err)
+				}
+
+				cs, err := core.BuildCluster(impl, spec.Build(smallArgs[spec.Name]),
+					core.Options{Nodes: 1})
+				if err != nil {
+					t.Fatalf("build cluster: %v", err)
+				}
+				clRec := &trace.Recording{}
+				cs.Tracers = []machine.Tracer{clRec}
+				if err := cs.Run(); err != nil {
+					t.Fatalf("run cluster: %v", err)
+				}
+
+				if got, want := cs.Instructions(), uni.M.Instructions(); got != want {
+					t.Errorf("instructions: cluster %d, uniprocessor %d", got, want)
+				}
+				us, c1 := recordingSig(uniRec), recordingSig(clRec)
+				if len(us) != len(c1) {
+					t.Fatalf("reference stream length: cluster %d, uniprocessor %d", len(c1), len(us))
+				}
+				for i := range us {
+					if us[i] != c1[i] {
+						t.Fatalf("reference stream diverges at entry %d of %d: cluster %#x, uniprocessor %#x",
+							i, len(us), c1[i], us[i])
+					}
+				}
+				if got, want := cs.Host.Result(0), uni.Host.Result(0); got != want {
+					t.Errorf("result: cluster %v, uniprocessor %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// multinodeFingerprint runs one benchmark on a 4-node mesh and returns
+// its fingerprint: elapsed lockstep ticks plus per-node instruction
+// counts and reference streams.
+func multinodeFingerprint(t *testing.T, spec Spec, impl core.Impl) (ticks uint64, instrs []uint64, sigs [][]uint64) {
+	t.Helper()
+	const nodes = 4
+	cs, err := core.BuildCluster(impl, spec.Build(smallArgs[spec.Name]),
+		core.Options{Nodes: nodes, MaxInstructions: 50_000_000})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	recs := make([]*trace.Recording, nodes)
+	cs.Tracers = make([]machine.Tracer, nodes)
+	for k := range recs {
+		recs[k] = &trace.Recording{}
+		cs.Tracers[k] = recs[k]
+	}
+	if err := cs.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for k, m := range cs.C.Machines {
+		instrs = append(instrs, m.Instructions())
+		sigs = append(sigs, recordingSig(recs[k]))
+	}
+	return cs.Ticks(), instrs, sigs
+}
+
+// TestMultinodeDeterministic asserts that a 4-node run is exactly
+// reproducible: three runs per benchmark/backend, executed inside
+// parallel subtests so the host Go scheduler varies between
+// repetitions, must yield identical ticks, per-node instruction counts
+// and per-node reference streams.
+func TestMultinodeDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		for _, impl := range multinodeImpls {
+			spec, impl := spec, impl
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, impl.Short()), func(t *testing.T) {
+				t.Parallel()
+				ticks0, instrs0, sigs0 := multinodeFingerprint(t, spec, impl)
+				for rep := 1; rep < 3; rep++ {
+					ticks, instrs, sigs := multinodeFingerprint(t, spec, impl)
+					if ticks != ticks0 {
+						t.Fatalf("rep %d: ticks %d, want %d", rep, ticks, ticks0)
+					}
+					for k := range instrs0 {
+						if instrs[k] != instrs0[k] {
+							t.Fatalf("rep %d: node %d instrs %d, want %d", rep, k, instrs[k], instrs0[k])
+						}
+						if len(sigs[k]) != len(sigs0[k]) {
+							t.Fatalf("rep %d: node %d stream length %d, want %d",
+								rep, k, len(sigs[k]), len(sigs0[k]))
+						}
+						for i := range sigs0[k] {
+							if sigs[k][i] != sigs0[k][i] {
+								t.Fatalf("rep %d: node %d stream diverges at entry %d", rep, k, i)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}

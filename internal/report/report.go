@@ -62,6 +62,34 @@ func Blocks(rows []experiments.BlockRow) string {
 	return b.String()
 }
 
+// NodeRatios renders the multi-node MD/AM comparison: one row per mesh
+// size, with the ratio by aggregate cycles (total work across nodes)
+// and by elapsed lockstep ticks (mesh wall-clock).
+func NodeRatios(rows []experiments.NodeRatioRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s  %14s %14s %10s  %12s %12s %10s\n",
+		"Nodes", "MD cycles", "AM cycles", "MD/AM", "MD ticks", "AM ticks", "MD/AM")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d  %14d %14d %10.3f  %12d %12d %10.3f\n",
+			r.Nodes, r.MDCycles, r.AMCycles, r.RatioCycles,
+			r.MDTicks, r.AMTicks, r.RatioTicks)
+	}
+	return b.String()
+}
+
+// HopLatency renders the per-hop-delay sensitivity comparison.
+func HopLatency(rows []experiments.HopRatioRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %12s %12s %10s\n", "PerHop", "MD ticks", "AM ticks", "MD/AM")
+	b.WriteString(strings.Repeat("-", 48) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d  %12d %12d %10.3f\n",
+			r.PerHop, r.MDTicks, r.AMTicks, r.RatioTicks)
+	}
+	return b.String()
+}
+
 // MDOpt renders the §2.3 MD-optimization ablation.
 func MDOpt(rows []experiments.MDOptRow) string {
 	var b strings.Builder

@@ -219,3 +219,62 @@ func (mc *MissCounts) AddTo(r *obs.Registry, label string) {
 		}
 	}
 }
+
+// ReplaySampled replays the recording through p like Replay while
+// sampling miss density: after every `every` instruction fetches, emit
+// receives the cumulative fetch count and the I- and D-cache miss
+// deltas accumulated since the previous sample; a final partial sample
+// flushes any remainder. The cache statistics left in p are identical
+// to Replay's.
+func (r *Recording) ReplaySampled(p Pair, every int, emit func(instrs, iMisses, dMisses uint64)) {
+	if every <= 0 {
+		every = 1000
+	}
+	ic, dc := p.I, p.D
+	var fetches, iMiss, dMiss uint64
+	next := uint64(every)
+	r.Do(func(k Kind, addr uint32) {
+		switch k {
+		case KindFetch:
+			if !ic.Access(addr, false) {
+				iMiss++
+			}
+			fetches++
+			if fetches >= next {
+				emit(fetches, iMiss, dMiss)
+				iMiss, dMiss = 0, 0
+				next += uint64(every)
+			}
+		case KindRead:
+			if !dc.Access(addr, false) {
+				dMiss++
+			}
+		default:
+			if !dc.Access(addr, true) {
+				dMiss++
+			}
+		}
+	})
+	if iMiss != 0 || dMiss != 0 {
+		emit(fetches, iMiss, dMiss)
+	}
+}
+
+// MissDensityTrack replays the recording through a fresh cache pair of
+// the given geometry and exports I- and D-cache miss counter tracks
+// onto b's pid timeline, one sample per `every` instructions (1000 when
+// every <= 0). Timestamps are cumulative instruction counts — the same
+// clock as the machine's scheduler spans — so conflict-miss bursts line
+// up with the quantum and inlet spans they occur inside. Returns the
+// replayed pair for its aggregate statistics.
+func (r *Recording) MissDensityTrack(b *obs.EventBuffer, pid int32, cfg cache.Config, every int) (Pair, error) {
+	p, err := NewPair(cfg)
+	if err != nil {
+		return Pair{}, err
+	}
+	r.ReplaySampled(p, every, func(instrs, iMiss, dMiss uint64) {
+		b.Counter("I-miss density", "miss-density", pid, instrs, "misses", iMiss)
+		b.Counter("D-miss density", "miss-density", pid, instrs, "misses", dMiss)
+	})
+	return p, nil
+}

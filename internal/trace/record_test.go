@@ -5,6 +5,7 @@ import (
 
 	"jmtam/internal/cache"
 	"jmtam/internal/mem"
+	"jmtam/internal/obs"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -130,5 +131,79 @@ func TestReplayPairRejectsBadGeometry(t *testing.T) {
 	rec.Read(mem.HeapBase)
 	if _, err := rec.ReplayPair(cache.Config{SizeBytes: 100, BlockBytes: 64, Assoc: 1}); err == nil {
 		t.Error("bad geometry accepted")
+	}
+}
+
+func TestReplaySampledMatchesReplay(t *testing.T) {
+	var rec Recording
+	for i := uint32(0); i < 5000; i++ {
+		rec.Fetch(mem.UserCodeBase + 4*(i%700))
+		rec.Read(mem.HeapBase + 4*(i%900))
+		if i%3 == 0 {
+			rec.Write(mem.FrameBase + 4*(i%500))
+		}
+	}
+	cfg := cache.Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1}
+	want, err := rec.ReplayPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	var iSum, dSum, lastInstr uint64
+	rec.ReplaySampled(got, 1000, func(instrs, iMiss, dMiss uint64) {
+		samples++
+		iSum += iMiss
+		dSum += dMiss
+		if instrs < lastInstr {
+			t.Errorf("sample timestamps not monotone: %d after %d", instrs, lastInstr)
+		}
+		lastInstr = instrs
+	})
+	if got.I.Stats() != want.I.Stats() || got.D.Stats() != want.D.Stats() {
+		t.Errorf("sampled replay stats differ: I %+v vs %+v, D %+v vs %+v",
+			got.I.Stats(), want.I.Stats(), got.D.Stats(), want.D.Stats())
+	}
+	if iSum != want.I.Stats().Misses || dSum != want.D.Stats().Misses {
+		t.Errorf("sample sums (%d, %d) != total misses (%d, %d)",
+			iSum, dSum, want.I.Stats().Misses, want.D.Stats().Misses)
+	}
+	if samples < 5 {
+		t.Errorf("only %d samples for 5000 fetches at every=1000", samples)
+	}
+}
+
+func TestMissDensityTrackEmitsCounters(t *testing.T) {
+	var rec Recording
+	for i := uint32(0); i < 3000; i++ {
+		rec.Fetch(mem.UserCodeBase + 4*(i%700))
+		rec.Read(mem.HeapBase + 4*(i%900))
+	}
+	b := obs.NewEventBuffer()
+	cfg := cache.Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1}
+	p, err := rec.MissDensityTrack(b, 3, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Misses() == 0 {
+		t.Fatal("no misses; test data too small")
+	}
+	var counters int
+	for _, e := range b.Events() {
+		if e.Ph != obs.PhCounter {
+			t.Errorf("unexpected phase %c", e.Ph)
+			continue
+		}
+		if e.Pid != 3 {
+			t.Errorf("pid = %d, want 3", e.Pid)
+		}
+		counters++
+	}
+	// Two series (I and D) per sample, 3 full samples for 3000 fetches.
+	if counters != 6 {
+		t.Errorf("got %d counter events, want 6", counters)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
+	"jmtam/internal/machine"
+	"jmtam/internal/netsim"
 	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
@@ -72,6 +74,44 @@ type (
 
 // CacheConfig describes one cache geometry (size, block, associativity).
 type CacheConfig = cache.Config
+
+// Multi-node re-exports: set Options.Nodes to a power of two (at most
+// 64) and the six benchmarks run unmodified on an N-node mesh — frames
+// are placed across nodes by Options.Placement and remote I-structure
+// requests travel the netsim mesh as active messages. Run dispatches
+// to the cluster automatically; BuildCluster exposes the cluster
+// simulation directly for callers that need per-node access.
+type (
+	// Placement selects the frame/heap placement policy consulted at
+	// falloc/halloc time when Options.Nodes > 1.
+	Placement = core.Placement
+	// ClusterSim is one ready-to-run multi-node simulation.
+	ClusterSim = core.ClusterSim
+	// NetConfig describes the mesh (dimensions and latency model);
+	// set Options.Net to override the near-square default.
+	NetConfig = netsim.Config
+)
+
+// The placement policies: round-robin spreads frames across the mesh
+// (the default); local keeps every allocation on the requesting node.
+const (
+	PlaceRoundRobin = core.PlaceRoundRobin
+	PlaceLocal      = core.PlaceLocal
+)
+
+// ParsePlacement parses a placement policy name ("round-robin", "rr",
+// "local") as used by the command-line -placement flags.
+func ParsePlacement(s string) (Placement, error) { return core.ParsePlacement(s) }
+
+// DefaultNetConfig returns the near-square mesh configuration used
+// when Options.Net is nil.
+func DefaultNetConfig(nodes int) NetConfig { return netsim.DefaultConfig(nodes) }
+
+// BuildCluster compiles a program mesh-aware for opt.Nodes nodes and
+// returns the ready-to-run cluster simulation.
+func BuildCluster(impl Impl, p *Program, opt Options) (*ClusterSim, error) {
+	return core.BuildCluster(impl, p, opt)
+}
 
 // Observability re-exports: set Options.Obs to a Sink (NewSink) before
 // Build/Run and the simulation populates its metrics registry and,
@@ -176,8 +216,13 @@ func BenchmarkNames() []string {
 
 // Result summarizes one simulation.
 type Result struct {
-	Program      string
-	Impl         Impl
+	Program string
+	Impl    Impl
+	// Nodes is the mesh size the program ran on (1 = uniprocessor)
+	// and Ticks the cluster's elapsed lockstep time (0 on the
+	// uniprocessor path). Multi-node counts aggregate over all nodes.
+	Nodes        int
+	Ticks        uint64
 	Instructions uint64
 	Reads        uint64
 	Writes       uint64
@@ -219,6 +264,9 @@ func RunContext(ctx context.Context, impl Impl, p *Program, opt Options, geoms .
 			return nil, err
 		}
 	}
+	if opt.Nodes > 1 {
+		return runClusterContext(ctx, impl, p, opt, geoms...)
+	}
 	sim, err := BuildContext(ctx, impl, p, opt)
 	if err != nil {
 		return nil, err
@@ -231,6 +279,7 @@ func RunContext(ctx context.Context, impl Impl, p *Program, opt Options, geoms .
 	res := &Result{
 		Program:      p.Name,
 		Impl:         impl,
+		Nodes:        1,
 		Instructions: sim.M.Instructions(),
 		Reads:        rec.TotalReads(),
 		Writes:       rec.TotalWrites(),
@@ -252,6 +301,67 @@ func RunContext(ctx context.Context, impl Impl, p *Program, opt Options, geoms .
 			DMisses:    pr.D.Stats().Misses,
 			Writebacks: pr.D.Stats().Writebacks,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runClusterContext is RunContext's multi-node path: the program runs
+// on an opt.Nodes mesh with one reference recording per node, and the
+// geometry fan-out replays every node through its own private cache
+// pair (a mesh node owns its caches), summing the misses per geometry.
+func runClusterContext(ctx context.Context, impl Impl, p *Program, opt Options, geoms ...CacheConfig) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cs, err := core.BuildCluster(impl, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*trace.Recording, cs.Nodes)
+	cs.Tracers = make([]machine.Tracer, cs.Nodes)
+	for k := range recs {
+		recs[k] = &trace.Recording{}
+		cs.Tracers[k] = recs[k]
+	}
+	if err := cs.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	g := cs.MergedGran()
+	res := &Result{
+		Program:      p.Name,
+		Impl:         impl,
+		Nodes:        cs.Nodes,
+		Ticks:        cs.Ticks(),
+		Instructions: cs.Instructions(),
+		Threads:      g.Threads,
+		Quanta:       g.Quanta,
+		TPQ:          g.TPQ(),
+		IPT:          g.IPT(),
+		IPQ:          g.IPQ(),
+		Caches:       make([]experiments.CacheStats, len(geoms)),
+	}
+	for _, rec := range recs {
+		res.Reads += rec.TotalReads()
+		res.Writes += rec.TotalWrites()
+	}
+	err = parallel.ForEachContext(ctx, 0, len(geoms), func(i int) error {
+		st := experiments.CacheStats{Config: geoms[i]}
+		for _, rec := range recs {
+			pr, err := trace.NewPair(geoms[i])
+			if err != nil {
+				return err
+			}
+			rec.Replay(pr)
+			st.Config = pr.I.Config()
+			st.IMisses += pr.I.Stats().Misses
+			st.DMisses += pr.D.Stats().Misses
+			st.Writebacks += pr.D.Stats().Writebacks
+		}
+		res.Caches[i] = st
 		return nil
 	})
 	if err != nil {

@@ -20,6 +20,35 @@ type (
 	Series   = experiments.Series
 )
 
+// Multi-node comparison re-exports: NodeRatioSweep runs every workload
+// under MD and AM at each mesh size and aggregates the MD/AM ratio by
+// total cycles and by elapsed lockstep ticks; HopLatencySweep varies
+// the mesh's per-hop routing delay at a fixed node count. Set
+// Sweep.Options.Nodes to add a nodes axis to the full cache-geometry
+// sweep instead (Table 2 at any mesh size).
+type (
+	NodeRatioRow = experiments.NodeRatioRow
+	HopRatioRow  = experiments.HopRatioRow
+)
+
+// NodeRatioSweep compares MD and AM across mesh sizes; see
+// experiments.NodeRatioSweep.
+func NodeRatioSweep(ws []Workload, nodeCounts []int, geom CacheConfig, penalty int, opt Options, parallelism int) ([]NodeRatioRow, error) {
+	return experiments.NodeRatioSweep(ws, nodeCounts, geom, penalty, opt, parallelism)
+}
+
+// HopLatencySweep compares MD and AM across per-hop routing delays on
+// a fixed mesh; see experiments.HopLatencySweep.
+func HopLatencySweep(ws []Workload, nodes int, perHops []uint64, opt Options, parallelism int) ([]HopRatioRow, error) {
+	return experiments.HopLatencySweep(ws, nodes, perHops, opt, parallelism)
+}
+
+// ReportNodeRatios renders the node-count comparison table.
+func ReportNodeRatios(rows []NodeRatioRow) string { return report.NodeRatios(rows) }
+
+// ReportHopLatency renders the hop-latency comparison table.
+func ReportHopLatency(rows []HopRatioRow) string { return report.HopLatency(rows) }
+
 // NewPaperSweep returns the paper's full parameter space (cache sizes
 // 1K-128K, associativities 1/2/4, 64-byte blocks, miss penalties
 // 12/24/48) over the paper's benchmark arguments. This is the expensive
