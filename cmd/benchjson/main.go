@@ -5,12 +5,19 @@
 //	benchjson                      # writes BENCH_table2.json
 //	benchjson -o /tmp/bench.json -scale paper
 //	benchjson -distributed 2       # same sweep through the shard coordinator
+//	benchjson -o /tmp/b.json -baseline BENCH_table2.json -max-regress 10%
 //
 // The "quick" scale (the default) matches BenchmarkTable2 in the root
 // package; "paper" runs the full benchmark arguments. With -distributed N
 // the sweep is farmed out across N in-process tamsimd workers over
 // loopback HTTP — same numbers, plus the coordinator and serving
 // overhead in the timing.
+//
+// With -baseline, the fresh numbers are compared against a committed
+// result file: the run fails (exit 1) when ms/op exceeds the baseline
+// by more than -max-regress, or when any ratio column drifts at all —
+// ratios are deterministic, so any change is a correctness bug, not
+// noise. CI runs this as the perf gate.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"jmtam/internal/experiments"
@@ -46,6 +55,8 @@ func main() {
 	out := flag.String("o", "BENCH_table2.json", "output file")
 	scale := flag.String("scale", "quick", "workload scale: quick|paper")
 	distributed := flag.Int("distributed", 0, "farm the sweep across N in-process workers over loopback HTTP (0 = run in-process)")
+	baseline := flag.String("baseline", "", "committed result file to compare against (perf gate)")
+	maxRegress := flag.String("max-regress", "10%", "ms/op regression tolerance vs -baseline, e.g. 10%")
 	flag.Parse()
 
 	var ws []experiments.Workload
@@ -83,6 +94,51 @@ func main() {
 	}
 	fmt.Printf("%s: %.1f ms/op, geomean ratio (miss 24) %.4f\n",
 		*out, res.MsPerOp, res.GeomeanRatio["miss24"])
+
+	if *baseline != "" {
+		if err := compareBaseline(&res, *baseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: perf gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate: within %s of %s\n", *maxRegress, *baseline)
+	}
+}
+
+// compareBaseline enforces the perf gate: ms/op may exceed the baseline
+// by at most the given percentage, and every ratio present in both
+// results must match exactly — the sweep is deterministic, so ratio
+// drift means the simulator or cache model changed behavior.
+func compareBaseline(res *result, path, tolerance string) error {
+	pct, err := strconv.ParseFloat(strings.TrimSuffix(tolerance, "%"), 64)
+	if err != nil || pct < 0 {
+		return fmt.Errorf("bad -max-regress %q", tolerance)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Scale != res.Scale {
+		return fmt.Errorf("scale mismatch: baseline %q vs run %q", base.Scale, res.Scale)
+	}
+	if limit := base.MsPerOp * (1 + pct/100); res.MsPerOp > limit {
+		return fmt.Errorf("ms/op regressed: %.1f vs baseline %.1f (limit %.1f)",
+			res.MsPerOp, base.MsPerOp, limit)
+	}
+	for k, want := range base.GeomeanRatio {
+		if got, ok := res.GeomeanRatio[k]; ok && got != want {
+			return fmt.Errorf("geomean ratio %s drifted: %v vs baseline %v", k, got, want)
+		}
+	}
+	for k, want := range base.PerProgram {
+		if got, ok := res.PerProgram[k]; ok && got != want {
+			return fmt.Errorf("per-program ratio %s drifted: %v vs baseline %v", k, got, want)
+		}
+	}
+	return nil
 }
 
 func benchLocal(res *result, ws []experiments.Workload) {

@@ -7,7 +7,7 @@
 // Artifacts: table1 (TAM construct mapping), table2 (granularity and
 // cycle ratios), figure2 (enabled/unenabled AM ablation), figure3-6
 // (MD/AM cycle-ratio charts), accessratios (§3.1), blocksweep (block-size
-// ablation).
+// ablation), assocsweep (associativity ablation up to 16-way).
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|mdopt|oam|classes|mix|penalties|noderatio|all")
+	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|assocsweep|mdopt|oam|classes|mix|penalties|noderatio|all")
 	scale := flag.String("scale", "quick", "problem sizes: quick|paper")
 	format := flag.String("format", "text", "figure output: text (ASCII charts) | csv (figure,penalty,series,sizeKB,ratio rows)")
 	par := flag.Int("parallel", 0, "concurrent simulations and trace replays (0 = GOMAXPROCS); results are identical at any setting")
@@ -157,6 +157,14 @@ func main() {
 		check(err)
 		fmt.Println("Block-size ablation (8K 4-way, miss 24; paper used 64B blocks)")
 		fmt.Print(report.Blocks(rows))
+		fmt.Println()
+	}
+
+	if want("assocsweep") {
+		rows, err := experiments.AssocSweep(ws, core.Options{}, *par)
+		check(err)
+		fmt.Println("Associativity ablation (8K/64B, miss 24; residual gap at 16-way is not conflict misses)")
+		fmt.Print(report.Assocs(rows))
 		fmt.Println()
 	}
 

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRefs builds a packed reference stream (write flag in bit 0) with
+// loopy locality plus a conflict-prone stride, deterministic across runs.
+func benchRefs(n int) []uint32 {
+	refs := make([]uint32, n)
+	state := uint32(0x2545F491)
+	for i := range refs {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		var addr uint32
+		switch {
+		case i%4 != 3: // loop-style reuse over a 16 KB window
+			addr = uint32(i%4096) * 4
+		default: // scattered heap touch
+			addr = (state % (1 << 22)) &^ 3
+		}
+		if state&0x7 == 0 {
+			addr |= RefWrite
+		}
+		refs[i] = addr
+	}
+	return refs
+}
+
+// BenchmarkAccess measures the scalar probe per associativity.
+func BenchmarkAccess(b *testing.B) {
+	refs := benchRefs(1 << 16)
+	for _, assoc := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("assoc=%d", assoc), func(b *testing.B) {
+			c := MustNew(Config{SizeBytes: 8192, BlockBytes: 64, Assoc: assoc})
+			b.SetBytes(4)
+			for i := 0; i < b.N; i++ {
+				w := refs[i&(len(refs)-1)]
+				c.Access(w&^3, w&RefWrite != 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessBatch measures the batched data-stream kernels.
+func BenchmarkAccessBatch(b *testing.B) {
+	refs := benchRefs(1 << 16)
+	for _, assoc := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("assoc=%d", assoc), func(b *testing.B) {
+			c := MustNew(Config{SizeBytes: 8192, BlockBytes: 64, Assoc: assoc})
+			b.SetBytes(int64(4 * len(refs)))
+			for i := 0; i < b.N; i++ {
+				c.AccessBatch(refs)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessBatchFetch measures the read-only fetch-stream kernels.
+func BenchmarkAccessBatchFetch(b *testing.B) {
+	refs := benchRefs(1 << 16)
+	for i := range refs {
+		refs[i] &^= 3 // fetch addresses carry no flag bits
+	}
+	for _, assoc := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("assoc=%d", assoc), func(b *testing.B) {
+			c := MustNew(Config{SizeBytes: 8192, BlockBytes: 64, Assoc: assoc})
+			b.SetBytes(int64(4 * len(refs)))
+			for i := 0; i < b.N; i++ {
+				c.AccessBatchFetch(refs)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refCache is an obviously-correct reference model: per-way structs,
+// uint64 timestamps, first-invalid-else-LRU victim choice — the layout
+// the SoA/rank implementation replaced. Statistics must match exactly:
+// physical way choice among invalid ways is unobservable, so the two
+// victim policies are stats-equivalent.
+type refCache struct {
+	ways []struct {
+		tag   uint32
+		valid bool
+		dirty bool
+		used  uint64
+	}
+	assoc    int
+	setMask  uint32
+	blkShift uint32
+	tick     uint64
+	stats    Stats
+}
+
+func newRefCache(cfg Config) *refCache {
+	nSets := cfg.SizeBytes / (cfg.BlockBytes * cfg.Assoc)
+	bs := uint32(0)
+	for 1<<bs < cfg.BlockBytes {
+		bs++
+	}
+	r := &refCache{assoc: cfg.Assoc, setMask: uint32(nSets - 1), blkShift: bs}
+	r.ways = make([]struct {
+		tag   uint32
+		valid bool
+		dirty bool
+		used  uint64
+	}, nSets*cfg.Assoc)
+	return r
+}
+
+func (r *refCache) access(addr uint32, write bool) bool {
+	r.tick++
+	r.stats.Accesses++
+	blk := addr >> r.blkShift
+	set := int(blk&r.setMask) * r.assoc
+	for i := set; i < set+r.assoc; i++ {
+		if r.ways[i].valid && r.ways[i].tag == blk {
+			r.ways[i].used = r.tick
+			if write {
+				r.ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	r.stats.Misses++
+	v := -1
+	for i := set; i < set+r.assoc; i++ {
+		if !r.ways[i].valid {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		v = set
+		for i := set + 1; i < set+r.assoc; i++ {
+			if r.ways[i].used < r.ways[v].used {
+				v = i
+			}
+		}
+	}
+	if r.ways[v].valid && r.ways[v].dirty {
+		r.stats.Writebacks++
+	}
+	r.ways[v] = struct {
+		tag   uint32
+		valid bool
+		dirty bool
+		used  uint64
+	}{tag: blk, valid: true, dirty: write, used: r.tick}
+	return false
+}
+
+// refStream generates a deterministic mixed-locality address stream.
+func refStream(n int) []uint32 {
+	refs := make([]uint32, n)
+	state := uint32(0x9E3779B9)
+	for i := range refs {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		var addr uint32
+		switch i % 5 {
+		case 0, 1: // hot loop
+			addr = uint32(i%512) * 4
+		case 2: // medium working set
+			addr = (state % (1 << 14)) &^ 3
+		default: // cold scatter
+			addr = (state % (1 << 24)) &^ 3
+		}
+		if state&0x3 == 0 {
+			addr |= RefWrite
+		}
+		refs[i] = addr
+	}
+	return refs
+}
+
+// TestAccessMatchesReferenceModel drives an identical stream through
+// the SoA implementation (scalar and batch) and the timestamp reference
+// model across every specialized and generic associativity, requiring
+// identical statistics.
+func TestAccessMatchesReferenceModel(t *testing.T) {
+	refs := refStream(60000)
+	for _, assoc := range []int{1, 2, 3, 4, 8} {
+		for _, size := range []int{1024, 8192} {
+			cfg := Config{SizeBytes: size, BlockBytes: 64, Assoc: assoc}
+			t.Run(fmt.Sprintf("%v", cfg), func(t *testing.T) {
+				ref := newRefCache(cfg)
+				scalar := MustNew(cfg)
+				batched := MustNew(cfg)
+				for _, w := range refs {
+					ref.access(w&^3, w&RefWrite != 0)
+					scalar.Access(w&^3, w&RefWrite != 0)
+				}
+				// Batch in uneven slices to exercise chunk boundaries.
+				for off := 0; off < len(refs); {
+					end := off + 1000 + off%777
+					if end > len(refs) {
+						end = len(refs)
+					}
+					batched.AccessBatch(refs[off:end])
+					off = end
+				}
+				if scalar.Stats() != ref.stats {
+					t.Errorf("scalar %+v != reference %+v", scalar.Stats(), ref.stats)
+				}
+				if batched.Stats() != ref.stats {
+					t.Errorf("batched %+v != reference %+v", batched.Stats(), ref.stats)
+				}
+			})
+		}
+	}
+}
+
+// TestAccessBatchFetchMatchesScalar checks the read-only fetch kernels
+// against scalar reads on a never-written cache.
+func TestAccessBatchFetchMatchesScalar(t *testing.T) {
+	refs := refStream(60000)
+	for i := range refs {
+		refs[i] &^= 3 // fetch addresses carry no flag bits
+	}
+	for _, assoc := range []int{1, 2, 4, 8} {
+		cfg := Config{SizeBytes: 4096, BlockBytes: 32, Assoc: assoc}
+		t.Run(fmt.Sprintf("assoc=%d", assoc), func(t *testing.T) {
+			scalar := MustNew(cfg)
+			batched := MustNew(cfg)
+			for _, w := range refs {
+				scalar.Access(w, false)
+			}
+			for off := 0; off < len(refs); off += 4096 {
+				end := off + 4096
+				if end > len(refs) {
+					end = len(refs)
+				}
+				batched.AccessBatchFetch(refs[off:end])
+			}
+			if scalar.Stats() != batched.Stats() {
+				t.Errorf("fetch batch %+v != scalar %+v", batched.Stats(), scalar.Stats())
+			}
+		})
+	}
+}

@@ -200,6 +200,20 @@ func (s *Sim) RunContext(ctx context.Context) error {
 	return nil
 }
 
+// Close releases the simulation's pooled resources — currently the
+// machine's data memory, whose stored prefix is cleared and recycled
+// for the next Sim. Call it only after extracting every statistic and
+// verification result; the machine must not run or be inspected through
+// Host afterwards. Close is optional (an unclosed Sim is merely garbage)
+// and safe to call once on any Sim, including one whose Run failed.
+func (s *Sim) Close() {
+	if s.M == nil {
+		return
+	}
+	s.M.Mem.Release()
+	s.M.Mem = nil
+}
+
 // finishMetrics folds the run's aggregate statistics into the sink's
 // registry: scheduler counts, the quantum histograms, machine-level
 // instruction mix and queue high-water marks, and (when the trace

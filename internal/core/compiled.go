@@ -186,7 +186,10 @@ func (c *Compiled) NewSim(prog *Program, opt Options) (sim *Sim, err error) {
 	}
 	impl := c.Impl
 
-	m := mem.NewDefault()
+	// Pooled: a sweep builds one Sim per (workload, impl) cell, and
+	// zeroing fresh 24 MB segments per cell dominated the record phase.
+	// Sim.Close returns the memory once its statistics are extracted.
+	m := mem.GetDefault()
 	mach := machine.NewMachine(m, c.Code, machine.Config{
 		QueueCapWords:     opt.QueueCapWords,
 		CountQueueWrites:  !opt.NoQueueWriteTrace,

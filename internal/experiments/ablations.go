@@ -200,6 +200,7 @@ func InstructionMix(ws []Workload, opt core.Options, parallelism int) ([]MixRow,
 		if err != nil {
 			return err
 		}
+		defer sim.Close()
 		if err := sim.Run(); err != nil {
 			return err
 		}

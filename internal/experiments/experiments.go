@@ -260,6 +260,16 @@ func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 		}
 	}
 	par := parallel.Workers(s.Parallelism)
+	// Split the worker budget between the two levels: jobs saturate the
+	// pool first, and each job's replay fan-out gets the leftover share.
+	// A job with one replay worker runs the fully vectorized single-pass
+	// kernel over all geometries; with more workers the geometries split
+	// into that many vectorized groups (see ReplayFanOut). Results are
+	// byte-identical at every split.
+	replayPar := 1
+	if len(jobs) > 0 && par/len(jobs) > 1 {
+		replayPar = par / len(jobs)
+	}
 	runs := make([]*Run, len(jobs))
 	var done atomic.Int64
 	err := parallel.ForEachContext(ctx, par, len(jobs), func(i int) error {
@@ -269,7 +279,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 			// for concurrent use across parallel simulations.
 			o.Obs = obs.NewSink(false)
 		}
-		r, err := RunOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, par)
+		r, err := RunOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, replayPar)
 		if err != nil {
 			return err
 		}
@@ -325,6 +335,7 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
+	defer sim.Close()
 	if err := sim.RunContext(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -354,40 +365,57 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 	return r, rec, nil
 }
 
-// ReplayFanOut fills r.Caches by replaying rec through every geometry,
-// one independent replay per geometry on at most parallelism workers.
+// ReplayFanOut fills r.Caches by replaying rec through every geometry.
 // Caches are indexed by geometry position regardless of completion
 // order. When the run carries a metrics registry, each replay also
 // attributes its misses by cause; the per-geometry attributions are
 // folded into the registry serially, in geometry order, after the
 // parallel phase.
+//
+// The fan-out chooses its kernel from the parallelism and geometry
+// count (see replayGroups): with at least as many workers as
+// geometries, each worker replays one geometry independently (the
+// original per-geometry path); with fewer, the geometries are split
+// into one contiguous group per worker and each group runs the
+// vectorized single-pass kernel (trace.ReplayAll), which reads and
+// decodes the packed stream once for the whole group. Both paths are
+// byte-identical.
 func ReplayFanOut(r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
 	return ReplayFanOutContext(context.Background(), r, rec, geoms, parallelism)
 }
 
 // ReplayFanOutContext is ReplayFanOut with cooperative cancellation:
-// the context is checked before each geometry replay is claimed.
+// the context is checked before each geometry group is claimed and
+// between chunks inside the vectorized kernel.
 func ReplayFanOutContext(ctx context.Context, r *Run, rec *trace.Recording, geoms []cache.Config, parallelism int) error {
 	r.Caches = make([]CacheStats, len(geoms))
 	var mcs []trace.MissCounts
 	if r.Metrics != nil {
 		mcs = make([]trace.MissCounts, len(geoms))
 	}
-	err := parallel.ForEachContext(ctx, parallelism, len(geoms), func(g int) error {
-		p, err := trace.NewPair(geoms[g])
-		if err != nil {
-			return err
+	groups := replayGroups(len(geoms), parallelism)
+	err := parallel.ForEachContext(ctx, parallelism, len(groups), func(gi int) error {
+		lo, hi := groups[gi][0], groups[gi][1]
+		pairs := make([]trace.Pair, hi-lo)
+		for g := lo; g < hi; g++ {
+			p, err := trace.NewPair(geoms[g])
+			if err != nil {
+				return err
+			}
+			pairs[g-lo] = p
 		}
 		if mcs != nil {
-			mcs[g] = rec.ReplayObserved(p)
-		} else {
-			rec.Replay(p)
+			copy(mcs[lo:hi], rec.ReplayAllObserved(pairs))
+		} else if err := rec.ReplayAllContext(ctx, pairs); err != nil {
+			return err
 		}
-		r.Caches[g] = CacheStats{
-			Config:     p.I.Config(),
-			IMisses:    p.I.Stats().Misses,
-			DMisses:    p.D.Stats().Misses,
-			Writebacks: p.D.Stats().Writebacks,
+		for i, p := range pairs {
+			r.Caches[lo+i] = CacheStats{
+				Config:     p.I.Config(),
+				IMisses:    p.I.Stats().Misses,
+				DMisses:    p.D.Stats().Misses,
+				Writebacks: p.D.Stats().Writebacks,
+			}
 		}
 		return nil
 	})
@@ -398,6 +426,27 @@ func ReplayFanOutContext(ctx context.Context, r *Run, rec *trace.Recording, geom
 		mcs[g].AddTo(r.Metrics, geoms[g].String())
 	}
 	return nil
+}
+
+// replayGroups partitions n geometries into contiguous [lo, hi) groups
+// for the replay fan-out: one singleton group per geometry when the
+// worker pool is at least that wide (every worker streams its own
+// geometry, the pre-vectorization layout), otherwise one near-equal
+// group per worker so each worker amortizes one pass over the recording
+// across its whole group.
+func replayGroups(n, parallelism int) [][2]int {
+	w := parallel.Workers(parallelism)
+	if w > n {
+		w = n
+	}
+	groups := make([][2]int, 0, w)
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + (n-lo)/(w-i)
+		groups = append(groups, [2]int{lo, hi})
+		lo = hi
+	}
+	return groups
 }
 
 // RunOnePar simulates one workload under one implementation, recording
@@ -617,6 +666,7 @@ func EnabledAblation(ws []Workload, opt core.Options, parallelism int) ([]Enable
 		if err != nil {
 			return err
 		}
+		defer sim.Close()
 		if err := sim.Run(); err != nil {
 			return err
 		}
@@ -694,6 +744,73 @@ func BlockSweep(ws []Workload, opt core.Options, parallelism int) ([]BlockRow, e
 			MDCycles:   totalMD[i],
 			AMCycles:   totalAM[i],
 		})
+	}
+	return rows, nil
+}
+
+// --- Associativity ablation ---------------------------------------------------------
+
+// AssocRow reports the MD/AM ratio for one associativity at 8K/64B,
+// penalty 24. §3.3 attributes much of MD's extra miss traffic to
+// conflict misses in the data cache; sweeping associativity past the
+// paper's 1/2/4 grid up to 8- and 16-way bounds how much of the gap
+// conflict misses explain — the residual at high associativity is
+// capacity and cold misses.
+type AssocRow struct {
+	Assoc    int
+	Ratio    float64
+	MDCycles uint64
+	AMCycles uint64
+	MDMisses uint64
+	AMMisses uint64
+}
+
+// AssocSweep evaluates associativities 1..16 at the paper's headline 8K
+// size and 64-byte blocks for the given workloads. Associativity is a
+// geometry-only parameter, so each (workload, implementation) pair is
+// simulated exactly once and its recorded trace is replayed through all
+// five geometries in one vectorized pass; the simulations run on at
+// most parallelism workers (0 = GOMAXPROCS). Totals accumulate in job
+// order, so the rows are identical at every parallelism setting.
+func AssocSweep(ws []Workload, opt core.Options, parallelism int) ([]AssocRow, error) {
+	assocs := []int{1, 2, 4, 8, 16}
+	var geoms []cache.Config
+	for _, a := range assocs {
+		geoms = append(geoms, cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: a})
+	}
+	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	par := parallel.Workers(parallelism)
+	runs := make([]*Run, 2*len(ws))
+	err := parallel.ForEach(par, len(runs), func(i int) error {
+		r, err := RunOnePar(ws[i/2], impls[i%2], geoms, opt, 1)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AssocRow, len(assocs))
+	for i, a := range assocs {
+		rows[i].Assoc = a
+	}
+	for j, r := range runs {
+		for i := range assocs {
+			c := r.Cycles(i, 24, false)
+			m := r.Caches[i].IMisses + r.Caches[i].DMisses
+			if impls[j%2] == core.ImplMD {
+				rows[i].MDCycles += c
+				rows[i].MDMisses += m
+			} else {
+				rows[i].AMCycles += c
+				rows[i].AMMisses += m
+			}
+		}
+	}
+	for i := range rows {
+		rows[i].Ratio = ratio64(rows[i].MDCycles, rows[i].AMCycles)
 	}
 	return rows, nil
 }

@@ -83,38 +83,51 @@ func RecordClusterContext(ctx context.Context, w Workload, impl core.Impl, opt c
 // ReplayClusterFanOutContext fills r.Caches by replaying the per-node
 // recordings through every geometry: each node gets its own private
 // I/D cache pair per geometry (a mesh node owns its caches), and the
-// per-node misses are summed into one CacheStats per geometry. One
-// worker handles one geometry (all nodes), so the fan-out parallelizes
-// across geometries exactly like the uniprocessor ReplayFanOut.
+// per-node misses are summed into one CacheStats per geometry. Like
+// the uniprocessor ReplayFanOutContext, the geometries are split into
+// one contiguous group per worker and each node's stream is replayed
+// once through the whole group with the vectorized kernel; with
+// workers >= geometries this degenerates to one geometry per worker.
 func ReplayClusterFanOutContext(ctx context.Context, r *Run, recs []*trace.Recording, geoms []cache.Config, parallelism int) error {
 	r.Caches = make([]CacheStats, len(geoms))
 	var mcs []trace.MissCounts
 	if r.Metrics != nil {
 		mcs = make([]trace.MissCounts, len(geoms))
 	}
-	err := parallel.ForEachContext(ctx, parallelism, len(geoms), func(g int) error {
-		cst := CacheStats{Config: geoms[g]}
+	groups := replayGroups(len(geoms), parallelism)
+	err := parallel.ForEachContext(ctx, parallelism, len(groups), func(gi int) error {
+		lo, hi := groups[gi][0], groups[gi][1]
+		for g := lo; g < hi; g++ {
+			r.Caches[g] = CacheStats{Config: geoms[g]}
+		}
+		pairs := make([]trace.Pair, hi-lo)
 		for _, rec := range recs {
-			p, err := trace.NewPair(geoms[g])
-			if err != nil {
-				return err
+			for g := lo; g < hi; g++ {
+				p, err := trace.NewPair(geoms[g])
+				if err != nil {
+					return err
+				}
+				pairs[g-lo] = p
 			}
 			if mcs != nil {
-				mc := rec.ReplayObserved(p)
-				for c := mem.Class(0); c < mem.NumClasses; c++ {
-					mcs[g].Fetch[c] += mc.Fetch[c]
-					mcs[g].Read[c] += mc.Read[c]
-					mcs[g].Write[c] += mc.Write[c]
+				for i, mc := range rec.ReplayAllObserved(pairs) {
+					for c := mem.Class(0); c < mem.NumClasses; c++ {
+						mcs[lo+i].Fetch[c] += mc.Fetch[c]
+						mcs[lo+i].Read[c] += mc.Read[c]
+						mcs[lo+i].Write[c] += mc.Write[c]
+					}
 				}
-			} else {
-				rec.Replay(p)
+			} else if err := rec.ReplayAllContext(ctx, pairs); err != nil {
+				return err
 			}
-			cst.Config = p.I.Config()
-			cst.IMisses += p.I.Stats().Misses
-			cst.DMisses += p.D.Stats().Misses
-			cst.Writebacks += p.D.Stats().Writebacks
+			for i, p := range pairs {
+				cst := &r.Caches[lo+i]
+				cst.Config = p.I.Config()
+				cst.IMisses += p.I.Stats().Misses
+				cst.DMisses += p.D.Stats().Misses
+				cst.Writebacks += p.D.Stats().Writebacks
+			}
 		}
-		r.Caches[g] = cst
 		return nil
 	})
 	if err != nil {

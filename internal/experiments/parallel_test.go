@@ -7,13 +7,16 @@ import (
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/programs"
+	"jmtam/internal/trace"
 )
 
-// TestReplayEquivalence asserts the engine's core invariant: replaying
-// a recorded trace through a geometry yields miss and writeback counts
-// identical to attaching that geometry's pair inline during simulation
-// (the pre-record/replay collector path), for every quick workload and
-// both implementations.
+// TestReplayEquivalence asserts the engine's core invariant across all
+// three replay paths: the per-geometry scalar fan-out (workers >=
+// geometries), the vectorized single-pass kernel (one group over all
+// geometries), and ReplayObserved's attributing variants all yield miss
+// and writeback counts identical to attaching that geometry's pair
+// inline during simulation (the pre-record/replay collector path), for
+// every quick workload and both implementations.
 func TestReplayEquivalence(t *testing.T) {
 	geoms := []cache.Config{
 		{SizeBytes: 1 * 1024, BlockBytes: 64, Assoc: 1},
@@ -39,13 +42,21 @@ func TestReplayEquivalence(t *testing.T) {
 			if err := sim.Run(); err != nil {
 				t.Fatal(err)
 			}
+			want := make([]CacheStats, len(geoms))
+			for g, p := range sim.Collector.Pairs {
+				want[g] = CacheStats{
+					Config:     p.I.Config(),
+					IMisses:    p.I.Stats().Misses,
+					DMisses:    p.D.Stats().Misses,
+					Writebacks: p.D.Stats().Writebacks,
+				}
+			}
 
-			// Record/replay path.
-			r, err := RunOnePar(w, impl, geoms, core.Options{}, 4)
+			// Record once; replay through both fan-out shapes.
+			r, rec, err := RecordOne(w, impl, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-
 			if r.Counts != sim.Collector.Counts {
 				t.Errorf("%s/%v: replay counts %+v != inline %+v",
 					w.Name, impl, r.Counts, sim.Collector.Counts)
@@ -53,17 +64,63 @@ func TestReplayEquivalence(t *testing.T) {
 			if r.Instructions != sim.M.Instructions() {
 				t.Errorf("%s/%v: instructions %d != %d", w.Name, impl, r.Instructions, sim.M.Instructions())
 			}
-			for g, p := range sim.Collector.Pairs {
-				got := r.Caches[g]
-				want := CacheStats{
+			// Workers >= geometries: singleton groups, the per-geometry path.
+			if err := ReplayFanOut(r, rec, geoms, len(geoms)+1); err != nil {
+				t.Fatal(err)
+			}
+			scalar := append([]CacheStats(nil), r.Caches...)
+			// One worker: a single vectorized group over every geometry.
+			if err := ReplayFanOut(r, rec, geoms, 1); err != nil {
+				t.Fatal(err)
+			}
+			vectorized := append([]CacheStats(nil), r.Caches...)
+			for g := range geoms {
+				if scalar[g] != want[g] {
+					t.Errorf("%s/%v geom %v: scalar replay %+v != inline %+v",
+						w.Name, impl, geoms[g], scalar[g], want[g])
+				}
+				if vectorized[g] != want[g] {
+					t.Errorf("%s/%v geom %v: vectorized replay %+v != inline %+v",
+						w.Name, impl, geoms[g], vectorized[g], want[g])
+				}
+			}
+
+			// Attributing replays: scalar ReplayObserved vs vectorized
+			// ReplayAllObserved, stats and per-cause miss attribution.
+			obsPairs := make([]trace.Pair, len(geoms))
+			for g := range geoms {
+				if obsPairs[g], err = trace.NewPair(geoms[g]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mcsAll := rec.ReplayAllObserved(obsPairs)
+			for g := range geoms {
+				p, err := trace.NewPair(geoms[g])
+				if err != nil {
+					t.Fatal(err)
+				}
+				mc := rec.ReplayObserved(p)
+				if mc != mcsAll[g] {
+					t.Errorf("%s/%v geom %v: ReplayObserved attribution %+v != ReplayAllObserved %+v",
+						w.Name, impl, geoms[g], mc, mcsAll[g])
+				}
+				got := CacheStats{
 					Config:     p.I.Config(),
 					IMisses:    p.I.Stats().Misses,
 					DMisses:    p.D.Stats().Misses,
 					Writebacks: p.D.Stats().Writebacks,
 				}
-				if got != want {
-					t.Errorf("%s/%v geom %v: replayed %+v != inline %+v",
-						w.Name, impl, geoms[g], got, want)
+				if got != want[g] {
+					t.Errorf("%s/%v geom %v: observed replay %+v != inline %+v",
+						w.Name, impl, geoms[g], got, want[g])
+				}
+				if total := mc.Total(); total != want[g].IMisses+want[g].DMisses {
+					t.Errorf("%s/%v geom %v: attributed misses %d != total %d",
+						w.Name, impl, geoms[g], total, want[g].IMisses+want[g].DMisses)
+				}
+				if vo := obsPairs[g]; vo.I.Stats() != p.I.Stats() || vo.D.Stats() != p.D.Stats() {
+					t.Errorf("%s/%v geom %v: ReplayAllObserved pair stats diverge from ReplayObserved",
+						w.Name, impl, geoms[g])
 				}
 			}
 		}
@@ -154,6 +211,37 @@ func TestBlockSweepDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, wide) {
 		t.Errorf("BlockSweep rows differ:\nserial: %+v\nparallel: %+v", serial, wide)
+	}
+}
+
+// TestAssocSweepDeterminism pins the associativity ablation (which
+// exercises the generic 8/16-way kernels through the vectorized replay)
+// to its serial outcome, and sanity-checks the grid.
+func TestAssocSweepDeterminism(t *testing.T) {
+	ws := []Workload{{"ss", 40}, {"qs", 30}}
+	serial, err := AssocSweep(ws, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := AssocSweep(ws, core.Options{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("AssocSweep rows differ:\nserial: %+v\nparallel: %+v", serial, wide)
+	}
+	if len(serial) != 5 || serial[0].Assoc != 1 || serial[4].Assoc != 16 {
+		t.Fatalf("unexpected associativity grid: %+v", serial)
+	}
+	for i, r := range serial {
+		if r.MDCycles == 0 || r.AMCycles == 0 || r.Ratio <= 0 {
+			t.Errorf("row %d incomplete: %+v", i, r)
+		}
+		// More ways can only remove conflict misses at fixed size.
+		if i > 0 && r.MDMisses > serial[i-1].MDMisses*21/20 {
+			t.Errorf("MD misses rose sharply with associativity: %d-way %d vs %d-way %d",
+				r.Assoc, r.MDMisses, serial[i-1].Assoc, serial[i-1].MDMisses)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"jmtam/internal/word"
 )
@@ -93,6 +94,19 @@ type Memory struct {
 	sysData []word.Word
 	frames  []word.Word
 	heap    []word.Word
+
+	// used holds one high-water mark per segment (sysData, frames,
+	// heap): one past the highest word index ever stored. Release
+	// clears only these prefixes, so a pooled memory is reusable
+	// without re-zeroing the full 24-byte-per-word segments — the
+	// dominant allocation cost of a record-once simulation.
+	used [3]uint32
+
+	// poolable marks memories born from GetDefault. Release is a no-op
+	// for every other memory: New/NewDefault callers own theirs, and a
+	// NewShared view aliases segments whose stores bypass the base's
+	// watermarks.
+	poolable bool
 }
 
 // New returns an empty memory with all data segments allocated to their
@@ -131,6 +145,43 @@ func NewDefault() *Memory {
 	return New(DefaultSysDataWords, DefaultFrameWords, DefaultHeapWords)
 }
 
+// defaultPool recycles default-size memories between simulations.
+// Zeroing the three data segments (24 MB of tagged words) dominated
+// the record phase of a sweep; a recycled memory instead clears only
+// the prefix of each segment the previous simulation actually stored
+// (tracked by the used watermarks), which for the paper's benchmarks
+// is a small fraction of capacity.
+var defaultPool = sync.Pool{
+	New: func() any {
+		m := NewDefault()
+		m.poolable = true
+		return m
+	},
+}
+
+// GetDefault returns a cleared default-size memory, recycled from the
+// pool when one is available. Pass it to Release when the simulation
+// is done; a GetDefault memory behaves exactly like NewDefault's
+// (zeroed words read as integer 0).
+func GetDefault() *Memory {
+	return defaultPool.Get().(*Memory)
+}
+
+// Release clears the stored prefix of each segment and returns the
+// memory to the pool. It is a no-op unless m came from GetDefault, so
+// callers may release unconditionally. The caller must not use m
+// afterwards.
+func (m *Memory) Release() {
+	if m == nil || !m.poolable {
+		return
+	}
+	clear(m.sysData[:m.used[0]])
+	clear(m.frames[:m.used[1]])
+	clear(m.heap[:m.used[2]])
+	m.used = [3]uint32{}
+	defaultPool.Put(m)
+}
+
 // NewShared returns a memory that aliases base's frame and heap segments
 // but owns a private system-data segment of sysDataWords words. A
 // multi-node cluster gives every node a NewShared view of node 0's
@@ -151,17 +202,17 @@ func NewShared(base *Memory, sysDataWords int) *Memory {
 	}
 }
 
-func (m *Memory) locate(addr uint32) ([]word.Word, uint32) {
+func (m *Memory) locate(addr uint32) ([]word.Word, uint32, int) {
 	if addr%WordBytes != 0 {
 		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))
 	}
 	switch {
 	case addr >= HeapBase:
-		return m.heap, (addr - HeapBase) / WordBytes
+		return m.heap, (addr - HeapBase) / WordBytes, 2
 	case addr >= FrameBase:
-		return m.frames, (addr - FrameBase) / WordBytes
+		return m.frames, (addr - FrameBase) / WordBytes, 1
 	case addr >= SysDataBase:
-		return m.sysData, (addr - SysDataBase) / WordBytes
+		return m.sysData, (addr - SysDataBase) / WordBytes, 0
 	default:
 		panic(fmt.Sprintf("mem: data access to code segment at %#x", addr))
 	}
@@ -169,7 +220,7 @@ func (m *Memory) locate(addr uint32) ([]word.Word, uint32) {
 
 // Load reads the word at byte address addr.
 func (m *Memory) Load(addr uint32) word.Word {
-	seg, i := m.locate(addr)
+	seg, i, _ := m.locate(addr)
 	if i >= uint32(len(seg)) {
 		panic(fmt.Sprintf("mem: load beyond segment at %#x", addr))
 	}
@@ -178,11 +229,14 @@ func (m *Memory) Load(addr uint32) word.Word {
 
 // Store writes the word at byte address addr.
 func (m *Memory) Store(addr uint32, w word.Word) {
-	seg, i := m.locate(addr)
+	seg, i, s := m.locate(addr)
 	if i >= uint32(len(seg)) {
 		panic(fmt.Sprintf("mem: store beyond segment at %#x", addr))
 	}
 	seg[i] = w
+	if i >= m.used[s] {
+		m.used[s] = i + 1
+	}
 }
 
 // LoadInt is a convenience accessor returning the integer view at addr.

@@ -109,3 +109,50 @@ func TestSegmentClamping(t *testing.T) {
 		t.Error("clamped frame segment unusable")
 	}
 }
+
+// TestPooledMemoryComesBackZeroed exercises the GetDefault/Release
+// cycle: a recycled memory must read as all-zeros everywhere a prior
+// user stored, including the highest touched address per segment.
+func TestPooledMemoryComesBackZeroed(t *testing.T) {
+	addrs := []uint32{
+		SysDataBase, SysDataBase + 4096, SysDataBase + 4*(DefaultSysDataWords-1),
+		FrameBase, FrameBase + 8192, FrameBase + 4*(DefaultFrameWords-1),
+		HeapBase, HeapBase + 64, HeapBase + 4*(DefaultHeapWords-1),
+	}
+	m := GetDefault()
+	for _, a := range addrs {
+		m.Store(a, word.Int(42))
+	}
+	m.Release()
+	// The pool may or may not hand the same memory back; either way
+	// every Get must behave like a fresh NewDefault.
+	for i := 0; i < 4; i++ {
+		m := GetDefault()
+		for _, a := range addrs {
+			if v := m.Load(a); v != (word.Word{}) {
+				t.Fatalf("get %d: addr %#x = %+v, want zero word", i, a, v)
+			}
+			m.Store(a, word.Int(int64(i)+1))
+		}
+		m.Release()
+	}
+}
+
+// TestReleaseIgnoresUnpooledMemories pins the no-op contract for
+// memories the pool does not own.
+func TestReleaseIgnoresUnpooledMemories(t *testing.T) {
+	m := NewDefault()
+	m.Store(HeapBase, word.Int(7))
+	m.Release() // must not panic or recycle
+	if got := m.Load(HeapBase).AsInt(); got != 7 {
+		t.Fatalf("Release cleared an unpooled memory: %d", got)
+	}
+	s := NewShared(m, 1024)
+	s.Store(FrameBase, word.Int(9))
+	s.Release()
+	if got := m.Load(FrameBase).AsInt(); got != 9 {
+		t.Fatalf("Release cleared a shared view's aliased segment: %d", got)
+	}
+	var nilMem *Memory
+	nilMem.Release() // nil receiver is a no-op too
+}

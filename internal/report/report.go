@@ -62,6 +62,20 @@ func Blocks(rows []experiments.BlockRow) string {
 	return b.String()
 }
 
+// Assocs renders the associativity ablation: the MD/AM gap that
+// remains at high associativity is not conflict misses.
+func Assocs(rows []experiments.AssocRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %10s  %14s %14s  %12s %12s\n",
+		"Assoc", "MD/AM", "MD cycles", "AM cycles", "MD misses", "AM misses")
+	b.WriteString(strings.Repeat("-", 82) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d  %10.3f  %14d %14d  %12d %12d\n",
+			r.Assoc, r.Ratio, r.MDCycles, r.AMCycles, r.MDMisses, r.AMMisses)
+	}
+	return b.String()
+}
+
 // NodeRatios renders the multi-node MD/AM comparison: one row per mesh
 // size, with the ratio by aggregate cycles (total work across nodes)
 // and by elapsed lockstep ticks (mesh wall-clock).

@@ -41,6 +41,7 @@ func (s *Server) executeRun(ctx context.Context, job *Job, req *RunRequest) (jso
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
+	defer sim.Close()
 	if err := sim.RunContext(ctx); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/mem"
+)
+
+// benchRecording synthesizes a recording shaped like the simulator's
+// output: a fetch per instruction over loopy code, data reads with
+// reuse, and a write every few instructions.
+func benchRecording(n int) *Recording {
+	rec := &Recording{}
+	for i := uint32(0); rec.Len() < n; i++ {
+		rec.Fetch(mem.UserCodeBase + 4*(i%2048))
+		rec.Read(mem.HeapBase + 64*(i%512))
+		if i%3 == 0 {
+			rec.Write(mem.FrameBase + 4*(i%1024))
+		}
+	}
+	return rec
+}
+
+// table2Geoms mirrors the default sweep grid: 8 sizes x 3 ways.
+func table2Geoms() []cache.Config {
+	var geoms []cache.Config
+	for _, kb := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		for _, a := range []int{1, 2, 4} {
+			geoms = append(geoms, cache.Config{SizeBytes: kb * 1024, BlockBytes: 64, Assoc: a})
+		}
+	}
+	return geoms
+}
+
+// BenchmarkReplay measures the single-geometry replay path.
+func BenchmarkReplay(b *testing.B) {
+	rec := benchRecording(1 << 20)
+	b.SetBytes(int64(rec.Len()) * 4)
+	for i := 0; i < b.N; i++ {
+		p, err := NewPair(cache.Config{SizeBytes: 8192, BlockBytes: 64, Assoc: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.Replay(p)
+	}
+}
+
+// BenchmarkReplayAll measures the vectorized kernel over the full
+// Table-2 grid: one pass over the stream drives all 24 geometries.
+func BenchmarkReplayAll(b *testing.B) {
+	rec := benchRecording(1 << 20)
+	geoms := table2Geoms()
+	b.SetBytes(int64(rec.Len()) * 4 * int64(len(geoms)))
+	for i := 0; i < b.N; i++ {
+		pairs := make([]Pair, len(geoms))
+		for j, g := range geoms {
+			p, err := NewPair(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs[j] = p
+		}
+		rec.ReplayAll(pairs)
+	}
+}

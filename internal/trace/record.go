@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"context"
+	"errors"
+
 	"jmtam/internal/cache"
 	"jmtam/internal/mem"
 	"jmtam/internal/obs"
@@ -105,42 +108,114 @@ func (r *Recording) Bytes() int {
 	return 4 * n
 }
 
+// chunks returns the recording's chunk list, tail included, without
+// mutating the receiver.
+func (r *Recording) chunks() [][]uint32 {
+	if len(r.tail) == 0 {
+		return r.full
+	}
+	return append(r.full[:len(r.full):len(r.full)], r.tail)
+}
+
 // Do streams every recorded reference, in order, to fn.
 func (r *Recording) Do(fn func(k Kind, addr uint32)) {
-	for _, c := range r.full {
+	for _, c := range r.chunks() {
 		for _, w := range c {
 			fn(Decode(w))
 		}
 	}
-	for _, w := range r.tail {
-		fn(Decode(w))
-	}
 }
+
+// replayBlockWords sizes the replay kernel's partition buffers: 4K
+// references (16 KB of packed words, at most 32 KB of partitioned
+// output) stay resident in L1 while a whole geometry group consumes
+// them.
+const replayBlockWords = 1 << 12
 
 // Replay streams the recording through one cache pair: fetches probe the
 // instruction cache, reads and writes the data cache — exactly the
 // accesses Collector issues inline. Replaying into a fresh pair yields
 // statistics identical to having attached that pair during simulation.
 func (r *Recording) Replay(p Pair) {
-	replayChunks(r.full, p)
-	replayChunks([][]uint32{r.tail}, p)
+	r.ReplayAll([]Pair{p})
 }
 
-func replayChunks(chunks [][]uint32, p Pair) {
-	ic, dc := p.I, p.D
-	for _, c := range chunks {
-		for _, w := range c {
-			addr := w << 2 & (addrMask << 2)
-			switch Kind(w >> kindShift) {
-			case KindFetch:
-				ic.Access(addr, false)
-			case KindRead:
-				dc.Access(addr, false)
+// ReplayAll streams the recording through any number of cache pairs in
+// one pass: each block of packed words is decoded once and partitioned
+// into an instruction-fetch stream and a data stream (write flag in bit
+// 0), then every resident pair's I and D caches consume the partitions
+// while they are hot in L1. Per-pair statistics are identical to len(p)
+// independent Replay passes — the stream just isn't re-read and
+// re-decoded per geometry.
+func (r *Recording) ReplayAll(pairs []Pair) {
+	r.replayAll(nil, pairs)
+}
+
+// ReplayAllContext is ReplayAll with cooperative cancellation, checked
+// between chunks (every 64K references per resident pair). On
+// cancellation the pairs' statistics are partial and must be discarded.
+func (r *Recording) ReplayAllContext(ctx context.Context, pairs []Pair) error {
+	done := ctx.Done()
+	if done == nil {
+		r.replayAll(nil, pairs)
+		return nil
+	}
+	if err := r.replayAll(done, pairs); err != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+var errCancelled = errors.New("trace: replay cancelled")
+
+func (r *Recording) replayAll(done <-chan struct{}, pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	var (
+		fetch = make([]uint32, 0, replayBlockWords)
+		data  = make([]uint32, 0, replayBlockWords)
+	)
+	for _, c := range r.chunks() {
+		if done != nil {
+			select {
+			case <-done:
+				return errCancelled
 			default:
-				dc.Access(addr, true)
+			}
+		}
+		for off := 0; off < len(c); off += replayBlockWords {
+			end := off + replayBlockWords
+			if end > len(c) {
+				end = len(c)
+			}
+			fetch, data = partition(c[off:end], fetch[:0], data[:0])
+			for _, p := range pairs {
+				// The I-cache only ever sees this read-only fetch
+				// stream, so the no-dirty-state kernel applies.
+				p.I.AccessBatchFetch(fetch)
+				p.D.AccessBatch(data)
 			}
 		}
 	}
+	return nil
+}
+
+// partition decodes one block of packed trace words into the
+// instruction-fetch address stream and the data stream. Data references
+// carry the write flag in bit 0 (addresses are word-aligned, so the bit
+// is free); KindWrite is 2 and KindRead 1, so kind>>1 is that flag.
+func partition(block []uint32, fetch, data []uint32) ([]uint32, []uint32) {
+	for _, w := range block {
+		k := w >> kindShift
+		addr := w << 2 & (addrMask << 2)
+		if k == uint32(KindFetch) {
+			fetch = append(fetch, addr)
+		} else {
+			data = append(data, addr|k>>1)
+		}
+	}
+	return fetch, data
 }
 
 // ReplayPair builds a fresh pair of the given geometry and replays the
@@ -180,8 +255,19 @@ func (mc *MissCounts) Total() uint64 {
 func (r *Recording) ReplayObserved(p Pair) MissCounts {
 	var mc MissCounts
 	ic, dc := p.I, p.D
-	r.Do(func(k Kind, addr uint32) {
-		switch k {
+	for _, c := range r.chunks() {
+		replayObservedChunk(c, ic, dc, &mc)
+	}
+	return mc
+}
+
+// replayObservedChunk is the direct chunk loop shared by ReplayObserved
+// and ReplayAllObserved: no per-reference closure, misses classified in
+// place.
+func replayObservedChunk(c []uint32, ic, dc *cache.Cache, mc *MissCounts) {
+	for _, w := range c {
+		addr := w << 2 & (addrMask << 2)
+		switch Kind(w >> kindShift) {
 		case KindFetch:
 			if !ic.Access(addr, false) {
 				mc.Fetch[mem.Classify(addr)]++
@@ -195,8 +281,21 @@ func (r *Recording) ReplayObserved(p Pair) MissCounts {
 				mc.Write[mem.Classify(addr)]++
 			}
 		}
-	})
-	return mc
+	}
+}
+
+// ReplayAllObserved is ReplayAll with per-pair miss attribution: every
+// pair's statistics and MissCounts are identical to len(pairs)
+// independent ReplayObserved passes, but the packed stream is read once
+// and each chunk stays cache-hot while every resident pair consumes it.
+func (r *Recording) ReplayAllObserved(pairs []Pair) []MissCounts {
+	mcs := make([]MissCounts, len(pairs))
+	for _, c := range r.chunks() {
+		for i, p := range pairs {
+			replayObservedChunk(c, p.I, p.D, &mcs[i])
+		}
+	}
+	return mcs
 }
 
 // AddTo folds the attribution into an observability registry under
@@ -233,28 +332,31 @@ func (r *Recording) ReplaySampled(p Pair, every int, emit func(instrs, iMisses, 
 	ic, dc := p.I, p.D
 	var fetches, iMiss, dMiss uint64
 	next := uint64(every)
-	r.Do(func(k Kind, addr uint32) {
-		switch k {
-		case KindFetch:
-			if !ic.Access(addr, false) {
-				iMiss++
-			}
-			fetches++
-			if fetches >= next {
-				emit(fetches, iMiss, dMiss)
-				iMiss, dMiss = 0, 0
-				next += uint64(every)
-			}
-		case KindRead:
-			if !dc.Access(addr, false) {
-				dMiss++
-			}
-		default:
-			if !dc.Access(addr, true) {
-				dMiss++
+	for _, c := range r.chunks() {
+		for _, w := range c {
+			addr := w << 2 & (addrMask << 2)
+			switch Kind(w >> kindShift) {
+			case KindFetch:
+				if !ic.Access(addr, false) {
+					iMiss++
+				}
+				fetches++
+				if fetches >= next {
+					emit(fetches, iMiss, dMiss)
+					iMiss, dMiss = 0, 0
+					next += uint64(every)
+				}
+			case KindRead:
+				if !dc.Access(addr, false) {
+					dMiss++
+				}
+			default:
+				if !dc.Access(addr, true) {
+					dMiss++
+				}
 			}
 		}
-	})
+	}
 	if iMiss != 0 || dMiss != 0 {
 		emit(fetches, iMiss, dMiss)
 	}

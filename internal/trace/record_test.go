@@ -126,6 +126,49 @@ func TestReplayMatchesInlineFanOut(t *testing.T) {
 	}
 }
 
+// TestReplayAllMatchesReplay drives the vectorized multi-pair kernel
+// and N independent single-pair replays over the same recording and
+// requires identical statistics for every pair.
+func TestReplayAllMatchesReplay(t *testing.T) {
+	var rec Recording
+	// Cross several chunk and replay-block boundaries.
+	n := uint32(chunkWords + replayBlockWords + 123)
+	for i := uint32(0); i < n; i++ {
+		rec.Fetch(mem.UserCodeBase + 4*(i%3000))
+		rec.Read(mem.HeapBase + 64*(i%777))
+		if i%4 == 0 {
+			rec.Write(mem.FrameBase + 64*(i%222))
+		}
+	}
+	cfgs := []cache.Config{
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 2048, BlockBytes: 32, Assoc: 2},
+		{SizeBytes: 8192, BlockBytes: 64, Assoc: 4},
+		{SizeBytes: 8192, BlockBytes: 64, Assoc: 8},
+	}
+	pairs := make([]Pair, len(cfgs))
+	for i, cfg := range cfgs {
+		p, err := NewPair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = p
+	}
+	rec.ReplayAll(pairs)
+	for i, cfg := range cfgs {
+		want, err := rec.ReplayPair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs[i].I.Stats() != want.I.Stats() {
+			t.Errorf("%v: ReplayAll I stats %+v != Replay %+v", cfg, pairs[i].I.Stats(), want.I.Stats())
+		}
+		if pairs[i].D.Stats() != want.D.Stats() {
+			t.Errorf("%v: ReplayAll D stats %+v != Replay %+v", cfg, pairs[i].D.Stats(), want.D.Stats())
+		}
+	}
+}
+
 func TestReplayPairRejectsBadGeometry(t *testing.T) {
 	var rec Recording
 	rec.Read(mem.HeapBase)

@@ -10,8 +10,10 @@ import (
 // Sweep re-exports the full-evaluation driver: it runs a set of
 // workloads under both implementations across a grid of cache geometries
 // and derives the paper's tables and figures. Simulations record their
-// reference streams once and the geometry fan-out replays them
-// concurrently; set Sweep.Parallelism to bound the worker pool
+// reference streams once; the geometry fan-out splits the grid into one
+// group per replay worker and drives each group with a vectorized
+// single-pass kernel that decodes the trace once for all of the group's
+// cache pairs. Set Sweep.Parallelism to bound the worker pool
 // (0 = GOMAXPROCS). Results are identical at every setting.
 type (
 	Sweep    = experiments.Sweep
