@@ -5,6 +5,7 @@
 //	sweepctl -f req.json -detail              # submit a hand-written request
 //	sweepctl -status s-000001                 # poll one job
 //	sweepctl -cancel s-000001                 # cancel one job
+//	sweepctl -metricz                         # dump the daemon's metrics registry
 //
 // Submissions stream the job's NDJSON events: progress lines (including
 // the coordinator's per-shard lease/retry/re-queue events when the
@@ -34,10 +35,13 @@ func main() {
 	out := flag.String("o", "", "write the final result document here (default stdout)")
 	status := flag.String("status", "", "print one job's status and exit")
 	cancel := flag.String("cancel", "", "cancel one job and exit")
+	metricz := flag.Bool("metricz", false, "print the daemon's /metricz registry and exit")
 	flag.Parse()
 
 	base := strings.TrimRight(*addr, "/")
 	switch {
+	case *metricz:
+		get(base + "/metricz")
 	case *status != "":
 		get(base + "/v1/runs/" + *status)
 	case *cancel != "":

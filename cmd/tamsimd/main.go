@@ -35,6 +35,22 @@
 // NDJSON); a restarted daemon re-queues incomplete jobs under their
 // original IDs and still serves results for completed ones.
 //
+// Recording store: every daemon keeps a content-addressed store of
+// compacted trace recordings keyed by the (program, arg, impl, nodes,
+// placement) descriptor, so repeat sweeps replay instead of
+// re-simulating. -store-mem bounds the in-memory tier (negative
+// disables the store), -store-dir adds a disk tier that survives
+// restarts, and -store-peers lists peer daemons to consult — and push
+// freshly recorded traces to — before simulating from scratch.
+// Recordings move over GET/PUT /v1/recordings/{key} (compacted bytes,
+// ETag = key, Range supported). Point each worker's -store-peers at
+// the coordinator and the fleet records each unit at most once:
+//
+//	tamsimd -worker -addr :8348 -store-peers http://127.0.0.1:8347
+//	tamsimd -worker -addr :8349 -store-peers http://127.0.0.1:8347
+//	tamsimd -addr :8347 -store-dir /var/lib/tamsimd/store \
+//	        -shard-workers http://127.0.0.1:8348,http://127.0.0.1:8349
+//
 // The -chaos-* flags wrap the coordinator's outbound transport in
 // internal/faultnet's seeded fault injector (drops, 5xxs, mid-stream
 // disconnects, latency spikes) for end-to-end robustness drills.
@@ -65,6 +81,9 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 32, "compiled-program cache capacity")
 	maxInstrs := flag.Uint64("max-instructions", 0, "default per-job instruction budget (0 = 2e9)")
 	journalPath := flag.String("journal", "", "write-ahead job journal path (empty = no journal)")
+	storeDir := flag.String("store-dir", "", "recording store disk tier (empty = memory only)")
+	storeMem := flag.Int64("store-mem", 0, "recording store memory budget in bytes (0 = 256 MiB, negative = store disabled)")
+	storePeers := flag.String("store-peers", "", "comma-separated peer daemon base URLs to consult for recordings")
 	workerMode := flag.Bool("worker", false, "run as a leaf worker (ignores -journal and -shard-workers)")
 	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; farm sweeps out to them")
 	leaseTimeout := flag.Duration("lease-timeout", 0, "per-shard lease before re-queue (0 = 2m)")
@@ -85,6 +104,13 @@ func main() {
 		ReplayParallelism:      *replayPar,
 		CacheEntries:           *cacheEntries,
 		DefaultMaxInstructions: *maxInstrs,
+		StoreDir:               *storeDir,
+		StoreMemBytes:          *storeMem,
+	}
+	for _, u := range strings.Split(*storePeers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			cfg.StorePeers = append(cfg.StorePeers, u)
+		}
 	}
 	if *workerMode {
 		log.Print("worker mode: serving shards, no journal, no fan-out")

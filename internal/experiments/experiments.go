@@ -89,6 +89,14 @@ type Sweep struct {
 	// concurrently from pool workers; implementations must be their own
 	// synchronization. Progress reporting never affects results.
 	OnProgress func(p Progress)
+	// OnRecordingBytes, when non-nil, receives the packed size of each
+	// live recording as a delta: +Bytes() when a simulation finishes
+	// recording, -Bytes() once its replay fan-out completes and the
+	// recording is released. Summing deltas gives the sweep's live
+	// recording footprint (the sweep.recording.bytes gauge). Like
+	// OnProgress it may be called concurrently and never affects
+	// results.
+	OnRecordingBytes func(delta int64)
 }
 
 // Progress describes one completed (workload, implementation) run
@@ -279,7 +287,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 			// for concurrent use across parallel simulations.
 			o.Obs = obs.NewSink(false)
 		}
-		r, err := RunOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, replayPar)
+		r, err := runOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, replayPar, s.OnRecordingBytes)
 		if err != nil {
 			return err
 		}
@@ -463,6 +471,13 @@ func RunOnePar(w Workload, impl core.Impl, geoms []cache.Config, opt core.Option
 // replays every node through its own private cache pair, summing the
 // misses (see RunClusterParContext).
 func RunOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int) (*Run, error) {
+	return runOneParContext(ctx, w, impl, geoms, opt, parallelism, nil)
+}
+
+// runOneParContext is RunOneParContext with a live-recording-bytes
+// hook (see Sweep.OnRecordingBytes). The cluster path records one
+// stream per node with its own lifecycle and skips the hook.
+func runOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int, onRecBytes func(delta int64)) (*Run, error) {
 	if opt.Nodes > 1 {
 		return RunClusterParContext(ctx, w, impl, geoms, opt, parallelism)
 	}
@@ -476,10 +491,62 @@ func RunOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []c
 	if err != nil {
 		return nil, err
 	}
+	if onRecBytes != nil {
+		onRecBytes(int64(rec.Bytes()))
+		defer onRecBytes(-int64(rec.Bytes()))
+	}
 	if err := ReplayFanOutContext(ctx, r, rec, geoms, parallelism); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// ReplayStreamFanOutContext fills per-geometry cache statistics by
+// streaming a compacted recording (see trace.Reader) through the same
+// grouped fan-out as ReplayFanOutContext, without ever materializing
+// the packed form: each worker group opens its own Reader via open and
+// holds one decoded chunk at a time. The statistics are identical to
+// replaying the original Recording — both paths drive the same
+// partition/batch kernel.
+func ReplayStreamFanOutContext(ctx context.Context, open func() (*trace.Reader, error), geoms []cache.Config, parallelism int) ([]CacheStats, error) {
+	for _, g := range geoms {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]CacheStats, len(geoms))
+	groups := replayGroups(len(geoms), parallelism)
+	err := parallel.ForEachContext(ctx, parallelism, len(groups), func(gi int) error {
+		lo, hi := groups[gi][0], groups[gi][1]
+		pairs := make([]trace.Pair, hi-lo)
+		for g := lo; g < hi; g++ {
+			p, err := trace.NewPair(geoms[g])
+			if err != nil {
+				return err
+			}
+			pairs[g-lo] = p
+		}
+		rd, err := open()
+		if err != nil {
+			return err
+		}
+		if err := rd.ReplayAllContext(ctx, pairs); err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			out[lo+i] = CacheStats{
+				Config:     p.I.Config(),
+				IMisses:    p.I.Stats().Misses,
+				DMisses:    p.D.Stats().Misses,
+				Writebacks: p.D.Stats().Writebacks,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RunOne simulates one workload under one implementation with the given

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"jmtam/internal/cache"
+	"jmtam/internal/core"
+	"jmtam/internal/experiments"
+	"jmtam/internal/parallel"
+	"jmtam/internal/shard"
+	"jmtam/internal/trace"
+	"jmtam/internal/tracestore"
+)
+
+// handleRecordingGet serves a compacted recording from the store.
+// Responses carry ETag = key (content addresses never change, so
+// If-None-Match is a free revalidation) and go through
+// http.ServeContent, which honors Range requests — a peer can resume
+// an interrupted fetch mid-stream.
+func (s *Server) handleRecordingGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("recording store disabled"))
+		return
+	}
+	key := r.PathValue("key")
+	if !tracestore.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed recording key"))
+		return
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such recording"))
+		return
+	}
+	w.Header().Set("ETag", `"`+key+`"`)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, key+".jtr", time.Time{}, bytes.NewReader(data))
+}
+
+// handleRecordingPut accepts a compacted recording pushed by a peer.
+// The payload must parse as a compact recording (header validation);
+// the key is taken on trust — it addresses the run descriptor, not the
+// bytes, and peers within a fleet derive it identically.
+func (s *Server) handleRecordingPut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("recording store disabled"))
+		return
+	}
+	key := r.PathValue("key")
+	if !tracestore.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed recording key"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRecordingBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	if _, err := trace.CompactStat(data); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Put(key, data); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.count("store.push.received", 1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// storeSweepUnits executes a sweep grid through the recording store:
+// each (workload, impl) unit resolves its compacted recording — local
+// store, then peers, then simulate once — and replays it through the
+// geometry grid as a stream, never materializing the packed form. The
+// simulation summary rides in the recording's annotation, so a fetched
+// unit is assembled without re-simulating, and the replay drives the
+// same kernel as the direct path, so the sweep document is
+// byte-identical to localSweepUnits whatever mix of sources served it.
+func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepRequest) ([]shard.UnitResult, error) {
+	var geoms []cache.Config
+	for _, kb := range req.SizesKB {
+		for _, a := range req.Assocs {
+			geoms = append(geoms, cache.Config{SizeBytes: kb * 1024, BlockBytes: req.BlockBytes, Assoc: a})
+		}
+	}
+	type unitJob struct {
+		program string
+		arg     int
+		impl    core.Impl
+	}
+	var jobs []unitJob
+	for _, w := range req.Workloads {
+		for _, impl := range req.impls {
+			jobs = append(jobs, unitJob{w.Program, w.Arg, impl})
+		}
+	}
+	par := parallel.Workers(s.cfg.ReplayParallelism)
+	replayPar := 1
+	if len(jobs) > 0 && par/len(jobs) > 1 {
+		replayPar = par / len(jobs)
+	}
+	units := make([]shard.UnitResult, len(jobs))
+	var done atomic.Int64
+	err := parallel.ForEachContext(ctx, par, len(jobs), func(i int) error {
+		uj := jobs[i]
+		desc := tracestore.Desc{Program: uj.program, Arg: uj.arg, Impl: uj.impl.String(), Nodes: 1}
+		data, src, err := s.fleet.GetOrRecord(ctx, desc.Key(), func(ctx context.Context) ([]byte, error) {
+			r, rec, err := experiments.RecordOneContext(ctx,
+				experiments.Workload{Name: uj.program, Arg: uj.arg}, uj.impl, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s.gauge("sweep.recording.bytes", int64(rec.Bytes()))
+			defer s.gauge("sweep.recording.bytes", -int64(rec.Bytes()))
+			meta := tracestore.RunMeta{
+				Desc:         desc,
+				Instructions: r.Instructions,
+				TPQ:          r.TPQ,
+				IPT:          r.IPT,
+				IPQ:          r.IPQ,
+				Threads:      r.Threads,
+				Quanta:       r.Quanta,
+			}
+			return rec.CompactAnnotated(meta.Encode()), nil
+		})
+		if err != nil {
+			return err
+		}
+		info, err := trace.CompactStat(data)
+		if err != nil {
+			return fmt.Errorf("stored recording %s: %w", desc.Key(), err)
+		}
+		meta, err := tracestore.DecodeMeta(info.Annotation)
+		if err != nil {
+			return fmt.Errorf("stored recording %s: %w", desc.Key(), err)
+		}
+		caches, err := experiments.ReplayStreamFanOutContext(ctx, func() (*trace.Reader, error) {
+			return trace.NewReader(bytes.NewReader(data))
+		}, geoms, replayPar)
+		if err != nil {
+			return err
+		}
+		u := shard.UnitResult{
+			Program:      uj.program,
+			Arg:          uj.arg,
+			Impl:         uj.impl.String(),
+			Instructions: meta.Instructions,
+			TPQ:          meta.TPQ,
+			IPT:          meta.IPT,
+			IPQ:          meta.IPQ,
+			Caches:       make([]shard.GeomStats, len(caches)),
+		}
+		for g, cs := range caches {
+			u.Caches[g] = shard.GeomStats{
+				SizeKB:     cs.Config.SizeBytes / 1024,
+				BlockBytes: cs.Config.BlockBytes,
+				Assoc:      cs.Config.Assoc,
+				IMisses:    cs.IMisses,
+				DMisses:    cs.DMisses,
+				Writebacks: cs.Writebacks,
+			}
+		}
+		units[i] = u
+		job.emit(map[string]any{
+			"type": "run", "id": job.ID,
+			"done": int(done.Add(1)), "total": len(jobs),
+			"program": uj.program, "arg": uj.arg,
+			"impl": uj.impl.String(), "source": src.String(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return units, nil
+}

@@ -12,6 +12,7 @@ import (
 	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/shard"
+	"jmtam/internal/tracestore"
 )
 
 // Config parameterizes a Server.
@@ -49,6 +50,20 @@ type Config struct {
 	// ShardWorkers; Metrics defaults to the server's /metricz registry
 	// and LocalParallelism to ReplayParallelism.
 	Shard shard.Config
+	// StoreDir is the content-addressed recording store's disk tier
+	// ("" = memory only). Daemons sharing a directory share recordings.
+	StoreDir string
+	// StoreMemBytes bounds the store's in-memory tier (0 = 256 MiB).
+	// Negative disables the recording store entirely: sweeps simulate
+	// in-process and /v1/recordings returns 404.
+	StoreMemBytes int64
+	// StorePeers lists peer daemon base URLs to consult (and push to)
+	// on a local store miss — typically the coordinator's URL on a
+	// shard worker, so a recording made anywhere serves the fleet.
+	StorePeers []string
+	// MaxRecordingBytes bounds an uploaded compacted recording
+	// (0 = 256 MiB). GET responses are unaffected.
+	MaxRecordingBytes int64
 }
 
 // Server is the tamsimd serving state: job registry, worker pool,
@@ -61,6 +76,8 @@ type Server struct {
 	cache   *codeCache
 	journal *journal
 	coord   *shard.Coordinator
+	store   *tracestore.Store
+	fleet   *tracestore.Fleet
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -82,6 +99,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.MaxRecordingBytes == 0 {
+		cfg.MaxRecordingBytes = 256 << 20
+	}
 	if cfg.ReplayParallelism == 0 {
 		cfg.ReplayParallelism = 1
 	}
@@ -98,6 +118,15 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		reg:        obs.NewRegistry(),
+	}
+	if cfg.StoreMemBytes >= 0 {
+		st, err := tracestore.New(cfg.StoreDir, cfg.StoreMemBytes, (*serverMetrics)(s))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		s.fleet = tracestore.NewFleet(st, cfg.StorePeers, nil, (*serverMetrics)(s))
 	}
 	if len(cfg.ShardWorkers) > 0 {
 		scfg := cfg.Shard
@@ -165,6 +194,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/recordings/{key}", s.handleRecordingGet)
+	s.mux.HandleFunc("PUT /v1/recordings/{key}", s.handleRecordingPut)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

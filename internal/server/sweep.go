@@ -11,11 +11,13 @@ import (
 
 // executeSweep runs a grid job. With a shard coordinator configured the
 // grid is partitioned into leased shards and farmed out to remote
-// workers (degrading to local execution when none is reachable);
-// otherwise it runs in-process through experiments.Sweep. Both paths
-// produce position-indexed unit results and assemble the final document
-// through assembleSweepResult, so a distributed sweep is byte-identical
-// to a local one. Sweeps bypass the compiled-code cache: a grid
+// workers (degrading to local execution when none is reachable); with
+// the recording store enabled (the default) units resolve their
+// reference streams through the content-addressed store and replay
+// them as compacted streams; otherwise it runs in-process through
+// experiments.Sweep. All paths produce position-indexed unit results
+// and assemble the final document through assembleSweepResult, so a
+// distributed or store-served sweep is byte-identical to a local one. Sweeps bypass the compiled-code cache: a grid
 // simulates each (workload, impl) exactly once anyway, so caching would
 // only pin paper-scale artifacts for no repeat benefit.
 func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
@@ -29,6 +31,8 @@ func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) 
 				"attempt": e.Attempt, "error": e.Err,
 			})
 		})
+	} else if s.fleet != nil {
+		units, err = s.storeSweepUnits(ctx, job, req)
 	} else {
 		units, err = s.localSweepUnits(ctx, job, req)
 	}
@@ -48,6 +52,9 @@ func (s *Server) localSweepUnits(ctx context.Context, job *Job, req *SweepReques
 		Penalties:   req.Penalties,
 		Impls:       req.impls,
 		Parallelism: s.cfg.ReplayParallelism,
+		OnRecordingBytes: func(delta int64) {
+			s.gauge("sweep.recording.bytes", delta)
+		},
 		OnProgress: func(p experiments.Progress) {
 			job.emit(map[string]any{
 				"type": "run", "id": job.ID,

@@ -63,13 +63,19 @@ type Recording struct {
 }
 
 func (r *Recording) push(k Kind, addr uint32) {
+	r.pushWord(Encode(k, addr))
+}
+
+// pushWord appends one already-packed trace word, maintaining the
+// standard chunk layout. Counts are the caller's responsibility.
+func (r *Recording) pushWord(w uint32) {
 	if len(r.tail) == cap(r.tail) {
 		if r.tail != nil {
 			r.full = append(r.full, r.tail)
 		}
 		r.tail = make([]uint32, 0, chunkWords)
 	}
-	r.tail = append(r.tail, Encode(k, addr))
+	r.tail = append(r.tail, w)
 }
 
 // Fetch records an instruction fetch.
@@ -184,21 +190,30 @@ func (r *Recording) replayAll(done <-chan struct{}, pairs []Pair) error {
 			default:
 			}
 		}
-		for off := 0; off < len(c); off += replayBlockWords {
-			end := off + replayBlockWords
-			if end > len(c) {
-				end = len(c)
-			}
-			fetch, data = partition(c[off:end], fetch[:0], data[:0])
-			for _, p := range pairs {
-				// The I-cache only ever sees this read-only fetch
-				// stream, so the no-dirty-state kernel applies.
-				p.I.AccessBatchFetch(fetch)
-				p.D.AccessBatch(data)
-			}
-		}
+		fetch, data = replayChunk(c, pairs, fetch, data)
 	}
 	return nil
+}
+
+// replayChunk partitions one packed chunk block-by-block and drives
+// every resident pair's I and D caches while each block is hot in L1.
+// It is the shared kernel of Recording.ReplayAll and Reader.ReplayAll;
+// fetch and data are reusable scratch buffers, returned for reuse.
+func replayChunk(c []uint32, pairs []Pair, fetch, data []uint32) ([]uint32, []uint32) {
+	for off := 0; off < len(c); off += replayBlockWords {
+		end := off + replayBlockWords
+		if end > len(c) {
+			end = len(c)
+		}
+		fetch, data = partition(c[off:end], fetch[:0], data[:0])
+		for _, p := range pairs {
+			// The I-cache only ever sees this read-only fetch
+			// stream, so the no-dirty-state kernel applies.
+			p.I.AccessBatchFetch(fetch)
+			p.D.AccessBatch(data)
+		}
+	}
+	return fetch, data
 }
 
 // partition decodes one block of packed trace words into the

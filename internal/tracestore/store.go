@@ -1,0 +1,239 @@
+// Package tracestore is a content-addressed store for compacted trace
+// recordings. Keys are SHA-256 digests of the canonical run descriptor
+// (program, argument, implementation, mesh size, placement), so every
+// daemon in a fleet derives the same key for the same simulation and a
+// recording made anywhere serves replays everywhere. The store has an
+// in-memory LRU tier bounded by bytes and an optional disk tier with
+// atomic writes; Fleet layers peer fetch and singleflight on top so a
+// fleet records each key at most once.
+package tracestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Metrics receives the store's observability stream; it matches the
+// shard and server metric sinks so counters land on /metricz. All
+// methods may be called concurrently. A nil Metrics is valid.
+type Metrics interface {
+	Count(name string, d uint64)
+	GaugeSet(name string, v int64)
+	Observe(name string, v uint64)
+}
+
+// DefaultMemBytes bounds the in-memory tier when New is given a zero
+// budget: 256 MiB of compacted recordings, roughly a paper-scale sweep.
+const DefaultMemBytes = 256 << 20
+
+// Store is a two-tier content-addressed blob store. The memory tier is
+// an LRU bounded by total bytes; the disk tier (optional) persists
+// every Put and backfills memory on Get. Values are immutable once
+// stored — content addressing means a key's bytes never change — so
+// Get returns the stored slice without copying; callers must not
+// mutate it.
+type Store struct {
+	mu       sync.Mutex
+	maxBytes int64
+	dir      string
+	metrics  Metrics
+
+	ll    *list.List // front = most recently used
+	idx   map[string]*list.Element
+	bytes int64
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// New returns a store with the given disk directory ("" = memory only)
+// and memory budget in bytes (0 = DefaultMemBytes; negative = no
+// memory tier, disk only). The directory is created if missing.
+func New(dir string, memBytes int64, m Metrics) (*Store, error) {
+	if memBytes == 0 {
+		memBytes = DefaultMemBytes
+	}
+	if memBytes < 0 {
+		memBytes = 0
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("tracestore: %w", err)
+		}
+	}
+	return &Store{
+		maxBytes: memBytes,
+		dir:      dir,
+		metrics:  m,
+		ll:       list.New(),
+		idx:      make(map[string]*list.Element),
+	}, nil
+}
+
+// ValidKey reports whether key is a well-formed content address: 64
+// lowercase hex digits.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+var errBadKey = errors.New("tracestore: key is not a 64-digit hex content address")
+
+func (s *Store) count(name string, d uint64) {
+	if s.metrics != nil {
+		s.metrics.Count(name, d)
+	}
+}
+
+func (s *Store) gauges() {
+	if s.metrics != nil {
+		s.metrics.GaugeSet("store.mem.bytes", s.bytes)
+		s.metrics.GaugeSet("store.mem.entries", int64(s.ll.Len()))
+	}
+}
+
+// Get returns the stored bytes for key. A memory hit refreshes the
+// entry's recency; a disk hit backfills the memory tier. The returned
+// slice is shared and must not be modified.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.lookup(key, true)
+}
+
+// lookup is Get with metrics optional: internal double-checks (e.g.
+// the singleflight re-check after taking flight ownership) pass
+// countMiss=false so one logical request counts at most one miss.
+func (s *Store) lookup(key string, countMiss bool) ([]byte, bool) {
+	if !ValidKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.ll.MoveToFront(el)
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		s.count("store.hits", 1)
+		s.count("store.mem.hits", 1)
+		return data, true
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			s.count("store.hits", 1)
+			s.count("store.disk.hits", 1)
+			s.admit(key, data)
+			return data, true
+		}
+	}
+	if countMiss {
+		s.count("store.misses", 1)
+	}
+	return nil, false
+}
+
+// Put stores data under key in both tiers. The disk write is atomic
+// (temp file + rename), so a crash never leaves a torn blob, and a
+// concurrent Get on another daemon sharing the directory sees either
+// nothing or the whole recording.
+func (s *Store) Put(key string, data []byte) error {
+	if !ValidKey(key) {
+		return errBadKey
+	}
+	if s.dir != "" {
+		if err := s.writeFile(key, data); err != nil {
+			return err
+		}
+	}
+	s.admit(key, data)
+	return nil
+}
+
+// admit inserts data into the memory tier (refreshing an existing
+// entry) and evicts from the LRU tail until the tier is within budget.
+func (s *Store) admit(key string, data []byte) {
+	if s.maxBytes == 0 || int64(len(data)) > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		// Content addressing makes this a no-op rewrite; just refresh.
+		s.ll.MoveToFront(el)
+		s.gauges()
+		s.mu.Unlock()
+		return
+	}
+	s.idx[key] = s.ll.PushFront(&entry{key: key, data: data})
+	s.bytes += int64(len(data))
+	evicted := uint64(0)
+	for s.bytes > s.maxBytes {
+		tail := s.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*entry)
+		s.ll.Remove(tail)
+		delete(s.idx, e.key)
+		s.bytes -= int64(len(e.data))
+		evicted++
+	}
+	s.gauges()
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.count("store.evictions", evicted)
+	}
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".jtr")
+}
+
+func (s *Store) writeFile(key string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of entries resident in the memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes returns the memory tier's resident size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
