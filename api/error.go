@@ -1,0 +1,108 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrorCode classifies an HTTP-level failure. Clients branch on the
+// code (and the Retryable bit), never on status text.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request document is malformed or fails
+	// validation. Resubmitting the same bytes will fail the same way.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnauthorized: the request carried no API key, or an unknown
+	// one, against a daemon with tenancy enabled.
+	CodeUnauthorized ErrorCode = "unauthorized"
+	// CodeNotFound: no such job, recording or result (or the
+	// addressed resource belongs to another tenant).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeQuotaExhausted: the tenant is over its concurrent-job or
+	// jobs-per-minute quota. The response carries a Retry-After header;
+	// retry after it elapses.
+	CodeQuotaExhausted ErrorCode = "quota_exhausted"
+	// CodeTooLarge: the request or uploaded payload exceeds the
+	// daemon's size bounds.
+	CodeTooLarge ErrorCode = "too_large"
+	// CodeUnavailable: the daemon cannot take the job right now
+	// (shutting down, dependency unreachable). Safe to retry.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal: an unexpected server-side failure. Safe to retry —
+	// deterministic simulation failures surface as stream "error"
+	// events, not HTTP statuses.
+	CodeInternal ErrorCode = "internal"
+)
+
+// retryableCode says whether a request failing with the code may
+// succeed if resubmitted unchanged.
+func retryableCode(c ErrorCode) bool {
+	switch c {
+	case CodeQuotaExhausted, CodeUnavailable, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// Error is the structured error document every non-2xx response body
+// carries, wrapped in an envelope: {"error": {"code": ..., "message":
+// ..., "retryable": ...}}.
+type Error struct {
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	Retryable bool      `json:"retryable"`
+	// Status is the HTTP status the error arrived with; decode-side
+	// only, never serialized.
+	Status int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// NewError returns an Error with Retryable derived from the code.
+func NewError(code ErrorCode, message string) *Error {
+	return &Error{Code: code, Message: message, Retryable: retryableCode(code)}
+}
+
+// ErrorEnvelope is the wire shape of an error response body.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// DecodeError interprets a non-2xx response: the structured envelope
+// when the body carries one, otherwise a synthesized Error whose code
+// and retryability derive from the HTTP status (so clients of older or
+// foreign daemons still branch uniformly). The returned Error is never
+// nil.
+func DecodeError(status int, body []byte) *Error {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = status
+		return env.Error
+	}
+	code := CodeInternal
+	switch {
+	case status == 401 || status == 403:
+		code = CodeUnauthorized
+	case status == 404:
+		code = CodeNotFound
+	case status == 413:
+		code = CodeTooLarge
+	case status == 429:
+		code = CodeQuotaExhausted
+	case status == 503:
+		code = CodeUnavailable
+	case status >= 400 && status < 500:
+		code = CodeBadRequest
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = "HTTP " + strconv.Itoa(status)
+	}
+	return &Error{Code: code, Message: msg, Retryable: retryableCode(code), Status: status}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []float64{50, 10, 40, 20, 30} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 30},
+		{99, 50},
+		{100, 50},
+		{1, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(samples, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("percentile of no samples = %g, want 0", got)
+	}
+	if samples[0] != 50 {
+		t.Error("percentile sorted the caller's slice")
+	}
+}
+
+func TestHistogramPercentileUpperBound(t *testing.T) {
+	// 10 observations: 4 in [1,1], 4 in [2,3], 2 in [8,15].
+	h := histogram{
+		Count: 10, MinV: 1, MaxV: 12,
+		Buckets: []bucket{
+			{Lo: 1, Hi: 1, Count: 4},
+			{Lo: 2, Hi: 3, Count: 4},
+			{Lo: 8, Hi: 15, Count: 2},
+		},
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Errorf("p50 = %d, want 3 (upper bound of the bucket reaching rank 5)", got)
+	}
+	// p99 lands in the top bucket, whose bound exceeds the recorded max:
+	// clamp to max so the estimate never invents latency beyond what was
+	// seen.
+	if got := h.Percentile(99); got != 12 {
+		t.Errorf("p99 = %d, want max 12", got)
+	}
+	if got := (histogram{}).Percentile(99); got != 0 {
+		t.Errorf("empty histogram p99 = %d, want 0", got)
+	}
+}
+
+func TestMetricsDocParsesRegistryOutput(t *testing.T) {
+	// A fragment in the exact shape obs.Registry.WriteJSON emits.
+	doc := `{
+  "counters": {
+    "results.hits": 3,
+    "results.served": 2
+  },
+  "gauges": {
+    "tenant.alice.running": {"value": 1, "min": 0, "max": 4}
+  },
+  "histograms": {
+    "job.latency.ms.run": {"count": 2, "sum": 30, "min": 10, "max": 20, "mean": 15.000, "buckets": [{"lo": 8, "hi": 15, "count": 1}, {"lo": 16, "hi": 31, "count": 1}]}
+  }
+}`
+	var m metricsDoc
+	if err := json.NewDecoder(strings.NewReader(doc)).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["results.hits"] != 3 || m.Counters["results.served"] != 2 {
+		t.Errorf("counters = %v", m.Counters)
+	}
+	h := m.Histograms["job.latency.ms.run"]
+	if h.Count != 2 || len(h.Buckets) != 2 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if got := h.Percentile(99); got != 20 {
+		t.Errorf("p99 = %d, want clamped max 20", got)
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("alice:key-a:4, bob:key-b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0] != (tenantSpec{"alice", "key-a", 4}) || specs[1] != (tenantSpec{"bob", "key-b", 1}) {
+		t.Errorf("specs = %+v", specs)
+	}
+	if specs, err = parseTenants("local::2"); err != nil || specs[0].key != "" {
+		t.Errorf("empty key: specs=%+v err=%v", specs, err)
+	}
+	for _, bad := range []string{"", "a:b", "a:b:0", "a:b:x"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted", bad)
+		}
+	}
+}

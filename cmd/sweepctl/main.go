@@ -3,15 +3,23 @@
 //	sweepctl                                  # submit the quick grid, follow progress
 //	sweepctl -scale paper -o table2.json      # full Table 2 grid, result to a file
 //	sweepctl -f req.json -detail              # submit a hand-written request
+//	sweepctl -key $TAMSIM_KEY                 # authenticate against a tenanted daemon
 //	sweepctl -status s-000001                 # poll one job
 //	sweepctl -cancel s-000001                 # cancel one job
 //	sweepctl -metricz                         # dump the daemon's metrics registry
 //
-// Submissions stream the job's NDJSON events: progress lines (including
-// the coordinator's per-shard lease/retry/re-queue events when the
-// daemon is sharding across workers) go to stderr, the final result
-// document to stdout or -o. With -detach the job ID is printed
+// Requests and stream events are the root api package's types end to
+// end. Submissions stream the job's NDJSON events: progress lines
+// (including the coordinator's per-shard lease/retry/re-queue events
+// when the daemon is sharding across workers, and "cached" lines when
+// the fleet result cache serves the job) go to stderr, the final
+// result document to stdout or -o. With -detach the job ID is printed
 // immediately instead and the job keeps running on the daemon.
+//
+// Failures branch on the daemon's structured error envelope: a
+// retryable rejection (quota_exhausted, unavailable, internal)
+// resubmits after the server's Retry-After (or a short default) up to
+// -retries times; bad_request and friends fail immediately.
 package main
 
 import (
@@ -23,8 +31,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
+
+	"jmtam/api"
 )
+
+var apiKey string
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8347", "tamsimd base URL")
@@ -36,7 +50,10 @@ func main() {
 	status := flag.String("status", "", "print one job's status and exit")
 	cancel := flag.String("cancel", "", "cancel one job and exit")
 	metricz := flag.Bool("metricz", false, "print the daemon's /metricz registry and exit")
+	key := flag.String("key", os.Getenv("TAMSIM_API_KEY"), "API key for a tenanted daemon (default $TAMSIM_API_KEY)")
+	retries := flag.Int("retries", 4, "max resubmissions of a retryable rejection (quota, unavailable)")
 	flag.Parse()
+	apiKey = *key
 
 	base := strings.TrimRight(*addr, "/")
 	switch {
@@ -47,7 +64,7 @@ func main() {
 	case *cancel != "":
 		del(base + "/v1/runs/" + *cancel)
 	default:
-		submit(base, *scale, *reqFile, *detail, *detach, *out)
+		submit(base, *scale, *reqFile, *detail, *detach, *out, *retries)
 	}
 }
 
@@ -56,16 +73,49 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// do sends req with the API key attached and decodes a non-2xx
+// response into the structured error.
+func do(req *http.Request) (*http.Response, *api.Error) {
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, &api.Error{Code: api.CodeUnavailable, Message: err.Error(), Retryable: true}
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	apiErr := api.DecodeError(resp.StatusCode, body)
+	apiErr.Status = resp.StatusCode
+	retryAfter = resp.Header.Get("Retry-After")
+	return nil, apiErr
+}
+
+// retryAfter holds the last response's Retry-After header; sweepctl is
+// a single-flight CLI, so a package-level slot is fine.
+var retryAfter string
+
+func retryDelay(attempt int) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Duration(attempt+1) * time.Second
+}
+
 func get(url string) {
-	resp, err := http.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		fatal(err)
 	}
+	resp, apiErr := do(req)
+	if apiErr != nil {
+		fatal(apiErr)
+	}
 	defer resp.Body.Close()
 	io.Copy(os.Stdout, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		os.Exit(1)
-	}
 }
 
 func del(url string) {
@@ -73,46 +123,47 @@ func del(url string) {
 	if err != nil {
 		fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fatal(err)
+	resp, apiErr := do(req)
+	if apiErr != nil {
+		fatal(apiErr)
 	}
 	defer resp.Body.Close()
 	io.Copy(os.Stdout, resp.Body)
-	if resp.StatusCode != http.StatusAccepted {
-		os.Exit(1)
-	}
 }
 
+// buildRequest assembles the typed sweep request: the -scale preset,
+// or a request document from a file/stdin (strictly validated against
+// api.SweepRequest — unknown fields are an error here, not on the
+// daemon).
 func buildRequest(scale, reqFile string, detail bool) ([]byte, error) {
-	var req map[string]any
+	var req api.SweepRequest
 	switch reqFile {
 	case "":
-		req = map[string]any{"scale": scale}
-	case "-":
-		b, err := io.ReadAll(os.Stdin)
-		if err != nil {
-			return nil, err
-		}
-		if err := json.Unmarshal(b, &req); err != nil {
-			return nil, err
-		}
+		req.Scale = scale
 	default:
-		b, err := os.ReadFile(reqFile)
+		var raw []byte
+		var err error
+		if reqFile == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(reqFile)
+		}
 		if err != nil {
 			return nil, err
 		}
-		if err := json.Unmarshal(b, &req); err != nil {
-			return nil, err
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("%s: %w", reqFile, err)
 		}
 	}
 	if detail {
-		req["detail"] = true
+		req.Detail = true
 	}
 	return json.Marshal(req)
 }
 
-func submit(base, scale, reqFile string, detail, detach bool, out string) {
+func submit(base, scale, reqFile string, detail, detach bool, out string, retries int) {
 	body, err := buildRequest(scale, reqFile, detail)
 	if err != nil {
 		fatal(err)
@@ -121,15 +172,26 @@ func submit(base, scale, reqFile string, detail, detach bool, out string) {
 	if detach {
 		url += "?detach=1"
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		fatal(err)
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var apiErr *api.Error
+		resp, apiErr = do(req)
+		if apiErr == nil {
+			break
+		}
+		if !apiErr.Retryable || attempt >= retries {
+			fatal(apiErr)
+		}
+		d := retryDelay(attempt)
+		fmt.Fprintf(os.Stderr, "sweepctl: %s; retrying in %s (%d/%d)\n", apiErr, d, attempt+1, retries)
+		time.Sleep(d)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		io.Copy(os.Stderr, resp.Body)
-		os.Exit(1)
-	}
 	if detach {
 		io.Copy(os.Stdout, resp.Body)
 		return
@@ -146,20 +208,18 @@ func submit(base, scale, reqFile string, detail, detach bool, out string) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		var ev struct {
-			Type   string          `json:"type"`
-			Error  string          `json:"error"`
-			Result json.RawMessage `json:"result"`
-		}
+		var ev api.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			fatal(fmt.Errorf("bad stream line %q: %w", line, err))
 		}
 		switch ev.Type {
-		case "result":
+		case api.EventResult:
 			terminal, result = ev.Type, ev.Result
-		case "error", "canceled":
+		case api.EventError, api.EventCanceled:
 			terminal = ev.Type
 			fmt.Fprintf(os.Stderr, "sweepctl: job %s: %s\n", ev.Type, ev.Error)
+		case api.EventCached:
+			fmt.Fprintf(os.Stderr, "sweepctl: result served from %s cache (%s)\n", ev.Source, ev.Key[:12])
 		default:
 			fmt.Fprintf(os.Stderr, "%s\n", line)
 		}
@@ -167,7 +227,7 @@ func submit(base, scale, reqFile string, detail, detach bool, out string) {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-	if terminal != "result" {
+	if terminal != api.EventResult {
 		os.Exit(1)
 	}
 	var buf bytes.Buffer

@@ -114,7 +114,11 @@ func main() {
 	opt.PairedQueueWrites = *pairedQW
 	var sink *obs.Sink
 	if *eventsOut != "" || *metricsOut != "" || *hist {
-		sink = obs.NewSink(*eventsOut != "")
+		var oo []obs.Option
+		if *eventsOut != "" {
+			oo = append(oo, obs.WithEvents())
+		}
+		sink = obs.New(oo...)
 		opt.Obs = sink
 	}
 	sim, err := core.Build(impl, spec.Build(n), opt)
@@ -257,7 +261,11 @@ func runCluster(impl core.Impl, placement core.Placement, spec programs.Spec, ar
 	opt := core.Options{Nodes: nodes, Placement: placement, PairedQueueWrites: pairedQW}
 	var sink *obs.Sink
 	if eventsOut != "" || metricsOut != "" || hist {
-		sink = obs.NewSink(eventsOut != "")
+		var oo []obs.Option
+		if eventsOut != "" {
+			oo = append(oo, obs.WithEvents())
+		}
+		sink = obs.New(oo...)
 		opt.Obs = sink
 	}
 	cs, err := core.BuildCluster(impl, spec.Build(arg), opt)

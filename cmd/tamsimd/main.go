@@ -54,6 +54,22 @@
 // The -chaos-* flags wrap the coordinator's outbound transport in
 // internal/faultnet's seeded fault injector (drops, 5xxs, mid-stream
 // disconnects, latency spikes) for end-to-end robustness drills.
+//
+// Tenancy: -api-keys names a file of `<key> <tenant> [max_concurrent]
+// [jobs_per_minute] [burst]` lines. With it set, every request outside
+// /healthz, /metricz and the fleet-internal blob endpoints needs
+// `Authorization: Bearer <key>`; submissions pass the tenant's
+// token-bucket admission controller (429 + Retry-After past quota) and
+// tenants see exactly their own jobs. Leaf workers conventionally run
+// without -api-keys — the front door guards the edge, the fleet behind
+// it is one trust domain.
+//
+// Result cache: identical normalized requests are served from a
+// content-addressed result cache (byte-identical to fresh execution)
+// shared fleet-wide over GET/PUT /v1/results/{key} with the same peer
+// list as the recording store. -results-mem bounds its memory tier
+// (negative disables); with -store-dir set the disk tier lives under
+// <store-dir>/results.
 package main
 
 import (
@@ -84,6 +100,8 @@ func main() {
 	storeDir := flag.String("store-dir", "", "recording store disk tier (empty = memory only)")
 	storeMem := flag.Int64("store-mem", 0, "recording store memory budget in bytes (0 = 256 MiB, negative = store disabled)")
 	storePeers := flag.String("store-peers", "", "comma-separated peer daemon base URLs to consult for recordings")
+	resultsMem := flag.Int64("results-mem", 0, "result cache memory budget in bytes (0 = 64 MiB, negative = cache disabled)")
+	apiKeys := flag.String("api-keys", "", "API-key file enabling tenancy: <key> <tenant> [max_concurrent] [jobs_per_minute] [burst] per line")
 	workerMode := flag.Bool("worker", false, "run as a leaf worker (ignores -journal and -shard-workers)")
 	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; farm sweeps out to them")
 	leaseTimeout := flag.Duration("lease-timeout", 0, "per-shard lease before re-queue (0 = 2m)")
@@ -106,6 +124,15 @@ func main() {
 		DefaultMaxInstructions: *maxInstrs,
 		StoreDir:               *storeDir,
 		StoreMemBytes:          *storeMem,
+		ResultMemBytes:         *resultsMem,
+	}
+	if *apiKeys != "" {
+		tenants, err := server.LoadTenants(*apiKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = tenants
+		log.Printf("tenancy: %s", *apiKeys)
 	}
 	for _, u := range strings.Split(*storePeers, ",") {
 		if u = strings.TrimSpace(u); u != "" {

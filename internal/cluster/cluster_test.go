@@ -239,7 +239,7 @@ func TestClusterObservability(t *testing.T) {
 	}
 
 	base := run(nil)
-	s := obs.NewSink(true)
+	s := obs.New(obs.WithEvents())
 	obsRun := run(s)
 
 	if got, want := obsRun.Machines[0].Mem.LoadInt(gResult), limit; got != want {

@@ -285,7 +285,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 		if s.CollectMetrics && o.Obs == nil {
 			// One metrics-only sink per job: registries are not safe
 			// for concurrent use across parallel simulations.
-			o.Obs = obs.NewSink(false)
+			o.Obs = obs.New()
 		}
 		r, err := runOneParContext(ctx, jobs[i].w, jobs[i].impl, geoms, o, replayPar, s.OnRecordingBytes)
 		if err != nil {

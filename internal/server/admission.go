@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the per-tenant token-bucket admission controller. Each
+// tenant has a concurrency cap (jobs queued or running) and a
+// jobs-per-minute token bucket; a submission must clear both, and the
+// token is only consumed when it does, so a tenant bouncing off the
+// concurrency cap is not also drained of rate tokens.
+type admission struct {
+	limits map[string]TenantLimits
+	now    func() time.Time // injectable for tests
+
+	mu    sync.Mutex
+	state map[string]*tenantState
+}
+
+type tenantState struct {
+	running int
+	tokens  float64
+	last    time.Time
+}
+
+func newAdmission(t *Tenants, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{limits: t.limits, now: now, state: make(map[string]*tenantState)}
+}
+
+// rejection is an admission refusal: what to tell the client and when
+// to come back.
+type rejection struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+// tenant returns the tenant's state with its bucket refilled to now.
+// Caller holds a.mu.
+func (a *admission) tenant(name string) (*tenantState, TenantLimits) {
+	lim := a.limits[name]
+	burst := lim.Burst
+	if burst == 0 {
+		burst = lim.JobsPerMinute
+	}
+	st := a.state[name]
+	if st == nil {
+		// The bucket starts full: a new tenant can burst immediately.
+		st = &tenantState{tokens: burst, last: a.now()}
+		a.state[name] = st
+	}
+	if lim.JobsPerMinute > 0 {
+		now := a.now()
+		st.tokens = math.Min(burst, st.tokens+now.Sub(st.last).Seconds()*lim.JobsPerMinute/60)
+		st.last = now
+	}
+	return st, lim
+}
+
+// acquire admits one job for tenant or explains the refusal. On
+// success the returned release must be called exactly once when the
+// job reaches a terminal state.
+func (a *admission) acquire(name string) (release func(), rej *rejection) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, lim := a.tenant(name)
+	if lim.MaxConcurrent > 0 && st.running >= lim.MaxConcurrent {
+		return nil, &rejection{
+			msg:        fmt.Sprintf("tenant %q at its concurrent-job limit (%d)", name, lim.MaxConcurrent),
+			retryAfter: time.Second,
+		}
+	}
+	if lim.JobsPerMinute > 0 && st.tokens < 1 {
+		// Seconds until the bucket refills to one token.
+		wait := (1 - st.tokens) / (lim.JobsPerMinute / 60)
+		return nil, &rejection{
+			msg:        fmt.Sprintf("tenant %q over %g jobs/minute", name, lim.JobsPerMinute),
+			retryAfter: time.Duration(math.Ceil(wait)) * time.Second,
+		}
+	}
+	if lim.JobsPerMinute > 0 {
+		st.tokens--
+	}
+	st.running++
+	return a.releaseFunc(name), nil
+}
+
+// force admits a job unconditionally — journal recovery re-queues work
+// the tenant was already admitted for before the restart.
+func (a *admission) force(name string) (release func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, _ := a.tenant(name)
+	st.running++
+	return a.releaseFunc(name)
+}
+
+func (a *admission) releaseFunc(name string) func() {
+	return func() {
+		a.mu.Lock()
+		if st := a.state[name]; st != nil && st.running > 0 {
+			st.running--
+		}
+		a.mu.Unlock()
+	}
+}
+
+// runningFor returns the tenant's in-flight job count (its
+// tenant.<name>.running gauge).
+func (a *admission) runningFor(name string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.state[name]; st != nil {
+		return st.running
+	}
+	return 0
+}

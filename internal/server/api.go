@@ -1,32 +1,53 @@
 // Package server implements tamsimd's HTTP/JSON serving layer: a job
 // registry with NDJSON result streaming, a bounded worker pool for
 // simulation and sweep jobs, a compiled-code cache keyed by (program,
-// size, implementation), and a /metricz endpoint exposing server-wide
-// observability.
+// size, implementation), API-key tenancy with token-bucket admission,
+// a content-addressed result cache, and a /metricz endpoint exposing
+// server-wide observability.
 //
-// The package reuses the façade's execution machinery — core.Compile /
-// Compiled.NewSim for cached builds, trace record/replay for the cache
-// fan-out, experiments.Sweep for grids — so a job served over HTTP
-// produces byte-identical results to a direct jmtam.Run call.
+// Wire types live in the root api package — the server re-exports them
+// as aliases and adds normalization on top. The package reuses the
+// façade's execution machinery — core.Compile / Compiled.NewSim for
+// cached builds, trace record/replay for the cache fan-out,
+// experiments.Sweep for grids — so a job served over HTTP produces
+// byte-identical results to a direct jmtam.Run call.
 package server
 
 import (
 	"fmt"
 
+	"jmtam/api"
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/programs"
 )
 
-// CacheSpec is one cache geometry in wire form.
-type CacheSpec struct {
-	SizeKB     int `json:"size_kb"`
-	BlockBytes int `json:"block_bytes"`
-	Assoc      int `json:"assoc"`
-}
+// Wire-type aliases: the api package is the single source of truth for
+// the serving protocol; these keep the server's own code (and existing
+// callers) reading naturally.
+type (
+	CacheSpec       = api.CacheSpec
+	WorkloadSpec    = api.WorkloadSpec
+	CycleCount      = api.CycleCount
+	CacheResult     = api.CacheResult
+	RunResult       = api.RunResult
+	SweepRunSummary = api.SweepRunSummary
+	Table2Row       = api.Table2Row
+	SweepResult     = api.SweepResult
+	JobState        = api.JobState
+	JobStatus       = api.JobStatus
+)
 
-func (c CacheSpec) config() cache.Config {
+const (
+	StateQueued   = api.StateQueued
+	StateRunning  = api.StateRunning
+	StateDone     = api.StateDone
+	StateFailed   = api.StateFailed
+	StateCanceled = api.StateCanceled
+)
+
+func configOf(c CacheSpec) cache.Config {
 	return cache.Config{SizeBytes: c.SizeKB * 1024, BlockBytes: c.BlockBytes, Assoc: c.Assoc}
 }
 
@@ -49,17 +70,12 @@ func parseImpl(s string) (core.Impl, error) {
 	return 0, fmt.Errorf("unknown impl %q (want am|md|am-enabled|oam)", s)
 }
 
-// RunRequest submits one simulation: a benchmark at a problem size under
-// one implementation, evaluated against a set of cache geometries.
-// Zero-valued fields take the server defaults (the paper's argument for
-// the program, MD, an 8K 4-way 64-byte cache, penalties 12/24/48).
+// RunRequest is the wire request plus the server-side resolution of its
+// fields (parsed implementation, validated geometries). The embedded
+// api.RunRequest marshals flat, so journaled requests keep the wire
+// shape.
 type RunRequest struct {
-	Program         string      `json:"program"`
-	Arg             int         `json:"arg,omitempty"`
-	Impl            string      `json:"impl,omitempty"`
-	Caches          []CacheSpec `json:"caches,omitempty"`
-	Penalties       []int       `json:"penalties,omitempty"`
-	MaxInstructions uint64      `json:"max_instructions,omitempty"`
+	api.RunRequest
 
 	impl  core.Impl
 	geoms []cache.Config
@@ -87,7 +103,7 @@ func (r *RunRequest) Normalize(defaultMaxInstrs uint64) error {
 	}
 	r.geoms = make([]cache.Config, len(r.Caches))
 	for i, c := range r.Caches {
-		g := c.config()
+		g := configOf(c)
 		if err := g.Validate(); err != nil {
 			return err
 		}
@@ -105,38 +121,6 @@ func (r *RunRequest) Normalize(defaultMaxInstrs uint64) error {
 		r.MaxInstructions = defaultMaxInstrs
 	}
 	return nil
-}
-
-// CycleCount is total execution cycles under one miss penalty.
-type CycleCount struct {
-	Penalty int    `json:"penalty"`
-	Cycles  uint64 `json:"cycles"`
-}
-
-// CacheResult reports one geometry's misses and derived cycle counts.
-type CacheResult struct {
-	CacheSpec
-	IMisses    uint64       `json:"i_misses"`
-	DMisses    uint64       `json:"d_misses"`
-	Writebacks uint64       `json:"writebacks"`
-	Cycles     []CycleCount `json:"cycles"`
-}
-
-// RunResult is the final document of a run job: the simulation summary
-// plus per-geometry cache statistics.
-type RunResult struct {
-	Program      string        `json:"program"`
-	Arg          int           `json:"arg"`
-	Impl         string        `json:"impl"`
-	Instructions uint64        `json:"instructions"`
-	Reads        uint64        `json:"reads"`
-	Writes       uint64        `json:"writes"`
-	Threads      uint64        `json:"threads"`
-	Quanta       uint64        `json:"quanta"`
-	TPQ          float64       `json:"tpq"`
-	IPT          float64       `json:"ipt"`
-	IPQ          float64       `json:"ipq"`
-	Caches       []CacheResult `json:"caches"`
 }
 
 // runResultOf converts a façade-shaped result (the run summary plus
@@ -178,30 +162,12 @@ func runResultOf(program string, arg int, impl core.Impl, instrs, reads, writes,
 	return res
 }
 
-// SweepRequest submits a parameter-space sweep: workloads × impls ×
-// cache geometries, the experiments.Sweep grid over HTTP. Scale picks a
-// preset workload list ("quick" reduced sizes, "paper" the full Table 2
-// arguments) when Workloads is empty.
+// SweepRequest is the wire request plus the server-side resolution of
+// its implementation list.
 type SweepRequest struct {
-	Scale      string         `json:"scale,omitempty"`
-	Workloads  []WorkloadSpec `json:"workloads,omitempty"`
-	SizesKB    []int          `json:"sizes_kb,omitempty"`
-	Assocs     []int          `json:"assocs,omitempty"`
-	BlockBytes int            `json:"block_bytes,omitempty"`
-	Penalties  []int          `json:"penalties,omitempty"`
-	Impls      []string       `json:"impls,omitempty"`
-	// Detail adds per-geometry cache statistics to each run summary —
-	// the shard coordinator requires it to reassemble a distributed
-	// sweep.
-	Detail bool `json:"detail,omitempty"`
+	api.SweepRequest
 
 	impls []core.Impl
-}
-
-// WorkloadSpec names one benchmark instance in wire form.
-type WorkloadSpec struct {
-	Program string `json:"program"`
-	Arg     int    `json:"arg,omitempty"`
 }
 
 // Normalize validates the request and resolves defaults. It must be
@@ -255,44 +221,4 @@ func (r *SweepRequest) Normalize() error {
 		r.impls[i] = impl
 	}
 	return nil
-}
-
-// SweepRunSummary is one (workload, implementation) outcome within a
-// sweep result: granularity only; per-geometry detail stays in the
-// ratio tables.
-type SweepRunSummary struct {
-	Program      string  `json:"program"`
-	Arg          int     `json:"arg"`
-	Impl         string  `json:"impl"`
-	Instructions uint64  `json:"instructions"`
-	TPQ          float64 `json:"tpq"`
-	IPT          float64 `json:"ipt"`
-	IPQ          float64 `json:"ipq"`
-	// Caches is present when the request set detail: per-geometry miss
-	// statistics in geometry index order.
-	Caches []CacheResult `json:"caches,omitempty"`
-}
-
-// Table2Row mirrors experiments.Table2Row in wire form.
-type Table2Row struct {
-	Program string  `json:"program"`
-	TPQMD   float64 `json:"tpq_md"`
-	TPQAM   float64 `json:"tpq_am"`
-	IPTMD   float64 `json:"ipt_md"`
-	IPTAM   float64 `json:"ipt_am"`
-	IPQMD   float64 `json:"ipq_md"`
-	IPQAM   float64 `json:"ipq_am"`
-	Ratio12 float64 `json:"ratio_12"`
-	Ratio24 float64 `json:"ratio_24"`
-	Ratio48 float64 `json:"ratio_48"`
-}
-
-// SweepResult is the final document of a sweep job.
-type SweepResult struct {
-	Workloads []WorkloadSpec    `json:"workloads"`
-	Geoms     []CacheSpec       `json:"geoms"`
-	Runs      []SweepRunSummary `json:"runs"`
-	// Table2 is present when the sweep covers the 8K 4-way geometry
-	// (the paper's Table 2 reference point) and both MD and AM.
-	Table2 []Table2Row `json:"table2,omitempty"`
 }

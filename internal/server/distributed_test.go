@@ -197,7 +197,7 @@ func TestJournalRestartResumesIncompleteJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if st.State.terminal() {
+	if st.State.Terminal() {
 		t.Fatalf("job %s terminal before crash", st.ID)
 	}
 	ts1.Close()
@@ -306,7 +306,7 @@ func TestCancelRaceIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 		r.Body.Close()
-		if settled.State.terminal() {
+		if settled.State.Terminal() {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -11,21 +11,6 @@ import (
 	"time"
 )
 
-// JobState is a job's lifecycle phase.
-type JobState string
-
-const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
-)
-
-func (s JobState) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
-}
-
 // Job is one submitted run or sweep. Every NDJSON line a job emits is
 // retained, so a subscriber — the submitting request or a later
 // GET ?stream=1 — replays the event stream from the beginning and then
@@ -34,19 +19,21 @@ func (s JobState) terminal() bool {
 type Job struct {
 	ID      string
 	Kind    string // "run" or "sweep"
+	Tenant  string // "" when tenancy is disabled
 	Created time.Time
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	state  JobState
-	errMsg string
-	result json.RawMessage
-	lines  [][]byte
-	cancel context.CancelFunc
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   JobState
+	errMsg  string
+	result  json.RawMessage
+	lines   [][]byte
+	cancel  context.CancelFunc
+	release func() // admission slot release; nil when tenancy is disabled
 }
 
-func newJob(id, kind string) *Job {
-	j := &Job{ID: id, Kind: kind, Created: time.Now(), state: StateQueued}
+func newJob(id, kind, tenant string) *Job {
+	j := &Job{ID: id, Kind: kind, Tenant: tenant, Created: time.Now(), state: StateQueued}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -118,20 +105,28 @@ func (j *Job) setCancel(c context.CancelFunc) {
 	j.mu.Unlock()
 }
 
-// JobStatus is the wire form of a job's current state.
-type JobStatus struct {
-	ID     string          `json:"id"`
-	Kind   string          `json:"kind"`
-	State  JobState        `json:"state"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
 // Status snapshots the job for GET /v1/runs/{id}.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{ID: j.ID, Kind: j.Kind, State: j.state, Error: j.errMsg, Result: j.result}
+	return JobStatus{ID: j.ID, Kind: j.Kind, Tenant: j.Tenant, State: j.state, Error: j.errMsg, Result: j.result}
+}
+
+// setRelease attaches the job's admission-slot release; finishJob runs
+// it exactly once when the job reaches a terminal state.
+func (j *Job) setRelease(f func()) {
+	j.mu.Lock()
+	j.release = f
+	j.mu.Unlock()
+}
+
+// takeRelease detaches and returns the release hook (nil if none).
+func (j *Job) takeRelease() func() {
+	j.mu.Lock()
+	f := j.release
+	j.release = nil
+	j.mu.Unlock()
+	return f
 }
 
 // streamTo writes the job's NDJSON lines to w from the beginning,
@@ -147,12 +142,12 @@ func (j *Job) streamTo(w http.ResponseWriter, writeTimeout time.Duration) {
 	next := 0
 	for {
 		j.mu.Lock()
-		for next >= len(j.lines) && !j.state.terminal() {
+		for next >= len(j.lines) && !j.state.Terminal() {
 			j.cond.Wait()
 		}
 		batch := j.lines[next:]
 		next = len(j.lines)
-		done := j.state.terminal() && next == len(j.lines)
+		done := j.state.Terminal() && next == len(j.lines)
 		j.mu.Unlock()
 		if writeTimeout > 0 && len(batch) > 0 {
 			rc.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -184,12 +179,12 @@ func newJobRegistry() *jobRegistry {
 	return &jobRegistry{jobs: make(map[string]*Job)}
 }
 
-func (r *jobRegistry) add(kind string) *Job {
+func (r *jobRegistry) add(kind, tenant string) *Job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
 	id := fmt.Sprintf("%c-%06d", kind[0], r.seq)
-	j := newJob(id, kind)
+	j := newJob(id, kind, tenant)
 	r.jobs[id] = j
 	r.order = append(r.order, id)
 	return j
@@ -198,7 +193,7 @@ func (r *jobRegistry) add(kind string) *Job {
 // restore re-indexes a journal-recovered job under its original ID,
 // advancing seq past the ID's numeric suffix so post-restart IDs never
 // collide with journaled ones.
-func (r *jobRegistry) restore(id, kind string) *Job {
+func (r *jobRegistry) restore(id, kind, tenant string) *Job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if j := r.jobs[id]; j != nil {
@@ -209,7 +204,7 @@ func (r *jobRegistry) restore(id, kind string) *Job {
 			r.seq = n
 		}
 	}
-	j := newJob(id, kind)
+	j := newJob(id, kind, tenant)
 	r.jobs[id] = j
 	r.order = append(r.order, id)
 	return j

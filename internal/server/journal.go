@@ -16,6 +16,7 @@ type journalRecord struct {
 	Op     string          `json:"op"`
 	ID     string          `json:"id"`
 	Kind   string          `json:"kind,omitempty"`
+	Tenant string          `json:"tenant,omitempty"`
 	Req    json.RawMessage `json:"req,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
@@ -25,6 +26,7 @@ type journalRecord struct {
 type journalJob struct {
 	ID     string
 	Kind   string
+	Tenant string
 	Req    json.RawMessage
 	State  JobState
 	Result json.RawMessage
@@ -74,6 +76,7 @@ func openJournal(path string) (*journal, []*journalJob, error) {
 			switch rec.Op {
 			case "accept":
 				j.Kind = rec.Kind
+				j.Tenant = rec.Tenant
 				j.Req = rec.Req
 				j.State = StateQueued
 			case "start":

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jmtam/api"
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
@@ -25,17 +26,17 @@ import (
 // an interrupted fetch mid-stream.
 func (s *Server) handleRecordingGet(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("recording store disabled"))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "recording store disabled")
 		return
 	}
 	key := r.PathValue("key")
 	if !tracestore.ValidKey(key) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed recording key"))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "malformed recording key")
 		return
 	}
 	data, ok := s.store.Get(key)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no such recording"))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no such recording")
 		return
 	}
 	w.Header().Set("ETag", `"`+key+`"`)
@@ -49,25 +50,25 @@ func (s *Server) handleRecordingGet(w http.ResponseWriter, r *http.Request) {
 // bytes, and peers within a fleet derive it identically.
 func (s *Server) handleRecordingPut(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("recording store disabled"))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "recording store disabled")
 		return
 	}
 	key := r.PathValue("key")
 	if !tracestore.ValidKey(key) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed recording key"))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "malformed recording key")
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRecordingBytes))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, err)
+		writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge, err.Error())
 		return
 	}
 	if _, err := trace.CompactStat(data); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if err := s.store.Put(key, data); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	s.count("store.push.received", 1)
@@ -167,11 +168,11 @@ func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepReques
 			}
 		}
 		units[i] = u
-		job.emit(map[string]any{
-			"type": "run", "id": job.ID,
-			"done": int(done.Add(1)), "total": len(jobs),
-			"program": uj.program, "arg": uj.arg,
-			"impl": uj.impl.String(), "source": src.String(),
+		job.emit(api.RunProgressEvent{
+			Type: api.EventRun, ID: job.ID,
+			Done: int(done.Add(1)), Total: len(jobs),
+			Program: uj.program, Arg: uj.arg,
+			Impl: uj.impl.String(), Source: src.String(),
 		})
 		return nil
 	})

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// resultServer starts a daemon with the result cache enabled (most
+// tests run with it off — see newTestServer).
+func resultServer(t *testing.T) string {
+	t.Helper()
+	_, ts := newTestServer(t, Config{Workers: 2, ResultMemBytes: 1 << 20})
+	return ts.URL
+}
+
+func TestResultKeyProperties(t *testing.T) {
+	reqA := `{"program":"ss","arg":40}`
+	k1, err := resultKey("run", reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := resultKey("run", reqA)
+	if k1 != k2 {
+		t.Error("resultKey is not deterministic")
+	}
+	if k3, _ := resultKey("sweep", reqA); k3 == k1 {
+		t.Error("kind does not participate in the key")
+	}
+	if k4, _ := resultKey("run", `{"program":"ss","arg":41}`); k4 == k1 {
+		t.Error("descriptor does not participate in the key")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key %q is not a sha256 hex digest", k1)
+	}
+}
+
+// TestResultCacheByteIdentical is the tentpole guarantee: resubmitting
+// an identical sweep is served from the result cache — proven by the
+// hit counters and the "cached" stream event — and the served document
+// is byte-for-byte the fresh one.
+func TestResultCacheByteIdentical(t *testing.T) {
+	base := resultServer(t)
+	body := `{"workloads":[{"program":"ss","arg":40}],"sizes_kb":[1,8],"impls":["md","am"]}`
+
+	fresh := sweepResultBytes(t, base, body)
+	c := metricCounters(t, base)
+	if c["results.misses"] != 1 || c["results.served"] != 0 {
+		t.Fatalf("after fresh sweep: misses %d served %d, want 1/0", c["results.misses"], c["results.served"])
+	}
+
+	lines := readStream(t, postJSON(t, base+"/v1/sweeps", body))
+	cached := false
+	for _, l := range lines {
+		if l.Type == "cached" {
+			cached = true
+		}
+		if l.Type == "geometry" || l.Type == "simulated" || l.Type == "progress" {
+			t.Errorf("cached job streamed a fresh-execution event %q", l.Type)
+		}
+	}
+	if !cached {
+		t.Error("repeat sweep streamed no cached event")
+	}
+	final := lines[len(lines)-1]
+	if final.Type != "result" {
+		t.Fatalf("repeat sweep final line = %q", final.Type)
+	}
+	if string(final.Result) != string(fresh) {
+		t.Errorf("cached result differs from fresh\nfresh  %s\ncached %s", fresh, final.Result)
+	}
+	c = metricCounters(t, base)
+	if c["results.hits"] == 0 || c["results.served"] != 1 {
+		t.Errorf("after repeat: hits %d served %d, want >0/1", c["results.hits"], c["results.served"])
+	}
+
+	// Runs cache too, and a cached run is byte-identical as well.
+	runBody := `{"program":"ss","arg":40,"impl":"am"}`
+	freshRun := readStream(t, postJSON(t, base+"/v1/runs", runBody))
+	cachedRun := readStream(t, postJSON(t, base+"/v1/runs", runBody))
+	fr, cr := freshRun[len(freshRun)-1], cachedRun[len(cachedRun)-1]
+	if fr.Type != "result" || cr.Type != "result" {
+		t.Fatalf("run finals = %q/%q", fr.Type, cr.Type)
+	}
+	if string(fr.Result) != string(cr.Result) {
+		t.Errorf("cached run differs from fresh\nfresh  %s\ncached %s", fr.Result, cr.Result)
+	}
+}
+
+// TestResultCacheDescriptorSensitivity: the key covers the *normalized*
+// request, so materially different descriptors never collide while
+// sparse and explicit spellings of the same request do.
+func TestResultCacheDescriptorSensitivity(t *testing.T) {
+	base := resultServer(t)
+
+	// Same workload, different penalties (visible in the detail cycles):
+	// distinct results, so both must execute fresh.
+	a := sweepResultBytes(t, base, `{"workloads":[{"program":"ss","arg":40}],"sizes_kb":[8],"impls":["am"],"penalties":[12],"detail":true}`)
+	b := sweepResultBytes(t, base, `{"workloads":[{"program":"ss","arg":40}],"sizes_kb":[8],"impls":["am"],"penalties":[24],"detail":true}`)
+	if string(a) == string(b) {
+		t.Fatal("different penalties produced identical documents — the comparison below proves nothing")
+	}
+	c := metricCounters(t, base)
+	if c["results.misses"] != 2 || c["results.served"] != 0 {
+		t.Errorf("distinct descriptors: misses %d served %d, want 2/0", c["results.misses"], c["results.served"])
+	}
+
+	// A sparse run request and its explicit-default spelling normalize to
+	// one descriptor and share one cache entry.
+	sparse := readStream(t, postJSON(t, base+"/v1/runs", `{"program":"ss","arg":40,"impl":"am"}`))
+	explicit := readStream(t, postJSON(t, base+"/v1/runs",
+		`{"program":"ss","arg":40,"impl":"am","caches":[{"size_kb":8,"block_bytes":64,"assoc":4}],"penalties":[12,24,48]}`))
+	if got := explicit[len(explicit)-1]; got.Type != "result" {
+		t.Fatalf("explicit run final = %q", got.Type)
+	}
+	var sawCached bool
+	for _, l := range explicit {
+		sawCached = sawCached || l.Type == "cached"
+	}
+	if !sawCached {
+		t.Error("explicit-default spelling missed the sparse request's cache entry")
+	}
+	if string(sparse[len(sparse)-1].Result) != string(explicit[len(explicit)-1].Result) {
+		t.Error("normalized-equivalent requests returned different documents")
+	}
+}
+
+// TestResultCacheDisabled: a negative budget turns the cache off and
+// every submission executes fresh.
+func TestResultCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ResultMemBytes: -1})
+	body := `{"workloads":[{"program":"ss","arg":40}],"sizes_kb":[8],"impls":["am"]}`
+	first := sweepResultBytes(t, ts.URL, body)
+	second := sweepResultBytes(t, ts.URL, body)
+	if string(first) != string(second) {
+		t.Error("repeat sweep differs without the cache — determinism regression")
+	}
+	c := metricCounters(t, ts.URL)
+	for name, v := range c {
+		if strings.HasPrefix(name, "results.") && v != 0 {
+			t.Errorf("disabled cache moved counter %s = %d", name, v)
+		}
+	}
+}

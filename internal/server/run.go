@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 
+	"jmtam/api"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/parallel"
@@ -19,6 +20,14 @@ import (
 // ReplayPair per geometry, position-indexed assembly — so the result
 // document matches a direct façade call exactly.
 func (s *Server) executeRun(ctx context.Context, job *Job, req *RunRequest) (json.RawMessage, error) {
+	return s.cachedResult(ctx, job, "run", &req.RunRequest, func(ctx context.Context) (json.RawMessage, error) {
+		return s.freshRun(ctx, job, req)
+	})
+}
+
+// freshRun executes the simulation; executeRun resolves the result
+// cache around it.
+func (s *Server) freshRun(ctx context.Context, job *Job, req *RunRequest) (json.RawMessage, error) {
 	spec, err := programs.ByName(req.Program)
 	if err != nil {
 		return nil, err
@@ -45,10 +54,7 @@ func (s *Server) executeRun(ctx context.Context, job *Job, req *RunRequest) (jso
 	if err := sim.RunContext(ctx); err != nil {
 		return nil, err
 	}
-	job.emit(map[string]any{
-		"type": "simulated", "id": job.ID,
-		"instructions": sim.M.Instructions(), "cache_hit": hit,
-	})
+	job.emit(api.Simulated(job.ID, sim.M.Instructions(), hit))
 
 	stats := make([]experiments.CacheStats, len(req.geoms))
 	err = parallel.ForEachContext(ctx, s.cfg.ReplayParallelism, len(req.geoms), func(i int) error {
@@ -62,12 +68,12 @@ func (s *Server) executeRun(ctx context.Context, job *Job, req *RunRequest) (jso
 			DMisses:    pr.D.Stats().Misses,
 			Writebacks: pr.D.Stats().Writebacks,
 		}
-		job.emit(map[string]any{
-			"type": "geometry", "id": job.ID, "index": i,
-			"cache":      specOf(stats[i].Config),
-			"i_misses":   stats[i].IMisses,
-			"d_misses":   stats[i].DMisses,
-			"writebacks": stats[i].Writebacks,
+		job.emit(api.GeometryEvent{
+			Type: api.EventGeometry, ID: job.ID, Index: i,
+			Cache:      specOf(stats[i].Config),
+			IMisses:    stats[i].IMisses,
+			DMisses:    stats[i].DMisses,
+			Writebacks: stats[i].Writebacks,
 		})
 		return nil
 	})

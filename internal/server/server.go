@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"jmtam/api"
 	"jmtam/internal/obs"
 	"jmtam/internal/parallel"
 	"jmtam/internal/shard"
@@ -64,6 +66,17 @@ type Config struct {
 	// MaxRecordingBytes bounds an uploaded compacted recording
 	// (0 = 256 MiB). GET responses are unaffected.
 	MaxRecordingBytes int64
+	// Tenants enables API-key tenancy: every request outside the
+	// exempt paths needs `Authorization: Bearer <key>`, jobs belong to
+	// the resolving tenant (scoping list/status/cancel), and
+	// submissions pass the per-tenant admission controller. Nil
+	// disables tenancy entirely.
+	Tenants *Tenants
+	// ResultMemBytes bounds the result cache's memory tier
+	// (0 = 64 MiB). Negative disables the result cache: every
+	// submission executes fresh and /v1/results returns 404. With
+	// StoreDir set the disk tier lives under StoreDir/results.
+	ResultMemBytes int64
 }
 
 // Server is the tamsimd serving state: job registry, worker pool,
@@ -78,6 +91,8 @@ type Server struct {
 	coord   *shard.Coordinator
 	store   *tracestore.Store
 	fleet   *tracestore.Fleet
+	results *tracestore.Fleet
+	admit   *admission
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -127,6 +142,21 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = st
 		s.fleet = tracestore.NewFleet(st, cfg.StorePeers, nil, (*serverMetrics)(s))
+	}
+	if cfg.ResultMemBytes >= 0 {
+		if cfg.ResultMemBytes == 0 {
+			cfg.ResultMemBytes = DefaultResultMemBytes
+			s.cfg.ResultMemBytes = DefaultResultMemBytes
+		}
+		rf, err := newResultFleet(s.cfg, (*serverMetrics)(s))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.results = rf
+	}
+	if cfg.Tenants != nil {
+		s.admit = newAdmission(cfg.Tenants, nil)
 	}
 	if len(cfg.ShardWorkers) > 0 {
 		scfg := cfg.Shard
@@ -178,11 +208,17 @@ func (m *serverMetrics) GaugeSet(name string, v int64) {
 }
 func (m *serverMetrics) Observe(name string, v uint64) { (*Server)(m).observe(name, v) }
 
-// Handler returns the server's HTTP handler.
+// Handler returns the server's HTTP handler: request counting, then
+// (with tenancy enabled) API-key auth, then the route mux.
 func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	if s.cfg.Tenants != nil {
+		h = s.withAuth(h)
+	}
+	inner := h
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.count("http.requests", 1)
-		s.mux.ServeHTTP(w, r)
+		inner.ServeHTTP(w, r)
 	})
 }
 
@@ -190,12 +226,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/runs", s.handleRunSubmit)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/recordings/{key}", s.handleRecordingGet)
 	s.mux.HandleFunc("PUT /v1/recordings/{key}", s.handleRecordingPut)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
+	s.mux.HandleFunc("PUT /v1/results/{key}", s.handleResultPut)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -248,10 +287,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// writeError emits the structured error envelope every non-2xx
+// response carries: {"error": {"code", "message", "retryable"}}.
+func writeError(w http.ResponseWriter, status int, code api.ErrorCode, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.NewError(code, msg)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -265,14 +306,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := s.decode(w, r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if err := req.Normalize(s.cfg.DefaultMaxInstructions); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	job := s.submit("run", &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	release, ok := s.admitSubmit(w, r)
+	if !ok {
+		return
+	}
+	job := s.submit("run", tenantOf(r), release, &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		return s.executeRun(ctx, j, &req)
 	})
 	s.respondToSubmit(w, r, job)
@@ -281,28 +326,65 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if err := req.Normalize(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	job := s.submit("sweep", &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	release, ok := s.admitSubmit(w, r)
+	if !ok {
+		return
+	}
+	job := s.submit("sweep", tenantOf(r), release, &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		return s.executeSweep(ctx, j, &req)
 	})
 	s.respondToSubmit(w, r, job)
 }
 
+// admitSubmit passes a submission through the tenant's admission
+// controller. A refusal answers 429 with Retry-After and the
+// quota_exhausted envelope and returns ok=false; with tenancy disabled
+// it admits unconditionally with a nil release.
+func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.admit == nil {
+		return nil, true
+	}
+	tenant := tenantOf(r)
+	release, rej := s.admit.acquire(tenant)
+	if rej != nil {
+		s.count("tenant."+tenant+".rejected", 1)
+		s.count("jobs.rejected", 1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(rej.retryAfter/time.Second)))
+		writeError(w, http.StatusTooManyRequests, api.CodeQuotaExhausted, rej.msg)
+		return nil, false
+	}
+	s.count("tenant."+tenant+".admitted", 1)
+	s.tenantGauge(tenant)
+	return release, true
+}
+
+// tenantGauge refreshes the tenant's in-flight gauge after an
+// admission or release.
+func (s *Server) tenantGauge(tenant string) {
+	if s.admit == nil || tenant == "" {
+		return
+	}
+	(*serverMetrics)(s).GaugeSet("tenant."+tenant+".running", int64(s.admit.runningFor(tenant)))
+}
+
 // submit registers a job, journals its acceptance (with the normalized
 // request, so a restarted daemon can re-run it) and launches its
-// lifecycle goroutine.
-func (s *Server) submit(kind string, req any, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) *Job {
-	job := s.jobs.add(kind)
+// lifecycle goroutine. release (the admission slot) is run when the
+// job reaches a terminal state.
+func (s *Server) submit(kind, tenant string, release func(), req any, exec func(ctx context.Context, j *Job) (json.RawMessage, error)) *Job {
+	job := s.jobs.add(kind, tenant)
+	job.setRelease(release)
 	if s.journal != nil {
 		raw, err := json.Marshal(req)
 		if err == nil {
-			s.journalAppend(journalRecord{Op: "accept", ID: job.ID, Kind: kind, Req: raw})
+			s.journalAppend(journalRecord{Op: "accept", ID: job.ID, Kind: kind, Tenant: tenant, Req: raw})
 		} else {
 			s.count("journal.errors", 1)
 		}
@@ -318,7 +400,7 @@ func (s *Server) launch(job *Job, exec func(ctx context.Context, j *Job) (json.R
 	job.setCancel(cancel)
 	s.count("jobs.submitted", 1)
 	s.gauge("jobs.queued", 1)
-	job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
+	job.emit(api.Accepted(job.ID, job.Kind))
 
 	s.wg.Add(1)
 	go func() {
@@ -336,8 +418,7 @@ func (s *Server) launch(job *Job, exec func(ctx context.Context, j *Job) (json.R
 		s.count("jobs.started", 1)
 		job.setRunning()
 		s.journalAppend(journalRecord{Op: "start", ID: job.ID})
-		job.emit(map[string]any{"type": "started", "id": job.ID,
-			"queue_ms": time.Since(start).Milliseconds()})
+		job.emit(api.Started(job.ID, time.Since(start).Milliseconds()))
 		result, err := exec(ctx, job)
 		s.gauge("jobs.running", -1)
 		s.finishJob(job, result, err, start)
@@ -353,7 +434,7 @@ func (s *Server) finishJob(job *Job, result json.RawMessage, err error, start ti
 	switch {
 	case err == nil:
 		s.journalAppend(journalRecord{Op: "done", ID: job.ID, Result: result})
-		job.emit(map[string]any{"type": "result", "id": job.ID, "result": result})
+		job.emit(api.Result(job.ID, result))
 		job.finish(StateDone, result, "")
 		s.count("jobs.finished", 1)
 	case errors.Is(err, context.Canceled):
@@ -363,14 +444,18 @@ func (s *Server) finishJob(job *Job, result json.RawMessage, err error, start ti
 		if s.baseCtx.Err() == nil {
 			s.journalAppend(journalRecord{Op: "cancel", ID: job.ID, Error: err.Error()})
 		}
-		job.emit(map[string]any{"type": "canceled", "id": job.ID, "error": err.Error()})
+		job.emit(api.Failure(api.EventCanceled, job.ID, err.Error()))
 		job.finish(StateCanceled, nil, err.Error())
 		s.count("jobs.canceled", 1)
 	default:
 		s.journalAppend(journalRecord{Op: "fail", ID: job.ID, Error: err.Error()})
-		job.emit(map[string]any{"type": "error", "id": job.ID, "error": err.Error()})
+		job.emit(api.Failure(api.EventError, job.ID, err.Error()))
 		job.finish(StateFailed, nil, err.Error())
 		s.count("jobs.failed", 1)
+	}
+	if release := job.takeRelease(); release != nil {
+		release()
+		s.tenantGauge(job.Tenant)
 	}
 	s.observe("job.latency.ms."+job.Kind, ms)
 }
@@ -393,18 +478,18 @@ func (s *Server) journalAppend(rec journalRecord) {
 // original ID, so a client holding a pre-restart job URL eventually
 // gets the real result.
 func (s *Server) recoverJob(jj *journalJob) {
-	job := s.jobs.restore(jj.ID, jj.Kind)
-	if jj.State.terminal() {
-		job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
+	job := s.jobs.restore(jj.ID, jj.Kind, jj.Tenant)
+	if jj.State.Terminal() {
+		job.emit(api.Accepted(job.ID, job.Kind))
 		switch jj.State {
 		case StateDone:
-			job.emit(map[string]any{"type": "result", "id": job.ID, "result": jj.Result})
+			job.emit(api.Result(job.ID, jj.Result))
 			job.finish(StateDone, jj.Result, "")
 		case StateCanceled:
-			job.emit(map[string]any{"type": "canceled", "id": job.ID, "error": jj.Error})
+			job.emit(api.Failure(api.EventCanceled, job.ID, jj.Error))
 			job.finish(StateCanceled, nil, jj.Error)
 		default:
-			job.emit(map[string]any{"type": "error", "id": job.ID, "error": jj.Error})
+			job.emit(api.Failure(api.EventError, job.ID, jj.Error))
 			job.finish(StateFailed, nil, jj.Error)
 		}
 		return
@@ -414,10 +499,16 @@ func (s *Server) recoverJob(jj *journalJob) {
 		// The journaled request no longer parses (version skew, torn
 		// record): fail the job durably rather than dropping it.
 		s.journalAppend(journalRecord{Op: "fail", ID: jj.ID, Error: err.Error()})
-		job.emit(map[string]any{"type": "accepted", "id": job.ID, "kind": job.Kind})
-		job.emit(map[string]any{"type": "error", "id": job.ID, "error": err.Error()})
+		job.emit(api.Accepted(job.ID, job.Kind))
+		job.emit(api.Failure(api.EventError, job.ID, err.Error()))
 		job.finish(StateFailed, nil, err.Error())
 		return
+	}
+	// The tenant was admitted for this work before the restart; re-take
+	// its slot unconditionally rather than re-running quota checks.
+	if s.admit != nil && jj.Tenant != "" {
+		job.setRelease(s.admit.force(jj.Tenant))
+		s.tenantGauge(jj.Tenant)
 	}
 	s.count("journal.requeued", 1)
 	s.launch(job, exec)
@@ -472,10 +563,22 @@ func (s *Server) respondToSubmit(w http.ResponseWriter, r *http.Request, job *Jo
 
 // --- status, streaming, cancellation ---------------------------------------
 
+// handleList serves GET /v1/runs and GET /v1/sweeps identically: all
+// of the caller's jobs, runs and sweeps alike, oldest first; ?kind=run
+// or ?kind=sweep filters. With tenancy enabled a tenant sees exactly
+// its own jobs.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	if kind != "" && kind != "run" && kind != "sweep" {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("unknown kind %q (want run|sweep)", kind))
+		return
+	}
 	jobs := s.jobs.list()
 	out := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
+		if !s.visibleTo(r, j) || (kind != "" && j.Kind != kind) {
+			continue
+		}
 		st := j.Status()
 		st.Result = nil // list view stays compact
 		out = append(out, st)
@@ -485,8 +588,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	job := s.jobs.get(r.PathValue("id"))
-	if job == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+	if job == nil || !s.visibleTo(r, job) {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no such job")
 		return
 	}
 	if r.URL.Query().Get("stream") == "1" {
@@ -500,8 +603,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job := s.jobs.get(r.PathValue("id"))
-	if job == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+	if job == nil || !s.visibleTo(r, job) {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no such job")
 		return
 	}
 	job.Cancel()

@@ -17,6 +17,13 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	// Most tests predate the result cache and exercise fresh execution
+	// (code-cache hits, recording-store counters); keep it off unless a
+	// test opts in explicitly. Result-cache behavior has its own tests
+	// in results_test.go.
+	if cfg.ResultMemBytes == 0 {
+		cfg.ResultMemBytes = -1
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +97,7 @@ func waitState(t *testing.T, base, id string, want JobState) JobStatus {
 		if st.State == want {
 			return st
 		}
-		if st.State.terminal() {
+		if st.State.Terminal() {
 			t.Fatalf("job %s reached %q (error %q), want %q", id, st.State, st.Error, want)
 		}
 		time.Sleep(10 * time.Millisecond)

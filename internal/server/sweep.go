@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 
+	"jmtam/api"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/shard"
@@ -21,14 +22,22 @@ import (
 // simulates each (workload, impl) exactly once anyway, so caching would
 // only pin paper-scale artifacts for no repeat benefit.
 func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
+	return s.cachedResult(ctx, job, "sweep", &req.SweepRequest, func(ctx context.Context) (json.RawMessage, error) {
+		return s.freshSweep(ctx, job, req)
+	})
+}
+
+// freshSweep executes the grid; executeSweep resolves the result cache
+// around it.
+func (s *Server) freshSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
 	var units []shard.UnitResult
 	var err error
 	if s.coord != nil {
 		units, err = s.coord.RunObserved(ctx, req.Spec(), func(e shard.Event) {
-			job.emit(map[string]any{
-				"type": "shard", "id": job.ID, "event": e.Type,
-				"shard": e.Shard, "worker": e.Worker,
-				"attempt": e.Attempt, "error": e.Err,
+			job.emit(api.ShardEvent{
+				Type: api.EventShard, ID: job.ID, Event: e.Type,
+				Shard: e.Shard, Worker: e.Worker,
+				Attempt: e.Attempt, Error: e.Err,
 			})
 		})
 	} else if s.fleet != nil {
@@ -56,11 +65,11 @@ func (s *Server) localSweepUnits(ctx context.Context, job *Job, req *SweepReques
 			s.gauge("sweep.recording.bytes", delta)
 		},
 		OnProgress: func(p experiments.Progress) {
-			job.emit(map[string]any{
-				"type": "run", "id": job.ID,
-				"done": p.Done, "total": p.Total,
-				"program": p.Workload.Name, "arg": p.Workload.Arg,
-				"impl": p.Impl.String(),
+			job.emit(api.RunProgressEvent{
+				Type: api.EventRun, ID: job.ID,
+				Done: p.Done, Total: p.Total,
+				Program: p.Workload.Name, Arg: p.Workload.Arg,
+				Impl: p.Impl.String(),
 			})
 		},
 	}

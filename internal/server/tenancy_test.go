@@ -1,0 +1,360 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jmtam/api"
+)
+
+// tenantedServer starts a daemon with two tenants: "free" is
+// unlimited, "capped" is bounded by lim.
+func tenantedServer(t *testing.T, lim TenantLimits) (*Server, string) {
+	t.Helper()
+	tn := NewTenants()
+	tn.Add("key-free", "free", TenantLimits{})
+	tn.Add("key-capped", "capped", lim)
+	s, ts := newTestServer(t, Config{Workers: 2, Tenants: tn})
+	return s, ts.URL
+}
+
+// authedPost submits body with the key's Bearer header and returns the
+// response (caller closes).
+func authedPost(t *testing.T, url, key, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeEnvelope reads a structured error response and asserts its
+// HTTP status.
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int) *api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error response is not an envelope: %v", err)
+	}
+	if env.Error == nil {
+		t.Fatal("error response has an empty envelope")
+	}
+	return env.Error
+}
+
+func TestLoadTenants(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys")
+	const file = `# front-door tenants
+key-a alice 4 30
+key-b bob             # unlimited
+
+key-b2 bob 0 2 5
+`
+	if err := os.WriteFile(path, []byte(file), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tn, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tn.resolve("key-a"); got != "alice" {
+		t.Errorf("key-a -> %q", got)
+	}
+	if got, _ := tn.resolve("key-b2"); got != "bob" {
+		t.Errorf("key-b2 -> %q", got)
+	}
+	if lim := tn.limits["alice"]; lim.MaxConcurrent != 4 || lim.JobsPerMinute != 30 {
+		t.Errorf("alice limits = %+v", lim)
+	}
+	// Last Add wins bob's limits: key-b2's line set a rate and burst.
+	if lim := tn.limits["bob"]; lim.JobsPerMinute != 2 || lim.Burst != 5 {
+		t.Errorf("bob limits = %+v", lim)
+	}
+
+	for name, bad := range map[string]string{
+		"one column":   "justakey\n",
+		"bad limit":    "k t notanumber\n",
+		"negative":     "k t -1\n",
+		"extra column": "k t 1 2 3 4\n",
+		"empty":        "# nothing\n",
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTenants(path); err == nil {
+			t.Errorf("%s: accepted %q", name, bad)
+		}
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, base := tenantedServer(t, TenantLimits{})
+
+	resp := authedPost(t, base+"/v1/runs", "", `{"program":"ss","arg":20}`)
+	if e := decodeEnvelope(t, resp, http.StatusUnauthorized); e.Code != api.CodeUnauthorized || e.Retryable {
+		t.Errorf("no key: envelope = %+v", e)
+	}
+	resp = authedPost(t, base+"/v1/runs", "key-wrong", `{"program":"ss","arg":20}`)
+	if e := decodeEnvelope(t, resp, http.StatusUnauthorized); e.Code != api.CodeUnauthorized {
+		t.Errorf("bad key: envelope = %+v", e)
+	}
+	// GET endpoints need auth too.
+	getResp, err := http.Get(base + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeEnvelope(t, getResp, http.StatusUnauthorized); e.Code != api.CodeUnauthorized {
+		t.Errorf("unauthenticated list envelope = %+v", e)
+	}
+	// Probes stay open: the fleet and its monitoring don't hold keys.
+	for _, path := range []string{"/healthz", "/metricz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d without a key, want 200", path, resp.StatusCode)
+		}
+	}
+	c := metricCounters(t, base)
+	if c["auth.missing"] == 0 || c["auth.rejected"] == 0 {
+		t.Errorf("auth counters = missing %d rejected %d, want both > 0", c["auth.missing"], c["auth.rejected"])
+	}
+}
+
+// TestAdmissionBucket drives the token bucket with a fake clock: burst
+// admits immediately, exhaustion rejects with a refill-derived
+// Retry-After, elapsed time restores tokens, and a concurrency
+// rejection does not also consume a rate token.
+func TestAdmissionBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tn := NewTenants()
+	tn.Add("k", "ten", TenantLimits{JobsPerMinute: 60, Burst: 2})
+	a := newAdmission(tn, func() time.Time { return now })
+
+	rel1, rej := a.acquire("ten")
+	if rej != nil {
+		t.Fatalf("first acquire rejected: %+v", rej)
+	}
+	rel2, rej := a.acquire("ten")
+	if rej != nil {
+		t.Fatalf("second acquire (burst) rejected: %+v", rej)
+	}
+	_, rej = a.acquire("ten")
+	if rej == nil {
+		t.Fatal("third acquire admitted past the burst")
+	}
+	// 60/min = one token per second: an empty bucket refills one token
+	// in 1s.
+	if rej.retryAfter != time.Second {
+		t.Errorf("retryAfter = %v, want 1s", rej.retryAfter)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	rel3, rej := a.acquire("ten")
+	if rej != nil {
+		t.Fatalf("acquire after refill rejected: %+v", rej)
+	}
+	rel1()
+	rel2()
+	rel3()
+
+	// Concurrency rejections must not drain the bucket.
+	tn2 := NewTenants()
+	tn2.Add("k", "ten", TenantLimits{MaxConcurrent: 1, JobsPerMinute: 2, Burst: 2})
+	b := newAdmission(tn2, func() time.Time { return now })
+	relA, rej := b.acquire("ten") // consumes token 1 of 2
+	if rej != nil {
+		t.Fatalf("acquire: %+v", rej)
+	}
+	if _, rej = b.acquire("ten"); rej == nil {
+		t.Fatal("second concurrent job admitted past MaxConcurrent=1")
+	} else if !strings.Contains(rej.msg, "concurrent") {
+		t.Errorf("rejection = %q, want a concurrency message", rej.msg)
+	}
+	relA()
+	relB, rej := b.acquire("ten") // token 2 of 2 — still there if the rejection didn't eat it
+	if rej != nil {
+		t.Fatalf("acquire after release rejected: %+v (concurrency rejection consumed a token?)", rej)
+	}
+	relB()
+	if _, rej = b.acquire("ten"); rej == nil {
+		t.Fatal("bucket should now be empty")
+	}
+}
+
+func TestQuota429AndIsolation(t *testing.T) {
+	// capped: one job per minute, burst 1 — the second submission inside
+	// the window must bounce.
+	_, base := tenantedServer(t, TenantLimits{JobsPerMinute: 1})
+
+	resp := authedPost(t, base+"/v1/runs?detach=1", "key-capped", `{"program":"ss","arg":20}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first capped submit = %d, want 202", resp.StatusCode)
+	}
+	resp = authedPost(t, base+"/v1/runs?detach=1", "key-capped", `{"program":"ss","arg":21}`)
+	ra := resp.Header.Get("Retry-After")
+	e := decodeEnvelope(t, resp, http.StatusTooManyRequests)
+	if e.Code != api.CodeQuotaExhausted || !e.Retryable {
+		t.Errorf("quota envelope = %+v, want retryable quota_exhausted", e)
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", ra)
+	}
+
+	// The free tenant is untouched by capped's exhaustion.
+	for i := 0; i < 3; i++ {
+		resp := authedPost(t, base+"/v1/runs?detach=1", "key-free", fmt.Sprintf(`{"program":"ss","arg":%d}`, 30+i))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("free submit %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+	c := metricCounters(t, base)
+	if c["tenant.capped.rejected"] != 1 || c["tenant.capped.admitted"] != 1 {
+		t.Errorf("capped counters = admitted %d rejected %d, want 1/1",
+			c["tenant.capped.admitted"], c["tenant.capped.rejected"])
+	}
+	if c["tenant.free.rejected"] != 0 || c["tenant.free.admitted"] != 3 {
+		t.Errorf("free counters = admitted %d rejected %d, want 3/0",
+			c["tenant.free.admitted"], c["tenant.free.rejected"])
+	}
+}
+
+// TestQuotaIsolationConcurrent hammers the front door from two tenants
+// at once: the capped tenant collects 429s, the free tenant never sees
+// one, and counters stay coherent (admitted + rejected = submissions).
+func TestQuotaIsolationConcurrent(t *testing.T) {
+	_, base := tenantedServer(t, TenantLimits{JobsPerMinute: 2, Burst: 2})
+
+	const perTenant = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	status := map[string][]int{}
+	submit := func(key string, arg int) {
+		defer wg.Done()
+		resp := authedPost(t, base+"/v1/runs?detach=1", key, fmt.Sprintf(`{"program":"ss","arg":%d}`, arg))
+		resp.Body.Close()
+		mu.Lock()
+		status[key] = append(status[key], resp.StatusCode)
+		mu.Unlock()
+	}
+	for i := 0; i < perTenant; i++ {
+		wg.Add(2)
+		go submit("key-free", 20+i)
+		go submit("key-capped", 20+i)
+	}
+	wg.Wait()
+
+	count := func(key string, code int) int {
+		n := 0
+		for _, c := range status[key] {
+			if c == code {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("key-free", http.StatusAccepted); got != perTenant {
+		t.Errorf("free tenant: %d/%d accepted (statuses %v)", got, perTenant, status["key-free"])
+	}
+	// Burst 2 admits at least two and the slow refill at most a couple
+	// more; the rest must bounce.
+	if got := count("key-capped", http.StatusTooManyRequests); got < perTenant-4 {
+		t.Errorf("capped tenant: only %d rejections of %d submissions (statuses %v)",
+			got, perTenant, status["key-capped"])
+	}
+	c := metricCounters(t, base)
+	if c["tenant.capped.admitted"]+c["tenant.capped.rejected"] != perTenant {
+		t.Errorf("capped admitted %d + rejected %d != %d submissions",
+			c["tenant.capped.admitted"], c["tenant.capped.rejected"], perTenant)
+	}
+}
+
+// TestTenantVisibility: tenants see exactly their own jobs — status,
+// list, and cancel all treat a foreign job as nonexistent.
+func TestTenantVisibility(t *testing.T) {
+	_, base := tenantedServer(t, TenantLimits{})
+
+	resp := authedPost(t, base+"/v1/runs?detach=1", "key-free", `{"program":"ss","arg":20}`)
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Tenant != "free" {
+		t.Errorf("job tenant = %q, want free", st.Tenant)
+	}
+
+	authedGet := func(key, path string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// The owner sees it.
+	resp = authedGet("key-free", "/v1/runs/"+st.ID)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("owner GET = %d, want 200", resp.StatusCode)
+	}
+	// A foreign tenant gets not_found — not forbidden, which would leak
+	// the ID's existence.
+	resp = authedGet("key-capped", "/v1/runs/"+st.ID)
+	if e := decodeEnvelope(t, resp, http.StatusNotFound); e.Code != api.CodeNotFound {
+		t.Errorf("foreign GET envelope = %+v", e)
+	}
+	// Lists are scoped.
+	resp = authedGet("key-capped", "/v1/runs")
+	var foreign []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&foreign); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, j := range foreign {
+		if j.ID == st.ID {
+			t.Errorf("foreign list leaked job %s", st.ID)
+		}
+	}
+	// Foreign cancel is a 404 and the job survives.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/runs/"+st.ID, nil)
+	req.Header.Set("Authorization", "Bearer key-capped")
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("foreign cancel = %d, want 404", dresp.StatusCode)
+	}
+}

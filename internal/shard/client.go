@@ -10,6 +10,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"jmtam/api"
 )
 
 // PermanentError marks a failure retries cannot fix: a worker rejected
@@ -26,30 +28,12 @@ func permanent(format string, args ...any) error {
 	return &PermanentError{Err: fmt.Errorf(format, args...)}
 }
 
-// workerSweepRequest is the wire form of a one-unit shard request to a
-// worker's POST /v1/sweeps (detail adds per-geometry miss counts to the
-// run summaries).
-type workerSweepRequest struct {
-	Workloads  []Workload `json:"workloads"`
-	SizesKB    []int      `json:"sizes_kb"`
-	Assocs     []int      `json:"assocs"`
-	BlockBytes int        `json:"block_bytes"`
-	Penalties  []int      `json:"penalties"`
-	Impls      []string   `json:"impls"`
-	Detail     bool       `json:"detail"`
-}
-
 // workerSweepResult mirrors the worker's SweepResult document, detail
-// fields included.
+// fields included. UnitResult carries more than api.SweepRunSummary
+// (position-indexed geometry stats), so the document is re-parsed here
+// rather than through api.SweepResult.
 type workerSweepResult struct {
 	Runs []UnitResult `json:"runs"`
-}
-
-// streamLine is one NDJSON event on a worker's job stream.
-type streamLine struct {
-	Type   string          `json:"type"`
-	Error  string          `json:"error"`
-	Result json.RawMessage `json:"result"`
 }
 
 // attempt leases one shard to a worker: POST the one-unit sweep, follow
@@ -57,7 +41,7 @@ type streamLine struct {
 // The context carries the lease deadline; expiry surfaces as
 // context.DeadlineExceeded, which the caller books as a re-queue.
 func (c *Coordinator) attempt(ctx context.Context, w *worker, spec *Spec, u Unit) (UnitResult, error) {
-	wreq := workerSweepRequest{
+	wreq := api.SweepRequest{
 		Workloads:  []Workload{u.Workload},
 		SizesKB:    spec.SizesKB,
 		Assocs:     spec.Assocs,
@@ -81,21 +65,26 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, spec *Spec, u Unit
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return UnitResult{}, permanent("worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// Branch on the structured envelope, not the status class: a 429
+		// (quota) or an envelope marked retryable is worth another worker
+		// or another attempt; bad_request/not_found would fail everywhere
+		// identically.
+		apiErr := api.DecodeError(resp.StatusCode, body)
+		if apiErr.Retryable {
+			return UnitResult{}, fmt.Errorf("worker %s: %w", w.url, apiErr)
 		}
-		return UnitResult{}, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
+		return UnitResult{}, permanent("worker %s: %s", w.url, apiErr.Error())
 	}
 
-	var last streamLine
+	var last api.Event
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
 	for sc.Scan() {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
-		var l streamLine
+		var l api.Event
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
 			return UnitResult{}, fmt.Errorf("worker %s: bad stream line: %w", w.url, err)
 		}
@@ -105,13 +94,13 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, spec *Spec, u Unit
 		return UnitResult{}, fmt.Errorf("worker %s: stream: %w", w.url, err)
 	}
 	switch last.Type {
-	case "result":
+	case api.EventResult:
 		return parseUnitResult(last.Result, spec, u, w.url)
-	case "error":
+	case api.EventError:
 		// Deterministic simulation failure: every worker (and a local
 		// run) would fail the same way.
 		return UnitResult{}, permanent("worker %s: job failed: %s", w.url, last.Error)
-	case "canceled":
+	case api.EventCanceled:
 		// The worker is shutting down; another worker can run the shard.
 		return UnitResult{}, fmt.Errorf("worker %s: job canceled mid-shard", w.url)
 	default:

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"jmtam/api"
 	"jmtam/internal/faultnet"
 	"jmtam/internal/obs"
 )
@@ -33,7 +34,7 @@ func testSpec() *Spec {
 // fakeUnit derives a deterministic result for a one-unit worker request:
 // a pure function of (program, arg, impl, geometry), so every stub
 // worker agrees and position-indexed reassembly is checkable.
-func fakeUnit(req workerSweepRequest) UnitResult {
+func fakeUnit(req api.SweepRequest) UnitResult {
 	w := req.Workloads[0]
 	impl := implName(req.Impls[0])
 	h := uint64(len(w.Program))*1_000_000 + uint64(w.Arg)*1000 + uint64(len(impl))
@@ -55,7 +56,7 @@ func fakeUnit(req workerSweepRequest) UnitResult {
 func wantUnits(spec *Spec) []UnitResult {
 	var want []UnitResult
 	for _, u := range spec.Units() {
-		want = append(want, fakeUnit(workerSweepRequest{
+		want = append(want, fakeUnit(api.SweepRequest{
 			Workloads: []Workload{u.Workload}, Impls: []string{u.Impl},
 			SizesKB: spec.SizesKB, Assocs: spec.Assocs, BlockBytes: spec.BlockBytes,
 		}))
@@ -67,14 +68,14 @@ func wantUnits(spec *Spec) []UnitResult {
 // fakeUnit result. beforeResult, when non-nil, runs after the request is
 // parsed and may substitute the terminal behavior entirely by returning
 // false.
-func stubWorker(t *testing.T, beforeResult func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool) *httptest.Server {
+func stubWorker(t *testing.T, beforeResult func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
-		var req workerSweepRequest
+		var req api.SweepRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -112,8 +113,8 @@ func TestSpecUnitsOrder(t *testing.T) {
 	spec := testSpec()
 	units := spec.Units()
 	want := []Unit{
-		{Workload{"ss", 40}, "md"}, {Workload{"ss", 40}, "am"},
-		{Workload{"gauss", 8}, "md"}, {Workload{"gauss", 8}, "am"},
+		{Workload{Program: "ss", Arg: 40}, "md"}, {Workload{Program: "ss", Arg: 40}, "am"},
+		{Workload{Program: "gauss", Arg: 8}, "md"}, {Workload{Program: "gauss", Arg: 8}, "am"},
 	}
 	if !reflect.DeepEqual(units, want) {
 		t.Fatalf("units = %v, want %v", units, want)
@@ -146,7 +147,7 @@ func TestCoordinatorAllRemote(t *testing.T) {
 
 func TestCoordinatorRetriesTransientThenSucceeds(t *testing.T) {
 	var badCalls atomic.Int64
-	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool {
 		badCalls.Add(1)
 		w.WriteHeader(http.StatusInternalServerError)
 		return false
@@ -174,7 +175,7 @@ func TestCoordinatorRetriesTransientThenSucceeds(t *testing.T) {
 }
 
 func TestCoordinatorPermanentErrorAborts(t *testing.T) {
-	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool {
 		http.Error(w, "no such program", http.StatusBadRequest)
 		return false
 	})
@@ -241,7 +242,7 @@ func TestCoordinatorLocalMatchesRemoteExecution(t *testing.T) {
 func TestCoordinatorLeaseExpiryRequeues(t *testing.T) {
 	// The hung worker parses the request then stalls until the client
 	// gives up: a worker that died mid-shard without closing the socket.
-	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool {
 		w.(http.Flusher).Flush()
 		<-r.Context().Done()
 		return false
@@ -266,7 +267,7 @@ func TestCoordinatorLeaseExpiryRequeues(t *testing.T) {
 }
 
 func TestCoordinatorHedgesStragglers(t *testing.T) {
-	slow := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+	slow := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool {
 		time.Sleep(300 * time.Millisecond)
 		return true
 	})
@@ -330,7 +331,7 @@ func TestCoordinatorDeterministicUnderChaos(t *testing.T) {
 }
 
 func TestCoordinatorCancelPropagates(t *testing.T) {
-	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req workerSweepRequest) bool {
+	hung := stubWorker(t, func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool {
 		w.(http.Flusher).Flush()
 		<-r.Context().Done()
 		return false

@@ -19,15 +19,14 @@ package shard
 import (
 	"fmt"
 
+	"jmtam/api"
 	"jmtam/internal/cache"
 	"jmtam/internal/core"
 )
 
-// Workload names one benchmark instance in wire form.
-type Workload struct {
-	Program string `json:"program"`
-	Arg     int    `json:"arg,omitempty"`
-}
+// Workload names one benchmark instance in wire form (the api
+// package's WorkloadSpec; the alias keeps shard call sites short).
+type Workload = api.WorkloadSpec
 
 // Spec is the sweep to distribute: the same parameter space as a
 // tamsimd SweepRequest, already normalized (no empty fields).

@@ -113,6 +113,7 @@ type Fleet struct {
 	peers   []string
 	client  *http.Client
 	metrics Metrics
+	cfg     FleetConfig
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -125,18 +126,62 @@ type flight struct {
 	err  error
 }
 
+// FleetConfig customizes a Fleet for payloads other than trace
+// recordings; zero values give the recording defaults.
+type FleetConfig struct {
+	// Path is the peer endpoint path prefix the key is appended to,
+	// default "/v1/recordings/".
+	Path string
+	// Prefix replaces "store" in the fleet-layer metric names
+	// ("<prefix>.records", "<prefix>.peer.hits", ...).
+	Prefix string
+	// Validate checks a peer-fetched payload before it is trusted;
+	// default requires a parseable compact recording header.
+	Validate func(data []byte) error
+	// Saved, when non-nil, returns the byte savings to credit under
+	// "<prefix>.bytes.saved" for a served payload (0 = none). The
+	// default credits a recording's packed-minus-compact delta.
+	Saved func(data []byte) uint64
+}
+
 // NewFleet wraps store with peer fetch against the given base URLs
 // ("http://host:port", no trailing slash needed). client may be nil
 // (http.DefaultClient); m may be nil.
 func NewFleet(store *Store, peers []string, client *http.Client, m Metrics) *Fleet {
+	return NewFleetWith(store, peers, client, m, FleetConfig{})
+}
+
+// NewFleetWith is NewFleet with explicit FleetConfig.
+func NewFleetWith(store *Store, peers []string, client *http.Client, m Metrics, cfg FleetConfig) *Fleet {
 	if client == nil {
 		client = http.DefaultClient
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/v1/recordings/"
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "store"
+	}
+	if cfg.Validate == nil {
+		cfg.Validate = func(data []byte) error {
+			_, err := trace.CompactStat(data)
+			return err
+		}
+	}
+	if cfg.Saved == nil {
+		cfg.Saved = func(data []byte) uint64 {
+			if info, err := trace.CompactStat(data); err == nil && info.PackedBytes > info.CompactBytes {
+				return uint64(info.PackedBytes - info.CompactBytes)
+			}
+			return 0
+		}
 	}
 	return &Fleet{
 		store:    store,
 		peers:    peers,
 		client:   client,
 		metrics:  m,
+		cfg:      cfg,
 		inflight: make(map[string]*flight),
 	}
 }
@@ -146,13 +191,13 @@ func (f *Fleet) Store() *Store { return f.store }
 
 func (f *Fleet) count(name string, d uint64) {
 	if f.metrics != nil {
-		f.metrics.Count(name, d)
+		f.metrics.Count(f.cfg.Prefix+name, d)
 	}
 }
 
 func (f *Fleet) observe(name string, v uint64) {
 	if f.metrics != nil {
-		f.metrics.Observe(name, v)
+		f.metrics.Observe(f.cfg.Prefix+name, v)
 	}
 }
 
@@ -167,7 +212,7 @@ func (f *Fleet) GetOrRecord(ctx context.Context, key string, record func(ctx con
 	f.mu.Lock()
 	if fl := f.inflight[key]; fl != nil {
 		f.mu.Unlock()
-		f.count("store.coalesced", 1)
+		f.count(".coalesced", 1)
 		select {
 		case <-fl.done:
 			return fl.data, fl.src, fl.err
@@ -188,15 +233,15 @@ func (f *Fleet) GetOrRecord(ctx context.Context, key string, record func(ctx con
 	return fl.data, fl.src, fl.err
 }
 
-// saved credits the compaction saving of one served recording: the
-// packed bytes that never had to be materialized or moved, minus the
-// compact bytes that did.
+// saved credits the byte savings of one served payload, per the
+// config's Saved hook (for recordings: the packed bytes that never had
+// to be materialized or moved, minus the compact bytes that did).
 func (f *Fleet) saved(data []byte) {
 	if f.metrics == nil {
 		return
 	}
-	if info, err := trace.CompactStat(data); err == nil && info.PackedBytes > info.CompactBytes {
-		f.count("store.bytes.saved", uint64(info.PackedBytes-info.CompactBytes))
+	if d := f.cfg.Saved(data); d > 0 {
+		f.count(".bytes.saved", d)
 	}
 }
 
@@ -211,7 +256,7 @@ func (f *Fleet) fill(ctx context.Context, key string, record func(ctx context.Co
 	for _, peer := range f.peers {
 		data, err := f.fetchPeer(ctx, peer, key)
 		if err == nil {
-			f.count("store.peer.hits", 1)
+			f.count(".peer.hits", 1)
 			f.saved(data)
 			if err := f.store.Put(key, data); err != nil {
 				return nil, SourcePeer, err
@@ -222,16 +267,16 @@ func (f *Fleet) fill(ctx context.Context, key string, record func(ctx context.Co
 			return nil, SourceRecorded, ctx.Err()
 		}
 		if errors.Is(err, errPeerMiss) {
-			f.count("store.peer.misses", 1)
+			f.count(".peer.misses", 1)
 		} else {
-			f.count("store.peer.errors", 1)
+			f.count(".peer.errors", 1)
 		}
 	}
 	data, err := record(ctx)
 	if err != nil {
 		return nil, SourceRecorded, err
 	}
-	f.count("store.records", 1)
+	f.count(".records", 1)
 	if err := f.store.Put(key, data); err != nil {
 		return nil, SourceRecorded, err
 	}
@@ -245,7 +290,7 @@ func (f *Fleet) fill(ctx context.Context, key string, record func(ctx context.Co
 var errPeerMiss = errors.New("tracestore: peer does not have the recording")
 
 func (f *Fleet) fetchPeer(ctx context.Context, peer, key string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, recordingURL(peer, key), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.peerURL(peer, key), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +313,11 @@ func (f *Fleet) fetchPeer(ctx context.Context, peer, key string) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
-	// Validate before trusting a network payload: the header must parse
-	// as a compact recording.
-	if _, err := trace.CompactStat(data); err != nil {
-		return nil, fmt.Errorf("tracestore: peer %s sent a corrupt recording: %w", peer, err)
+	// Validate before trusting a network payload.
+	if err := f.cfg.Validate(data); err != nil {
+		return nil, fmt.Errorf("tracestore: peer %s sent a corrupt payload: %w", peer, err)
 	}
-	f.observe("store.peer.fetch.ms", uint64(time.Since(start).Milliseconds()))
+	f.observe(".peer.fetch.ms", uint64(time.Since(start).Milliseconds()))
 	return data, nil
 }
 
@@ -281,26 +325,26 @@ func (f *Fleet) fetchPeer(ctx context.Context, peer, key string) ([]byte, error)
 // peer that is down just records the miss on its own next request.
 func (f *Fleet) push(ctx context.Context, key string, data []byte) {
 	for _, peer := range f.peers {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, recordingURL(peer, key), bytes.NewReader(data))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, f.peerURL(peer, key), bytes.NewReader(data))
 		if err != nil {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
 		resp, err := f.client.Do(req)
 		if err != nil {
-			f.count("store.push.errors", 1)
+			f.count(".push.errors", 1)
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode >= 300 {
-			f.count("store.push.errors", 1)
+			f.count(".push.errors", 1)
 			continue
 		}
-		f.count("store.pushes", 1)
+		f.count(".pushes", 1)
 	}
 }
 
-func recordingURL(peer, key string) string {
-	return strings.TrimSuffix(peer, "/") + "/v1/recordings/" + key
+func (f *Fleet) peerURL(peer, key string) string {
+	return strings.TrimSuffix(peer, "/") + f.cfg.Path + key
 }

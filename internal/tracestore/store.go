@@ -41,6 +41,8 @@ type Store struct {
 	maxBytes int64
 	dir      string
 	metrics  Metrics
+	ext      string
+	prefix   string
 
 	ll    *list.List // front = most recently used
 	idx   map[string]*list.Element
@@ -52,15 +54,39 @@ type entry struct {
 	data []byte
 }
 
+// Options customizes a Store beyond New's defaults, so the same
+// LRU/disk machinery can hold payloads other than trace recordings
+// (the server's result cache stores JSON documents through it).
+type Options struct {
+	// Ext is the disk filename extension, default ".jtr". Stores
+	// sharing a directory must use distinct extensions.
+	Ext string
+	// Prefix replaces "store" in metric names ("<prefix>.hits",
+	// "<prefix>.mem.bytes", ...), keeping tiers distinguishable on
+	// /metricz.
+	Prefix string
+}
+
 // New returns a store with the given disk directory ("" = memory only)
 // and memory budget in bytes (0 = DefaultMemBytes; negative = no
 // memory tier, disk only). The directory is created if missing.
 func New(dir string, memBytes int64, m Metrics) (*Store, error) {
+	return NewWith(dir, memBytes, m, Options{})
+}
+
+// NewWith is New with explicit Options.
+func NewWith(dir string, memBytes int64, m Metrics, o Options) (*Store, error) {
 	if memBytes == 0 {
 		memBytes = DefaultMemBytes
 	}
 	if memBytes < 0 {
 		memBytes = 0
+	}
+	if o.Ext == "" {
+		o.Ext = ".jtr"
+	}
+	if o.Prefix == "" {
+		o.Prefix = "store"
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -71,6 +97,8 @@ func New(dir string, memBytes int64, m Metrics) (*Store, error) {
 		maxBytes: memBytes,
 		dir:      dir,
 		metrics:  m,
+		ext:      o.Ext,
+		prefix:   o.Prefix,
 		ll:       list.New(),
 		idx:      make(map[string]*list.Element),
 	}, nil
@@ -95,14 +123,14 @@ var errBadKey = errors.New("tracestore: key is not a 64-digit hex content addres
 
 func (s *Store) count(name string, d uint64) {
 	if s.metrics != nil {
-		s.metrics.Count(name, d)
+		s.metrics.Count(s.prefix+name, d)
 	}
 }
 
 func (s *Store) gauges() {
 	if s.metrics != nil {
-		s.metrics.GaugeSet("store.mem.bytes", s.bytes)
-		s.metrics.GaugeSet("store.mem.entries", int64(s.ll.Len()))
+		s.metrics.GaugeSet(s.prefix+".mem.bytes", s.bytes)
+		s.metrics.GaugeSet(s.prefix+".mem.entries", int64(s.ll.Len()))
 	}
 }
 
@@ -125,21 +153,21 @@ func (s *Store) lookup(key string, countMiss bool) ([]byte, bool) {
 		s.ll.MoveToFront(el)
 		data := el.Value.(*entry).data
 		s.mu.Unlock()
-		s.count("store.hits", 1)
-		s.count("store.mem.hits", 1)
+		s.count(".hits", 1)
+		s.count(".mem.hits", 1)
 		return data, true
 	}
 	s.mu.Unlock()
 	if s.dir != "" {
 		if data, err := os.ReadFile(s.path(key)); err == nil {
-			s.count("store.hits", 1)
-			s.count("store.disk.hits", 1)
+			s.count(".hits", 1)
+			s.count(".disk.hits", 1)
 			s.admit(key, data)
 			return data, true
 		}
 	}
 	if countMiss {
-		s.count("store.misses", 1)
+		s.count(".misses", 1)
 	}
 	return nil, false
 }
@@ -192,12 +220,12 @@ func (s *Store) admit(key string, data []byte) {
 	s.gauges()
 	s.mu.Unlock()
 	if evicted > 0 {
-		s.count("store.evictions", evicted)
+		s.count(".evictions", evicted)
 	}
 }
 
 func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, key+".jtr")
+	return filepath.Join(s.dir, key+s.ext)
 }
 
 func (s *Store) writeFile(key string, data []byte) error {
