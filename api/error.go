@@ -35,6 +35,12 @@ const (
 	// deterministic simulation failures surface as stream "error"
 	// events, not HTTP statuses.
 	CodeInternal ErrorCode = "internal"
+	// CodeDeadlineExceeded: the job ran past the daemon's -job-timeout
+	// watchdog and was killed. It also prefixes the terminal stream
+	// "error" event of a watchdog-killed job, where it marks the one
+	// stream failure another worker may legitimately retry — the job
+	// may have wedged on daemon-local state, not deterministically.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 )
 
 // retryableCode says whether a request failing with the code may

@@ -75,7 +75,8 @@ type GeometryEvent struct {
 
 // RunProgressEvent reports one completed (workload, impl) unit within a
 // sweep job. Source, when present, says where the unit's recording came
-// from: "local", "peer" or "recorded".
+// from: "local", "peer", "recorded", or "checkpoint" (restored from a
+// journaled unit checkpoint after a restart, not re-run).
 type RunProgressEvent struct {
 	Type    string `json:"type"`
 	ID      string `json:"id"`

@@ -9,6 +9,11 @@
 //	loadgen -tenants 'alice:key-a:4,bob:key-b:4' -expect-429 bob
 //	loadgen -kind mix -variants 3 -slo-p99-ms 2000 -min-qps 1
 //
+// Before loading, loadgen polls the daemon's /readyz (readiness, not
+// liveness) for up to -ready-timeout: a daemon still replaying its
+// journal or already draining would make every measurement a lie, so
+// an unready target exits 2 (setup error) instead of failing the SLO.
+//
 // Each tenant runs N closed-loop workers: submit a job, stream its
 // NDJSON events to the terminal line, record the outcome, repeat until
 // the deadline. Workers cycle through -variants distinct request
@@ -136,8 +141,38 @@ var (
 	minQPS   = flag.Float64("min-qps", 0, "assert overall completed-job QPS >= this (0 = off)")
 	want429  = flag.String("expect-429", "", "assert this tenant saw at least one quota rejection")
 	wantHits = flag.Bool("expect-cache-hits", false, "assert at least one job was served from the result cache")
+	readyFor = flag.Duration("ready-timeout", 10*time.Second, "wait this long for the daemon's /readyz before loading (0 = skip preflight)")
 	out      = flag.String("o", "", "write the JSON summary here (default stdout)")
 )
+
+// awaitReady polls /readyz until the daemon reports ready or the
+// timeout passes. Loading a daemon that is still recovering its
+// journal — or already draining — measures the wrong thing, so an
+// unready daemon is a setup error (exit 2), not an SLO failure.
+func awaitReady(base string, timeout time.Duration) error {
+	if timeout <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	last := "no response"
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		} else {
+			last = err.Error()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not ready after %s (%s)", timeout, last)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -152,6 +187,10 @@ func main() {
 	}
 
 	base := strings.TrimRight(*addr, "/")
+	if err := awaitReady(base, *readyFor); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
 	stats := make(map[string]*tenantStats, len(specs))
 	for _, sp := range specs {
 		stats[sp.name] = &tenantStats{}

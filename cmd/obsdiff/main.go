@@ -1,0 +1,217 @@
+// Command obsdiff renders two tamsimd metrics dumps side by side with
+// deltas, so a before/after pair of /metricz scrapes — around a load
+// run, a chaos drill, or a daemon restart — reads as one table instead
+// of two walls of JSON:
+//
+//	curl -s localhost:8347/metricz > before.json
+//	...run the experiment...
+//	obsdiff before.json http://127.0.0.1:8347/metricz
+//
+// Each argument is a file path or an http(s) URL (fetched live).
+// Counters and gauges print value → value with the delta; histograms
+// print count, mean and the p50/p99 estimated from their sparse log2
+// buckets. By default only rows that changed are shown; -all prints
+// every metric in either dump, and -match filters rows to those whose
+// name contains a substring:
+//
+//	obsdiff -match journal before.json after.json
+//	obsdiff -all before.json after.json
+//
+// Exit status: 0 on success (even when nothing changed — the diff is a
+// report, not an assertion), 2 on a fetch or parse failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// doc mirrors the obs.Registry WriteJSON document /metricz serves.
+type doc struct {
+	Counters   map[string]uint64    `json:"counters"`
+	Gauges     map[string]gauge     `json:"gauges"`
+	Histograms map[string]histogram `json:"histograms"`
+}
+
+type gauge struct {
+	Value int64 `json:"value"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+type histogram struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []bucket `json:"buckets"`
+}
+
+type bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// percentile estimates the p-th percentile from the sparse log2
+// buckets: the upper bound of the first bucket where the cumulative
+// count reaches ceil(p/100 * N), clamped to the recorded max.
+func (h histogram) percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= target {
+			if b.Hi > h.Max {
+				return h.Max
+			}
+			return b.Hi
+		}
+	}
+	return h.Max
+}
+
+// load reads a metrics document from a file path or an http(s) URL.
+func load(src string) (*doc, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: %s", src, resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	var d doc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	return &d, nil
+}
+
+// unionKeys returns the sorted union of both maps' keys, filtered by
+// the -match substring.
+func unionKeys[V any](a, b map[string]V, match string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		set[k] = struct{}{}
+	}
+	for k := range b {
+		set[k] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		if match == "" || strings.Contains(k, match) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// delta renders a signed difference, "" when zero.
+func delta(d int64) string {
+	if d == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%+d", d)
+}
+
+var (
+	all   = flag.Bool("all", false, "print unchanged metrics too")
+	match = flag.String("match", "", "only metrics whose name contains this substring")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [-all] [-match substr] <before> <after>")
+		fmt.Fprintln(os.Stderr, "  each argument is a /metricz JSON file or an http(s) URL")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	before, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdiff:", err)
+		os.Exit(2)
+	}
+	after, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdiff:", err)
+		os.Exit(2)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	changed := 0
+
+	fmt.Fprintf(w, "COUNTER\tBEFORE\tAFTER\tDELTA\n")
+	for _, k := range unionKeys(before.Counters, after.Counters, *match) {
+		a, b := before.Counters[k], after.Counters[k]
+		if a == b && !*all {
+			continue
+		}
+		if a != b {
+			changed++
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", k, a, b, delta(int64(b)-int64(a)))
+	}
+
+	fmt.Fprintf(w, "\nGAUGE\tBEFORE\tAFTER\tDELTA\tRANGE AFTER\n")
+	for _, k := range unionKeys(before.Gauges, after.Gauges, *match) {
+		a, b := before.Gauges[k], after.Gauges[k]
+		if a == b && !*all {
+			continue
+		}
+		if a != b {
+			changed++
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t[%d, %d]\n", k, a.Value, b.Value, delta(b.Value-a.Value), b.Min, b.Max)
+	}
+
+	fmt.Fprintf(w, "\nHISTOGRAM\tCOUNT\tΔCOUNT\tMEAN\tP50\tP99\tMAX\n")
+	for _, k := range unionKeys(before.Histograms, after.Histograms, *match) {
+		a, b := before.Histograms[k], after.Histograms[k]
+		if a.Count == b.Count && a.Sum == b.Sum && !*all {
+			continue
+		}
+		if a.Count != b.Count || a.Sum != b.Sum {
+			changed++
+		}
+		fmt.Fprintf(w, "%s\t%d→%d\t%s\t%.1f→%.1f\t%d\t%d\t%d\n",
+			k, a.Count, b.Count, delta(int64(b.Count)-int64(a.Count)),
+			a.Mean, b.Mean, b.percentile(50), b.percentile(99), b.Max)
+	}
+
+	w.Flush()
+	fmt.Printf("\n%d metric(s) changed\n", changed)
+}

@@ -33,7 +33,25 @@
 //
 // -journal write-ahead journals every job state transition (fsynced
 // NDJSON); a restarted daemon re-queues incomplete jobs under their
-// original IDs and still serves results for completed ones.
+// original IDs and still serves results for completed ones. Sweeps
+// also checkpoint every finished (workload, impl) unit, so a daemon
+// killed mid-sweep resumes from its last checkpoint instead of
+// starting over — the resumed result document is byte-identical to an
+// uninterrupted run. -journal-max-bytes bounds the file: past the
+// bound it is compacted in place (terminal jobs fold into snapshot
+// lines, live jobs keep their checkpoints).
+//
+// Resilience: -job-timeout arms a per-job watchdog that kills any job
+// running past the deadline (terminal "error" event prefixed
+// deadline_exceeded, admission slot released). -scrub-interval starts
+// a background integrity scrubber over the disk store: every blob's
+// checksum is verified, corrupt blobs are quarantined (renamed .bad,
+// never served) and transparently re-fetched from peers or
+// re-recorded. On SIGTERM/SIGINT the daemon drains gracefully:
+// /readyz flips to 503 (so load balancers and coordinators route
+// elsewhere), new submissions are refused, running sweeps checkpoint,
+// and the process exits within -drain-timeout. /healthz stays
+// liveness-only; poll /readyz for routability.
 //
 // Recording store: every daemon keeps a content-addressed store of
 // compacted trace recordings keyed by the (program, arg, impl, nodes,
@@ -97,6 +115,10 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 32, "compiled-program cache capacity")
 	maxInstrs := flag.Uint64("max-instructions", 0, "default per-job instruction budget (0 = 2e9)")
 	journalPath := flag.String("journal", "", "write-ahead job journal path (empty = no journal)")
+	journalMaxBytes := flag.Int64("journal-max-bytes", 0, "compact the journal past this size (0 = 64 MiB, negative = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "kill any job running longer than this (0 = no watchdog)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on SIGTERM before forced exit")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background disk-store integrity scrub period (0 = no scrubber)")
 	storeDir := flag.String("store-dir", "", "recording store disk tier (empty = memory only)")
 	storeMem := flag.Int64("store-mem", 0, "recording store memory budget in bytes (0 = 256 MiB, negative = store disabled)")
 	storePeers := flag.String("store-peers", "", "comma-separated peer daemon base URLs to consult for recordings")
@@ -125,6 +147,8 @@ func main() {
 		StoreDir:               *storeDir,
 		StoreMemBytes:          *storeMem,
 		ResultMemBytes:         *resultsMem,
+		JobTimeout:             *jobTimeout,
+		ScrubInterval:          *scrubInterval,
 	}
 	if *apiKeys != "" {
 		tenants, err := server.LoadTenants(*apiKeys)
@@ -143,6 +167,7 @@ func main() {
 		log.Print("worker mode: serving shards, no journal, no fan-out")
 	} else {
 		cfg.JournalPath = *journalPath
+		cfg.JournalMaxBytes = *journalMaxBytes
 		if *shardWorkers != "" {
 			for _, u := range strings.Split(*shardWorkers, ",") {
 				if u = strings.TrimSpace(u); u != "" {
@@ -191,8 +216,14 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
-		srv.Close() // cancel outstanding jobs so streams terminate
+		log.Print("draining: refusing new jobs, waiting for running ones")
+		// Drain first: /readyz goes 503 so routers steer elsewhere, new
+		// submissions are refused, and running jobs get up to
+		// -drain-timeout to finish (sweeps checkpoint as they go, so
+		// whatever doesn't finish resumes after restart).
+		dCtx, dCancel := context.WithTimeout(context.Background(), *drainTimeout)
+		srv.Drain(dCtx)
+		dCancel()
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		hs.Shutdown(shCtx)

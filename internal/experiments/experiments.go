@@ -474,6 +474,16 @@ func RunOneParContext(ctx context.Context, w Workload, impl core.Impl, geoms []c
 	return runOneParContext(ctx, w, impl, geoms, opt, parallelism, nil)
 }
 
+// RunOneParHookContext is RunOneParContext with the live
+// recording-bytes hook Sweep.OnRecordingBytes threads through — for
+// callers that drive sweep units one at a time (checkpoint/resume)
+// but still want the in-flight recording gauge. It is exactly the
+// per-unit body of Sweep.ExecuteContext, so a unit-at-a-time sweep is
+// byte-identical to a whole-grid one.
+func RunOneParHookContext(ctx context.Context, w Workload, impl core.Impl, geoms []cache.Config, opt core.Options, parallelism int, onRecBytes func(delta int64)) (*Run, error) {
+	return runOneParContext(ctx, w, impl, geoms, opt, parallelism, onRecBytes)
+}
+
 // runOneParContext is RunOneParContext with a live-recording-bytes
 // hook (see Sweep.OnRecordingBytes). The cluster path records one
 // stream per node with its own lifecycle and skips the hook.

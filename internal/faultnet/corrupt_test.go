@@ -1,0 +1,76 @@
+package faultnet
+
+import (
+	"bytes"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorruptFileFlipsExactlyOneBit: the injector models single-bit
+// rot, not arbitrary damage — exactly one bit of the file changes, and
+// the same seed strikes the same offset every time.
+func TestCorruptFileFlipsExactlyOneBit(t *testing.T) {
+	orig := make([]byte, 257)
+	for i := range orig {
+		orig[i] = byte(i * 7)
+	}
+	strike := func(seed uint64) ([]byte, int64) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "blob")
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		off, err := CorruptFile(path, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, off
+	}
+
+	got, off := strike(9)
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d -> %d", len(orig), len(got))
+	}
+	flipped := 0
+	for i := range got {
+		if d := got[i] ^ orig[i]; d != 0 {
+			flipped += bits.OnesCount8(d)
+			if int64(i) != off {
+				t.Fatalf("flip at offset %d, reported %d", i, off)
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+
+	got2, off2 := strike(9)
+	if off2 != off || !bytes.Equal(got, got2) {
+		t.Fatalf("same seed produced a different strike: offset %d vs %d", off, off2)
+	}
+}
+
+// TestCorruptFileEmptyAndMissing: degenerate targets fail loudly
+// instead of silently "corrupting" nothing.
+func TestCorruptFileEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CorruptFile(empty, 1); err == nil {
+		t.Fatal("corrupting an empty file succeeded")
+	}
+	if _, err := CorruptFile(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("corrupting a missing file succeeded")
+	}
+	if _, _, err := NewCorruptor(dir, ".jtr", 1).Strike(); err == nil {
+		t.Fatal("Strike with no eligible files succeeded")
+	}
+}

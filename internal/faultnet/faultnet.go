@@ -1,9 +1,11 @@
 // Package faultnet is a deterministic fault-injection layer for the
 // distributed sweep topology: an http.RoundTripper wrapper that injects
 // connection drops, latency spikes, synthetic 5xx responses and
-// mid-stream disconnects on a seeded schedule, and a net.Listener
+// mid-stream disconnects on a seeded schedule, a net.Listener
 // wrapper that can crash a worker (sever every open connection and
-// refuse new ones) at a chosen moment.
+// refuse new ones) at a chosen moment, a seeded disk corruptor that
+// flips bits in stored blobs to drill the store's integrity scrub,
+// and a SIGKILL helper for chaos runs against real daemon processes.
 //
 // Fault decisions are drawn from an internal/rng xorshift source, so a
 // given seed produces the same fault sequence on every run: CI can
@@ -20,6 +22,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -181,6 +187,93 @@ func (c *cutBody) Read(p []byte) (int, error) {
 }
 
 func (c *cutBody) Close() error { return c.rc.Close() }
+
+// Corruptor is a seeded disk-corruption injector: each Strike picks
+// one eligible file under its directory (sorted name order, so a seed
+// addresses the same file on every run) and flips one seeded bit in
+// it. It models silent media bitrot for store-integrity drills —
+// exactly the failure the store's checksum verification and scrubber
+// must catch.
+type Corruptor struct {
+	dir string
+	ext string
+	src *rng.Source
+}
+
+// NewCorruptor returns a corruptor over the files in dir whose names
+// end in ext ("" = every regular file). Hidden files (temp writes) are
+// never eligible.
+func NewCorruptor(dir, ext string, seed uint64) *Corruptor {
+	return &Corruptor{dir: dir, ext: ext, src: rng.New(seed)}
+}
+
+// Strike flips one bit in one eligible file and returns its path and
+// the byte offset struck. It fails if no eligible file exists.
+func (c *Corruptor) Strike() (path string, offset int64, err error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return "", 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if c.ext != "" && !strings.HasSuffix(name, c.ext) {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return "", 0, fmt.Errorf("faultnet: no %q files under %s to corrupt", c.ext, c.dir)
+	}
+	sort.Strings(names)
+	name := names[int(c.src.Uint64()%uint64(len(names)))]
+	path = filepath.Join(c.dir, name)
+	offset, err = CorruptFile(path, c.src.Uint64())
+	return path, offset, err
+}
+
+// CorruptFile flips one seeded bit in the file at path, in place, and
+// returns the byte offset struck. An empty file cannot be corrupted.
+func CorruptFile(path string, seed uint64) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, fmt.Errorf("faultnet: %s is empty; nothing to corrupt", path)
+	}
+	src := rng.New(seed)
+	off := int64(src.Uint64() % uint64(st.Size()))
+	bit := byte(1) << (src.Uint64() % 8)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	b[0] ^= bit
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return off, f.Sync()
+}
+
+// KillProcess delivers an uncatchable SIGKILL to pid — the real
+// "kill -9 mid-sweep" for chaos drills against daemon binaries; tests
+// that stay in-process use Listener.Crash instead.
+func KillProcess(pid int) error {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return err
+	}
+	return p.Kill()
+}
 
 // Listener wraps a net.Listener so a test or chaos harness can crash
 // the worker behind it: Crash severs every open connection and makes

@@ -126,7 +126,7 @@ func tenantOf(r *http.Request) string {
 // and results travel daemon-to-daemon, inside the trust boundary the
 // front door guards the edge of).
 func authExempt(path string) bool {
-	return path == "/healthz" || path == "/metricz" ||
+	return path == "/healthz" || path == "/readyz" || path == "/metricz" ||
 		strings.HasPrefix(path, "/v1/recordings/") ||
 		strings.HasPrefix(path, "/v1/results/")
 }

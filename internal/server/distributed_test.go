@@ -115,7 +115,7 @@ func TestSweepDistributedChaosByteIdentical(t *testing.T) {
 		ShardWorkers: []string{deadURL, good},
 		Shard: shard.Config{
 			// Disconnects cut response bodies past 512 bytes, so the tiny
-			// /healthz probes always pass and the live worker stays
+			// /readyz probes always pass and the live worker stays
 			// admissible while its sweep streams get severed mid-body.
 			Transport: faultnet.NewTransport(nil, faultnet.Plan{
 				Seed: 11, Disconnect: 0.6, SpikeProb: 0.3, Spike: 2 * time.Millisecond,

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"jmtam/api"
-	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/parallel"
@@ -83,24 +82,12 @@ func (s *Server) handleRecordingPut(w http.ResponseWriter, r *http.Request) {
 // unit is assembled without re-simulating, and the replay drives the
 // same kernel as the direct path, so the sweep document is
 // byte-identical to localSweepUnits whatever mix of sources served it.
-func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepRequest) ([]shard.UnitResult, error) {
-	var geoms []cache.Config
-	for _, kb := range req.SizesKB {
-		for _, a := range req.Assocs {
-			geoms = append(geoms, cache.Config{SizeBytes: kb * 1024, BlockBytes: req.BlockBytes, Assoc: a})
-		}
-	}
-	type unitJob struct {
-		program string
-		arg     int
-		impl    core.Impl
-	}
-	var jobs []unitJob
-	for _, w := range req.Workloads {
-		for _, impl := range req.impls {
-			jobs = append(jobs, unitJob{w.Program, w.Arg, impl})
-		}
-	}
+// Positions present in resume are filled from their journaled
+// checkpoints without touching the store; fresh completions are
+// checkpointed as they land.
+func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepRequest, resume map[int]shard.UnitResult) ([]shard.UnitResult, error) {
+	geoms := sweepGeoms(req)
+	jobs := sweepUnitJobs(req)
 	par := parallel.Workers(s.cfg.ReplayParallelism)
 	replayPar := 1
 	if len(jobs) > 0 && par/len(jobs) > 1 {
@@ -110,6 +97,16 @@ func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepReques
 	var done atomic.Int64
 	err := parallel.ForEachContext(ctx, par, len(jobs), func(i int) error {
 		uj := jobs[i]
+		if u, ok := resume[i]; ok {
+			units[i] = u
+			job.emit(api.RunProgressEvent{
+				Type: api.EventRun, ID: job.ID,
+				Done: int(done.Add(1)), Total: len(jobs),
+				Program: uj.program, Arg: uj.arg,
+				Impl: uj.impl.String(), Source: "checkpoint",
+			})
+			return nil
+		}
 		desc := tracestore.Desc{Program: uj.program, Arg: uj.arg, Impl: uj.impl.String(), Nodes: 1}
 		data, src, err := s.fleet.GetOrRecord(ctx, desc.Key(), func(ctx context.Context) ([]byte, error) {
 			r, rec, err := experiments.RecordOneContext(ctx,
@@ -168,6 +165,7 @@ func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepReques
 			}
 		}
 		units[i] = u
+		s.checkpointUnit(job, i, u)
 		job.emit(api.RunProgressEvent{
 			Type: api.EventRun, ID: job.ID,
 			Done: int(done.Add(1)), Total: len(jobs),

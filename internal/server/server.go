@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jmtam/api"
@@ -36,10 +37,25 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
 	// JournalPath, when set, enables the write-ahead job journal: every
-	// accept/start/terminal transition is an fsynced NDJSON record, so a
-	// restarted daemon re-queues the work that was in flight and still
-	// serves results for completed job IDs.
+	// accept/start/terminal transition is an fsynced NDJSON record, and
+	// sweeps checkpoint each completed unit, so a restarted daemon
+	// re-queues the work that was in flight — resuming sweeps from their
+	// last checkpoint — and still serves results for completed job IDs.
 	JournalPath string
+	// JournalMaxBytes bounds the journal file: past it the journal
+	// compacts, folding terminal jobs into single snapshot lines
+	// (0 = 64 MiB, negative = unbounded).
+	JournalMaxBytes int64
+	// JobTimeout is the per-job execution deadline: a job still running
+	// past it is killed (counted under watchdog.kills, failed with a
+	// deadline_exceeded error) and releases its worker and admission
+	// slots. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// ScrubInterval, with a disk store tier configured, runs a
+	// background integrity scrub every interval: blobs failing their
+	// content checksum are quarantined and repaired from peers or
+	// re-recorded. 0 disables the scrubber (reads still verify).
+	ScrubInterval time.Duration
 	// StreamWriteTimeout bounds each write on a job's NDJSON stream so a
 	// stalled subscriber cannot pin a handler goroutine forever (0 = 30s).
 	StreamWriteTimeout time.Duration
@@ -96,7 +112,10 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	wg         sync.WaitGroup
+	wg         sync.WaitGroup // job lifecycle goroutines (Drain waits on these)
+	bg         sync.WaitGroup // background loops (scrubber); exit on baseCtx
+	draining   atomic.Bool
+	closeOnce  sync.Once
 
 	// regMu guards reg: obs.Registry is not safe for concurrent use,
 	// and handler goroutines update it concurrently.
@@ -171,7 +190,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.routes()
 	if cfg.JournalPath != "" {
-		j, recovered, err := openJournal(cfg.JournalPath)
+		j, recovered, skipped, err := openJournal(cfg.JournalPath, cfg.JournalMaxBytes, (*serverMetrics)(s).Count)
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("journal: %w", err)
@@ -179,20 +198,94 @@ func New(cfg Config) (*Server, error) {
 		s.journal = j
 		s.count("journal.errors", 0)
 		s.count("journal.requeued", 0)
+		s.count("journal.resumed.units", 0)
+		s.count("journal.compactions", 0)
+		s.count("journal.skipped", uint64(skipped))
 		for _, jj := range recovered {
 			s.recoverJob(jj)
 		}
 	}
+	s.count("watchdog.kills", 0)
+	if s.store != nil && cfg.StoreDir != "" && cfg.ScrubInterval > 0 {
+		s.bg.Add(1)
+		go s.scrubLoop(cfg.ScrubInterval)
+	}
 	return s, nil
 }
 
-// Close cancels every outstanding job and waits for the workers to
-// drain, then closes the journal.
+// Close cancels every outstanding job and waits for the workers and
+// background loops to drain, then closes the journal. Canceled jobs
+// stay incomplete in the journal — with their unit checkpoints — so a
+// restart resumes them rather than reporting them canceled.
 func (s *Server) Close() {
-	s.baseCancel()
-	s.wg.Wait()
-	if s.journal != nil {
-		s.journal.close()
+	s.closeOnce.Do(func() {
+		s.baseCancel()
+		s.wg.Wait()
+		s.bg.Wait()
+		if s.journal != nil {
+			s.journal.close()
+		}
+	})
+}
+
+// BeginDrain flips the server to draining: /readyz answers 503, new
+// submissions are refused with a retryable unavailable envelope, and
+// running jobs continue (checkpointing as they go). Idempotent.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.count("drain.begun", 1)
+	}
+}
+
+// Drain is the graceful-shutdown path: stop accepting, let running
+// jobs finish, then Close. If ctx expires first the remaining jobs are
+// canceled mid-flight — their journaled unit checkpoints make the next
+// start resume instead of re-running them. Either way every job
+// goroutine has exited when Drain returns.
+func (s *Server) Drain(ctx context.Context) {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.count("drain.timeouts", 1)
+	}
+	s.Close()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// scrubLoop periodically verifies every disk-tier blob, repairing
+// quarantined keys from peers (keys no peer holds are abandoned; the
+// next demand re-records them).
+func (s *Server) scrubLoop(interval time.Duration) {
+	defer s.bg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.scrubOnce()
+		}
+	}
+}
+
+// scrubOnce runs one scrub + repair pass (also the test seam).
+func (s *Server) scrubOnce() {
+	bad, err := s.store.Scrub()
+	if err != nil {
+		s.count("store.scrub.errors", 1)
+		return
+	}
+	if len(bad) > 0 && s.fleet != nil {
+		s.fleet.Repair(s.baseCtx, bad)
 	}
 }
 
@@ -236,10 +329,41 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
 	s.mux.HandleFunc("PUT /v1/results/{key}", s.handleResultPut)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	// /healthz is liveness — the process is up and serving. /readyz is
+	// readiness — route new work here: it answers 503 while draining,
+	// when journal appends are failing, or when the store has corrupt
+	// blobs awaiting repair. The shard coordinator probes /readyz, so a
+	// draining worker sheds shards without being booked as broken.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if reason := s.notReady(); reason != "" {
+		writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, reason)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// notReady returns why the server should not receive new work, or "".
+func (s *Server) notReady() string {
+	if s.draining.Load() {
+		return "draining"
+	}
+	if s.journal != nil && s.journal.degraded() {
+		return "journal: appends are failing"
+	}
+	if s.store != nil {
+		if n := s.store.Quarantined(); n > 0 {
+			return fmt.Sprintf("store: %d corrupt blob(s) quarantined awaiting repair", n)
+		}
+	}
+	return ""
 }
 
 // --- metrics helpers --------------------------------------------------------
@@ -303,7 +427,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// refuseDraining rejects a submission while the server drains: 503
+// with a retryable envelope, so clients (and the shard coordinator)
+// take the work elsewhere.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.count("drain.rejected", 1)
+	writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "draining: not accepting new jobs")
+	return true
+}
+
 func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req RunRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
@@ -324,6 +463,9 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
@@ -338,7 +480,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := s.submit("sweep", tenantOf(r), release, &req, func(ctx context.Context, j *Job) (json.RawMessage, error) {
-		return s.executeSweep(ctx, j, &req)
+		return s.executeSweep(ctx, j, &req, nil)
 	})
 	s.respondToSubmit(w, r, job)
 }
@@ -419,7 +561,24 @@ func (s *Server) launch(job *Job, exec func(ctx context.Context, j *Job) (json.R
 		job.setRunning()
 		s.journalAppend(journalRecord{Op: "start", ID: job.ID})
 		job.emit(api.Started(job.ID, time.Since(start).Milliseconds()))
-		result, err := exec(ctx, job)
+		// The watchdog deadline starts when the job gets its slot, not
+		// when it was queued: queue time is the server's fault, not the
+		// job's.
+		runCtx := ctx
+		if s.cfg.JobTimeout > 0 {
+			var wcancel context.CancelFunc
+			runCtx, wcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer wcancel()
+		}
+		result, err := exec(runCtx, job)
+		if err != nil && s.cfg.JobTimeout > 0 &&
+			runCtx.Err() == context.DeadlineExceeded && errors.Is(err, context.DeadlineExceeded) {
+			// The watchdog fired: a wedged job must not pin its admission
+			// slot forever. Fail durably with the deadline_exceeded
+			// envelope code so retriers know waiting longer won't help.
+			s.count("watchdog.kills", 1)
+			err = fmt.Errorf("%s: job exceeded -job-timeout %s", api.CodeDeadlineExceeded, s.cfg.JobTimeout)
+		}
 		s.gauge("jobs.running", -1)
 		s.finishJob(job, result, err, start)
 	}()
@@ -472,6 +631,19 @@ func (s *Server) journalAppend(rec journalRecord) {
 	}
 }
 
+// journalUnit checkpoints one completed sweep unit (batched fsync; see
+// journal.appendUnit) and keeps the journal-size gauge current.
+func (s *Server) journalUnit(jobID string, idx int, result json.RawMessage) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.appendUnit(journalRecord{Op: "unit", ID: jobID, Unit: &unitCheckpoint{Idx: idx, Result: result}}); err != nil {
+		s.count("journal.errors", 1)
+		return
+	}
+	(*serverMetrics)(s).GaugeSet("journal.bytes", s.journal.bytes())
+}
+
 // recoverJob re-materializes one journal-replayed job: terminal jobs
 // come back with their original ID, stream and result; incomplete ones
 // (accepted or cut off mid-run by a crash) re-queue under their
@@ -494,7 +666,7 @@ func (s *Server) recoverJob(jj *journalJob) {
 		}
 		return
 	}
-	exec, err := s.execFor(jj.Kind, jj.Req)
+	exec, err := s.execFor(jj)
 	if err != nil {
 		// The journaled request no longer parses (version skew, torn
 		// record): fail the job durably rather than dropping it.
@@ -514,12 +686,14 @@ func (s *Server) recoverJob(jj *journalJob) {
 	s.launch(job, exec)
 }
 
-// execFor rebuilds the execution closure for a journaled request.
-func (s *Server) execFor(kind string, raw json.RawMessage) (func(ctx context.Context, j *Job) (json.RawMessage, error), error) {
-	switch kind {
+// execFor rebuilds the execution closure for a journaled job. Sweep
+// jobs carry their unit checkpoints along: valid ones are trusted as
+// completed grid positions and only the rest re-run.
+func (s *Server) execFor(jj *journalJob) (func(ctx context.Context, j *Job) (json.RawMessage, error), error) {
+	switch jj.Kind {
 	case "run":
 		req := new(RunRequest)
-		if err := json.Unmarshal(raw, req); err != nil {
+		if err := json.Unmarshal(jj.Req, req); err != nil {
 			return nil, err
 		}
 		if err := req.Normalize(s.cfg.DefaultMaxInstructions); err != nil {
@@ -530,17 +704,21 @@ func (s *Server) execFor(kind string, raw json.RawMessage) (func(ctx context.Con
 		}, nil
 	case "sweep":
 		req := new(SweepRequest)
-		if err := json.Unmarshal(raw, req); err != nil {
+		if err := json.Unmarshal(jj.Req, req); err != nil {
 			return nil, err
 		}
 		if err := req.Normalize(); err != nil {
 			return nil, err
 		}
+		resume := s.decodeCheckpoints(req, jj.Units)
+		if n := len(resume); n > 0 {
+			s.count("journal.resumed.units", uint64(n))
+		}
 		return func(ctx context.Context, j *Job) (json.RawMessage, error) {
-			return s.executeSweep(ctx, j, req)
+			return s.executeSweep(ctx, j, req, resume)
 		}, nil
 	}
-	return nil, fmt.Errorf("journal: unknown job kind %q", kind)
+	return nil, fmt.Errorf("journal: unknown job kind %q", jj.Kind)
 }
 
 // respondToSubmit either streams the job's NDJSON event stream on the

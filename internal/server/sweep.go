@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"sync/atomic"
 
 	"jmtam/api"
+	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
+	"jmtam/internal/parallel"
 	"jmtam/internal/shard"
 )
 
@@ -21,29 +24,47 @@ import (
 // distributed or store-served sweep is byte-identical to a local one. Sweeps bypass the compiled-code cache: a grid
 // simulates each (workload, impl) exactly once anyway, so caching would
 // only pin paper-scale artifacts for no repeat benefit.
-func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
+func (s *Server) executeSweep(ctx context.Context, job *Job, req *SweepRequest, resume map[int]shard.UnitResult) (json.RawMessage, error) {
 	return s.cachedResult(ctx, job, "sweep", &req.SweepRequest, func(ctx context.Context) (json.RawMessage, error) {
-		return s.freshSweep(ctx, job, req)
+		return s.freshSweep(ctx, job, req, resume)
 	})
 }
 
 // freshSweep executes the grid; executeSweep resolves the result cache
-// around it.
-func (s *Server) freshSweep(ctx context.Context, job *Job, req *SweepRequest) (json.RawMessage, error) {
+// around it. resume (may be nil) maps grid positions to already
+// journaled unit results from before a restart: those positions are
+// filled without re-running, every freshly completed unit is
+// checkpointed, and because assembly is position-indexed the resumed
+// document is byte-identical to an uninterrupted run.
+func (s *Server) freshSweep(ctx context.Context, job *Job, req *SweepRequest, resume map[int]shard.UnitResult) (json.RawMessage, error) {
 	var units []shard.UnitResult
 	var err error
 	if s.coord != nil {
-		units, err = s.coord.RunObserved(ctx, req.Spec(), func(e shard.Event) {
+		total := len(req.Workloads) * len(req.impls)
+		var todo []int
+		for i := 0; i < total; i++ {
+			if _, ok := resume[i]; !ok {
+				todo = append(todo, i)
+			}
+		}
+		units, err = s.coord.RunSubset(ctx, req.Spec(), todo, func(e shard.Event) {
 			job.emit(api.ShardEvent{
 				Type: api.EventShard, ID: job.ID, Event: e.Type,
 				Shard: e.Shard, Worker: e.Worker,
 				Attempt: e.Attempt, Error: e.Err,
 			})
+		}, func(i int, u shard.UnitResult) {
+			s.checkpointUnit(job, i, u)
 		})
+		if err == nil {
+			for i, u := range resume {
+				units[i] = u
+			}
+		}
 	} else if s.fleet != nil {
-		units, err = s.storeSweepUnits(ctx, job, req)
+		units, err = s.storeSweepUnits(ctx, job, req, resume)
 	} else {
-		units, err = s.localSweepUnits(ctx, job, req)
+		units, err = s.localSweepUnits(ctx, job, req, resume)
 	}
 	if err != nil {
 		return nil, err
@@ -51,64 +72,149 @@ func (s *Server) freshSweep(ctx context.Context, job *Job, req *SweepRequest) (j
 	return json.Marshal(assembleSweepResult(req, units))
 }
 
-// localSweepUnits executes the grid in-process and converts the dataset
-// into position-indexed unit results.
-func (s *Server) localSweepUnits(ctx context.Context, job *Job, req *SweepRequest) ([]shard.UnitResult, error) {
-	sw := &experiments.Sweep{
-		SizesKB:     req.SizesKB,
-		Assocs:      req.Assocs,
-		BlockBytes:  req.BlockBytes,
-		Penalties:   req.Penalties,
-		Impls:       req.impls,
-		Parallelism: s.cfg.ReplayParallelism,
-		OnRecordingBytes: func(delta int64) {
-			s.gauge("sweep.recording.bytes", delta)
-		},
-		OnProgress: func(p experiments.Progress) {
-			job.emit(api.RunProgressEvent{
-				Type: api.EventRun, ID: job.ID,
-				Done: p.Done, Total: p.Total,
-				Program: p.Workload.Name, Arg: p.Workload.Arg,
-				Impl: p.Impl.String(),
-			})
-		},
+// checkpointUnit journals one freshly completed sweep unit so a
+// restarted daemon resumes from it instead of re-running it. Callers
+// may race; the journal serializes appends.
+func (s *Server) checkpointUnit(job *Job, idx int, u shard.UnitResult) {
+	if s.journal == nil {
+		return
 	}
-	for _, w := range req.Workloads {
-		sw.Workloads = append(sw.Workloads, experiments.Workload{Name: w.Program, Arg: w.Arg})
-	}
-	ds, err := sw.ExecuteContext(ctx)
+	raw, err := json.Marshal(u)
 	if err != nil {
-		return nil, err
+		return
 	}
-	var units []shard.UnitResult
+	s.journalUnit(job.ID, idx, raw)
+}
+
+// decodeCheckpoints validates journaled unit checkpoints against the
+// request grid. A checkpoint whose position, identity or geometry
+// count does not match is dropped — that unit simply re-runs — so a
+// stale or torn checkpoint can degrade resume but never corrupt a
+// result.
+func (s *Server) decodeCheckpoints(req *SweepRequest, units map[int]json.RawMessage) map[int]shard.UnitResult {
+	if len(units) == 0 || len(req.impls) == 0 {
+		return nil
+	}
+	total := len(req.Workloads) * len(req.impls)
+	ngeom := len(req.SizesKB) * len(req.Assocs)
+	resume := make(map[int]shard.UnitResult)
+	for idx, raw := range units {
+		if idx < 0 || idx >= total {
+			continue
+		}
+		var u shard.UnitResult
+		if err := json.Unmarshal(raw, &u); err != nil {
+			continue
+		}
+		w := req.Workloads[idx/len(req.impls)]
+		impl := req.impls[idx%len(req.impls)]
+		if u.Program != w.Program || u.Arg != w.Arg || u.Impl != impl.String() || len(u.Caches) != ngeom {
+			continue
+		}
+		resume[idx] = u
+	}
+	if len(resume) == 0 {
+		return nil
+	}
+	return resume
+}
+
+// sweepUnitJob is one grid position: shard.Spec.Units order
+// (workload-major, implementation-minor), shared by the store and
+// local execution paths.
+type sweepUnitJob struct {
+	program string
+	arg     int
+	impl    core.Impl
+}
+
+func sweepUnitJobs(req *SweepRequest) []sweepUnitJob {
+	jobs := make([]sweepUnitJob, 0, len(req.Workloads)*len(req.impls))
 	for _, w := range req.Workloads {
 		for _, impl := range req.impls {
-			r := ds.Runs[w.Program][impl]
-			if r == nil {
-				continue
-			}
-			u := shard.UnitResult{
-				Program:      w.Program,
-				Arg:          w.Arg,
-				Impl:         impl.String(),
-				Instructions: r.Instructions,
-				TPQ:          r.TPQ,
-				IPT:          r.IPT,
-				IPQ:          r.IPQ,
-				Caches:       make([]shard.GeomStats, len(r.Caches)),
-			}
-			for i, cs := range r.Caches {
-				u.Caches[i] = shard.GeomStats{
-					SizeKB:     cs.Config.SizeBytes / 1024,
-					BlockBytes: cs.Config.BlockBytes,
-					Assoc:      cs.Config.Assoc,
-					IMisses:    cs.IMisses,
-					DMisses:    cs.DMisses,
-					Writebacks: cs.Writebacks,
-				}
-			}
-			units = append(units, u)
+			jobs = append(jobs, sweepUnitJob{w.Program, w.Arg, impl})
 		}
+	}
+	return jobs
+}
+
+// sweepGeoms expands the request's size × associativity grid.
+func sweepGeoms(req *SweepRequest) []cache.Config {
+	var geoms []cache.Config
+	for _, kb := range req.SizesKB {
+		for _, a := range req.Assocs {
+			geoms = append(geoms, cache.Config{SizeBytes: kb * 1024, BlockBytes: req.BlockBytes, Assoc: a})
+		}
+	}
+	return geoms
+}
+
+// localSweepUnits executes the grid in-process, one unit at a time —
+// the same per-unit body Sweep.ExecuteContext runs, so the document is
+// byte-identical to the whole-grid path — skipping resumed positions
+// and checkpointing each completed unit.
+func (s *Server) localSweepUnits(ctx context.Context, job *Job, req *SweepRequest, resume map[int]shard.UnitResult) ([]shard.UnitResult, error) {
+	geoms := sweepGeoms(req)
+	jobs := sweepUnitJobs(req)
+	par := parallel.Workers(s.cfg.ReplayParallelism)
+	replayPar := 1
+	if len(jobs) > 0 && par/len(jobs) > 1 {
+		replayPar = par / len(jobs)
+	}
+	units := make([]shard.UnitResult, len(jobs))
+	var done atomic.Int64
+	err := parallel.ForEachContext(ctx, par, len(jobs), func(i int) error {
+		uj := jobs[i]
+		if u, ok := resume[i]; ok {
+			units[i] = u
+			job.emit(api.RunProgressEvent{
+				Type: api.EventRun, ID: job.ID,
+				Done: int(done.Add(1)), Total: len(jobs),
+				Program: uj.program, Arg: uj.arg,
+				Impl: uj.impl.String(), Source: "checkpoint",
+			})
+			return nil
+		}
+		r, err := experiments.RunOneParHookContext(ctx,
+			experiments.Workload{Name: uj.program, Arg: uj.arg}, uj.impl, geoms,
+			core.Options{}, replayPar, func(delta int64) {
+				s.gauge("sweep.recording.bytes", delta)
+			})
+		if err != nil {
+			return err
+		}
+		u := shard.UnitResult{
+			Program:      uj.program,
+			Arg:          uj.arg,
+			Impl:         uj.impl.String(),
+			Instructions: r.Instructions,
+			TPQ:          r.TPQ,
+			IPT:          r.IPT,
+			IPQ:          r.IPQ,
+			Caches:       make([]shard.GeomStats, len(r.Caches)),
+		}
+		for g, cs := range r.Caches {
+			u.Caches[g] = shard.GeomStats{
+				SizeKB:     cs.Config.SizeBytes / 1024,
+				BlockBytes: cs.Config.BlockBytes,
+				Assoc:      cs.Config.Assoc,
+				IMisses:    cs.IMisses,
+				DMisses:    cs.DMisses,
+				Writebacks: cs.Writebacks,
+			}
+		}
+		units[i] = u
+		s.checkpointUnit(job, i, u)
+		job.emit(api.RunProgressEvent{
+			Type: api.EventRun, ID: job.ID,
+			Done: int(done.Add(1)), Total: len(jobs),
+			Program: uj.program, Arg: uj.arg,
+			Impl: uj.impl.String(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return units, nil
 }

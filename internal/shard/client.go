@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"jmtam/api"
@@ -97,6 +98,12 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, spec *Spec, u Unit
 	case api.EventResult:
 		return parseUnitResult(last.Result, spec, u, w.url)
 	case api.EventError:
+		// A watchdog kill (-job-timeout on the worker) is the one stream
+		// failure worth retrying elsewhere: the job may have wedged on
+		// that daemon's state, not deterministically.
+		if strings.HasPrefix(last.Error, string(api.CodeDeadlineExceeded)) {
+			return UnitResult{}, fmt.Errorf("worker %s: job killed by watchdog: %s", w.url, last.Error)
+		}
 		// Deterministic simulation failure: every worker (and a local
 		// run) would fail the same way.
 		return UnitResult{}, permanent("worker %s: job failed: %s", w.url, last.Error)
@@ -141,11 +148,14 @@ func implName(s string) string {
 	return impl.String()
 }
 
-// probe checks a worker's /healthz, bounding the wait.
+// probe checks a worker's readiness, bounding the wait. It asks
+// /readyz, not /healthz: a live-but-draining worker (503) must shed
+// new shards exactly like an unreachable one — the coordinator leases
+// elsewhere and the drain completes; this is shedding, not breakage.
 func (c *Coordinator) probe(ctx context.Context, w *worker) error {
 	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/healthz", nil)
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -156,7 +166,7 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) error {
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("worker %s: healthz %s", w.url, resp.Status)
+		return fmt.Errorf("worker %s: readyz %s", w.url, resp.Status)
 	}
 	return nil
 }

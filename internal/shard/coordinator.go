@@ -47,7 +47,7 @@ type Config struct {
 	// delivered a terminal stream line within it loses the lease and the
 	// shard re-queues (0 = 2m).
 	LeaseTimeout time.Duration
-	// ProbeTimeout bounds a /healthz registration probe (0 = 2s).
+	// ProbeTimeout bounds a /readyz registration probe (0 = 2s).
 	ProbeTimeout time.Duration
 	// MaxAttempts bounds remote attempts per shard before falling back
 	// to local execution (0 = 4).
@@ -216,7 +216,7 @@ func (c *Coordinator) pick(exclude *worker) *worker {
 	return nil
 }
 
-// register probes every worker's /healthz, seeding breaker state and the
+// register probes every worker's /readyz, seeding breaker state and the
 // worker.state gauges before the first shard is leased.
 func (c *Coordinator) register(ctx context.Context) {
 	now := time.Now()
@@ -258,6 +258,17 @@ func (c *Coordinator) Run(ctx context.Context, spec *Spec) ([]UnitResult, error)
 // concurrently; event order under concurrency is nondeterministic and
 // never affects results.
 func (c *Coordinator) RunObserved(ctx context.Context, spec *Spec, onEvent func(Event)) ([]UnitResult, error) {
+	return c.RunSubset(ctx, spec, nil, onEvent, nil)
+}
+
+// RunSubset is RunObserved restricted to the units at the given grid
+// indices (nil = every unit) — the resume path after a restart runs
+// only the positions with no journaled checkpoint. The returned slice
+// always spans the full grid (len(spec.Units())); positions outside
+// idxs are left zero for the caller to fill. onUnit (may be nil)
+// observes each completed unit with its grid index as it lands — the
+// server's checkpoint hook; it may be called concurrently.
+func (c *Coordinator) RunSubset(ctx context.Context, spec *Spec, idxs []int, onEvent func(Event), onUnit func(idx int, r UnitResult)) ([]UnitResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,21 +280,39 @@ func (c *Coordinator) RunObserved(ctx context.Context, spec *Spec, onEvent func(
 		}
 	}
 	units := spec.Units()
-	c.count("shard.shards", uint64(len(units)))
+	if idxs == nil {
+		idxs = make([]int, len(units))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	for _, i := range idxs {
+		if i < 0 || i >= len(units) {
+			return nil, fmt.Errorf("shard: unit index %d out of range [0,%d)", i, len(units))
+		}
+	}
+	c.count("shard.shards", uint64(len(idxs)))
+	results := make([]UnitResult, len(units))
+	if len(idxs) == 0 {
+		return results, nil
+	}
 	if len(c.workers) > 0 {
 		c.register(ctx)
 	}
-	results := make([]UnitResult, len(units))
 	inflight := len(c.workers)
 	if inflight == 0 {
 		inflight = 1
 	}
-	err := parallel.ForEachContext(ctx, inflight, len(units), func(i int) error {
+	err := parallel.ForEachContext(ctx, inflight, len(idxs), func(k int) error {
+		i := idxs[k]
 		r, err := c.runShard(ctx, spec, units[i], i, emit)
 		if err != nil {
 			return err
 		}
 		results[i] = r
+		if onUnit != nil {
+			onUnit(i, r)
+		}
 		return nil
 	})
 	c.publishWorkerStates(time.Now())

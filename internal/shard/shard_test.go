@@ -64,14 +64,14 @@ func wantUnits(spec *Spec) []UnitResult {
 	return want
 }
 
-// stubWorker serves /healthz and a minimal /v1/sweeps that streams the
-// fakeUnit result. beforeResult, when non-nil, runs after the request is
-// parsed and may substitute the terminal behavior entirely by returning
-// false.
+// stubWorker serves /readyz (the coordinator's registration probe) and
+// a minimal /v1/sweeps that streams the fakeUnit result. beforeResult,
+// when non-nil, runs after the request is parsed and may substitute the
+// terminal behavior entirely by returning false.
 func stubWorker(t *testing.T, beforeResult func(w http.ResponseWriter, r *http.Request, req api.SweepRequest) bool) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {

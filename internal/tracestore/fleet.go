@@ -287,6 +287,40 @@ func (f *Fleet) fill(ctx context.Context, key string, record func(ctx context.Co
 	return data, SourceRecorded, nil
 }
 
+// Repair tries to restore quarantined blobs from peers: each key is
+// fetched (validated before trust) and re-Put, which clears its
+// quarantine and counts "<prefix>.repaired". A key no peer holds is
+// dismissed — there is nothing to wait for; the next demand simply
+// re-records it — and counted under "<prefix>.repair.misses". It
+// returns the number of keys successfully repaired.
+func (f *Fleet) Repair(ctx context.Context, keys []string) int {
+	repaired := 0
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return repaired
+		}
+		fixed := false
+		for _, peer := range f.peers {
+			data, err := f.fetchPeer(ctx, peer, key)
+			if err != nil {
+				continue
+			}
+			if err := f.store.Put(key, data); err != nil {
+				continue
+			}
+			fixed = true
+			break
+		}
+		if fixed {
+			repaired++
+		} else {
+			f.count(".repair.misses", 1)
+			f.store.Dismiss(key)
+		}
+	}
+	return repaired
+}
+
 var errPeerMiss = errors.New("tracestore: peer does not have the recording")
 
 func (f *Fleet) fetchPeer(ctx context.Context, peer, key string) ([]byte, error) {

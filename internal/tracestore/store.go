@@ -10,10 +10,14 @@ package tracestore
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -47,6 +51,10 @@ type Store struct {
 	ll    *list.List // front = most recently used
 	idx   map[string]*list.Element
 	bytes int64
+
+	// quarantined tracks keys whose disk blob failed its checksum and
+	// was renamed aside, until a Put repairs them or Dismiss gives up.
+	quarantined map[string]struct{}
 }
 
 type entry struct {
@@ -94,13 +102,14 @@ func NewWith(dir string, memBytes int64, m Metrics, o Options) (*Store, error) {
 		}
 	}
 	return &Store{
-		maxBytes: memBytes,
-		dir:      dir,
-		metrics:  m,
-		ext:      o.Ext,
-		prefix:   o.Prefix,
-		ll:       list.New(),
-		idx:      make(map[string]*list.Element),
+		maxBytes:    memBytes,
+		dir:         dir,
+		metrics:     m,
+		ext:         o.Ext,
+		prefix:      o.Prefix,
+		ll:          list.New(),
+		idx:         make(map[string]*list.Element),
+		quarantined: make(map[string]struct{}),
 	}, nil
 }
 
@@ -160,6 +169,14 @@ func (s *Store) lookup(key string, countMiss bool) ([]byte, bool) {
 	s.mu.Unlock()
 	if s.dir != "" {
 		if data, err := os.ReadFile(s.path(key)); err == nil {
+			if !s.verify(key, data) {
+				// A corrupt blob is never served: quarantine it and fall
+				// through to a miss, so the caller re-fetches or re-records.
+				if countMiss {
+					s.count(".misses", 1)
+				}
+				return nil, false
+			}
 			s.count(".hits", 1)
 			s.count(".disk.hits", 1)
 			s.admit(key, data)
@@ -172,10 +189,173 @@ func (s *Store) lookup(key string, countMiss bool) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores data under key in both tiers. The disk write is atomic
+// checksum returns the content digest stored in a blob's ".sum"
+// sidecar: SHA-256 over the blob bytes, hex-encoded. The content
+// address (the key) hashes the run *descriptor*, not the bytes, so
+// integrity needs its own digest.
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) sumPath(key string) string {
+	return s.path(key) + ".sum"
+}
+
+// verify checks a disk blob against its sidecar checksum. A missing
+// sidecar (a blob written before checksums existed) is healed by
+// writing one for the current bytes; a mismatch quarantines the blob
+// and reports false.
+func (s *Store) verify(key string, data []byte) bool {
+	want, err := os.ReadFile(s.sumPath(key))
+	if err != nil {
+		s.writeSum(key, data)
+		return true
+	}
+	if strings.TrimSpace(string(want)) == checksum(data) {
+		return true
+	}
+	s.quarantine(key)
+	return false
+}
+
+// writeSum writes a blob's sidecar checksum atomically.
+func (s *Store) writeSum(key string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "."+key+".sum.tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.WriteString(checksum(data) + "\n"); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.sumPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// quarantine renames a corrupt blob aside (".bad" suffix, kept for
+// forensics), drops its sidecar, and tracks the key until a Put
+// repairs it or Dismiss abandons it. The blob is gone from the serving
+// path the moment this returns.
+func (s *Store) quarantine(key string) {
+	if err := os.Rename(s.path(key), s.path(key)+".bad"); err != nil {
+		os.Remove(s.path(key))
+	}
+	os.Remove(s.sumPath(key))
+	s.mu.Lock()
+	s.quarantined[key] = struct{}{}
+	n := len(s.quarantined)
+	s.mu.Unlock()
+	s.count(".corrupt", 1)
+	if s.metrics != nil {
+		s.metrics.GaugeSet(s.prefix+".quarantined", int64(n))
+	}
+}
+
+// repaired clears a key's quarantine after a fresh Put replaced the
+// corrupt blob.
+func (s *Store) repaired(key string) {
+	s.mu.Lock()
+	_, was := s.quarantined[key]
+	delete(s.quarantined, key)
+	n := len(s.quarantined)
+	s.mu.Unlock()
+	if !was {
+		return
+	}
+	s.count(".repaired", 1)
+	if s.metrics != nil {
+		s.metrics.GaugeSet(s.prefix+".quarantined", int64(n))
+	}
+}
+
+// Dismiss abandons a key's quarantine without counting a repair — no
+// peer had the blob, so there is nothing to wait for; the next demand
+// re-records it as a plain record.
+func (s *Store) Dismiss(key string) {
+	s.mu.Lock()
+	delete(s.quarantined, key)
+	n := len(s.quarantined)
+	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.GaugeSet(s.prefix+".quarantined", int64(n))
+	}
+}
+
+// Quarantined returns the number of keys awaiting repair — the scrub
+// backlog /readyz reports.
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
+}
+
+// Scrub walks the disk tier verifying every blob against its sidecar
+// checksum. Corrupt blobs are quarantined; when the memory tier still
+// holds a good copy the disk blob is rewritten from it on the spot
+// (counted as a repair), otherwise the key is returned for the caller
+// to repair from peers or abandon. Blobs without a sidecar get one.
+func (s *Store) Scrub() (needRepair []string, err error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	s.count(".scrubs", 1)
+	checked := uint64(0)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, s.ext) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		key := strings.TrimSuffix(name, s.ext)
+		if !ValidKey(key) {
+			continue
+		}
+		data, err := os.ReadFile(s.path(key))
+		if err != nil {
+			continue // racing a concurrent quarantine or removal
+		}
+		checked++
+		if s.verify(key, data) {
+			continue
+		}
+		// The memory tier may still hold the intact bytes; re-persist
+		// them instead of asking the fleet.
+		s.mu.Lock()
+		var good []byte
+		if el, ok := s.idx[key]; ok {
+			good = el.Value.(*entry).data
+		}
+		s.mu.Unlock()
+		if good != nil && s.writeFile(key, good) == nil {
+			s.repaired(key)
+			continue
+		}
+		needRepair = append(needRepair, key)
+	}
+	s.count(".scrub.checked", checked)
+	sort.Strings(needRepair)
+	return needRepair, nil
+}
+
+// Put stores data under key in both tiers, alongside a ".sum" content
+// checksum the read path and scrubber verify. The disk write is atomic
 // (temp file + rename), so a crash never leaves a torn blob, and a
 // concurrent Get on another daemon sharing the directory sees either
-// nothing or the whole recording.
+// nothing or the whole recording. A Put of a quarantined key counts as
+// its repair.
 func (s *Store) Put(key string, data []byte) error {
 	if !ValidKey(key) {
 		return errBadKey
@@ -186,6 +366,7 @@ func (s *Store) Put(key string, data []byte) error {
 		}
 	}
 	s.admit(key, data)
+	s.repaired(key)
 	return nil
 }
 
@@ -247,6 +428,10 @@ func (s *Store) writeFile(key string, data []byte) error {
 	}
 	if err := os.Rename(tmp, s.path(key)); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := s.writeSum(key, data); err != nil {
+		// The blob itself landed; a reader finding no sidecar heals it.
 		return fmt.Errorf("tracestore: %w", err)
 	}
 	return nil

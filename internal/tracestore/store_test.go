@@ -156,17 +156,19 @@ func TestStoreDiskTier(t *testing.T) {
 	if m.counter("store.mem.hits") != 1 {
 		t.Fatalf("store.mem.hits = %d, want 1", m.counter("store.mem.hits"))
 	}
-	// The atomic write left no temp files behind.
+	// The atomic write left no temp files behind: just the blob and its
+	// checksum sidecar.
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ents) != 1 || ents[0].Name() != key+".jtr" {
-		names := make([]string, len(ents))
-		for i, e := range ents {
-			names[i] = e.Name()
-		}
-		t.Fatalf("dir contents = %v", names)
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	want := []string{key + ".jtr", key + ".jtr.sum"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("dir contents = %v, want %v", names, want)
 	}
 }
 
