@@ -32,6 +32,7 @@ import (
 	"strings"
 	"testing"
 
+	"jmtam/internal/cache"
 	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 	"jmtam/internal/server"
@@ -52,6 +53,12 @@ type result struct {
 	GeomeanRatio map[string]float64 `json:"geomean_md_am_ratio_8k_4way"`
 	// PerProgram maps workload name to its MD/AM ratio at miss 24.
 	PerProgram map[string]float64 `json:"md_am_ratio_8k_4way_m24"`
+	// BackendGeomean maps every registered non-MD backend's wire name
+	// to the geometric-mean MD-relative cycle ratio (MD cycles over the
+	// backend's; >1 means the backend wins) at 8K 4-way, miss 24. The
+	// perf gate ignores it: new backends join the trail here without
+	// perturbing the gated MD/AM columns above.
+	BackendGeomean map[string]float64 `json:"md_relative_geomean_8k_4way_m24,omitempty"`
 	// RecordingBytes tracks trace compaction per (workload, impl) when
 	// run with -recording-bytes; absent otherwise. The perf gate ignores
 	// it — sizes inform, they do not gate.
@@ -103,6 +110,7 @@ func main() {
 	if *recBytes {
 		measureRecordingBytes(&res, ws)
 	}
+	measureBackendGeomean(&res, ws)
 
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -181,6 +189,39 @@ func benchLocal(res *result, ws []experiments.Workload) {
 	}
 	for _, w := range ds.Sweep.Workloads {
 		res.PerProgram[w.Name] = ds.Ratio(w.Name, 8, 4, 24)
+	}
+}
+
+// measureBackendGeomean runs every registered backend once per
+// workload at the headline geometry and records the untimed,
+// ungated MD-relative geomean ratios (see result.BackendGeomean).
+func measureBackendGeomean(res *result, ws []experiments.Workload) {
+	geoms := []cache.Config{{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}}
+	ratios := map[string][]float64{}
+	for _, w := range ws {
+		md, err := experiments.RunOne(w, core.ImplMD, geoms, core.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		mdCycles := md.Cycles(0, 24, false)
+		for _, b := range core.Backends() {
+			if b.Impl == core.ImplMD {
+				continue
+			}
+			r, err := experiments.RunOne(w, b.Impl, geoms, core.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			if c := r.Cycles(0, 24, false); c > 0 {
+				ratios[b.Name] = append(ratios[b.Name], float64(mdCycles)/float64(c))
+			}
+		}
+	}
+	res.BackendGeomean = map[string]float64{}
+	for name, xs := range ratios {
+		res.BackendGeomean[name] = stats.GeoMean(xs)
 	}
 }
 

@@ -26,16 +26,22 @@ import (
 )
 
 func main() {
-	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|assocsweep|mdopt|oam|classes|mix|penalties|noderatio|all")
+	runArg := flag.String("run", "all", "artifact to regenerate: table1|table2|figure2|figure3|figure4|figure5|figure6|accessratios|blocksweep|assocsweep|victimsweep|mdopt|oam|classes|mix|penalties|noderatio|all")
 	scale := flag.String("scale", "quick", "problem sizes: quick|paper")
 	format := flag.String("format", "text", "figure output: text (ASCII charts) | csv (figure,penalty,series,sizeKB,ratio rows)")
 	par := flag.Int("parallel", 0, "concurrent simulations and trace replays (0 = GOMAXPROCS); results are identical at any setting")
 	metricsDir := flag.String("metrics-dir", "", "collect per-run observability metrics during the sweep and write one registry JSON dump per (workload, implementation) into this directory")
 	nodes := flag.Int("nodes", 1, "mesh node count for the cache sweep artifacts (power of two, at most 64); >1 runs every workload on an N-node mesh (e.g. Table 2 at N=4)")
 	placementName := flag.String("placement", "round-robin", "frame placement policy for -nodes > 1: round-robin|local")
+	implsArg := flag.String("impls", "md,am,offload,aa", "comma-separated backends for the noderatio and victimsweep artifacts (known: "+strings.Join(core.BackendNames(), ", ")+")")
 	flag.Parse()
 
 	placement, err := core.ParsePlacement(*placementName)
+	if err != nil {
+		check(err)
+	}
+
+	impls, err := core.ParseImpls(*implsArg)
 	if err != nil {
 		check(err)
 	}
@@ -79,8 +85,8 @@ func main() {
 		if *nodes > 1 {
 			meshNote = fmt.Sprintf(" on %d-node meshes", *nodes)
 		}
-		fmt.Printf("running sweep over %d workloads x 2 implementations x %d cache geometries%s...\n\n",
-			len(ws), len(sweep.SizesKB)*len(sweep.Assocs), meshNote)
+		fmt.Printf("running sweep over %d workloads x %d backends x %d cache geometries%s...\n\n",
+			len(ws), len(sweep.Impls), len(sweep.SizesKB)*len(sweep.Assocs), meshNote)
 		ds, err := sweep.Execute()
 		check(err)
 		if *metricsDir != "" {
@@ -168,6 +174,14 @@ func main() {
 		fmt.Println()
 	}
 
+	if want("victimsweep") {
+		rows, err := experiments.VictimSweep(ws, impls, nil, core.Options{}, *par)
+		check(err)
+		fmt.Println("Victim-cache ablation (8K direct-mapped + N-entry victim buffer, 64B blocks)")
+		fmt.Print(report.Victims(rows))
+		fmt.Println()
+	}
+
 	if want("mdopt") {
 		rows, err := experiments.MDOptAblation(ws, core.Options{}, *par)
 		check(err)
@@ -196,14 +210,14 @@ func main() {
 		geom := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
 		counts := []int{1, 2, 4, 8}
 		opt := core.Options{Placement: placement}
-		rows, err := experiments.NodeRatioSweep(ws, counts, geom, 24, opt, *par)
+		rows, err := experiments.NodeRatioSweep(ws, impls, counts, geom, 24, opt, *par)
 		check(err)
-		fmt.Println("Multi-node: MD/AM ratio vs node count (8K 4-way per node, miss 24)")
+		fmt.Println("Multi-node: MD-relative cycle ratio vs node count (8K 4-way per node, miss 24)")
 		fmt.Print(report.NodeRatios(rows))
 		fmt.Println()
-		hops, err := experiments.HopLatencySweep(ws, 4, []uint64{1, 2, 4, 8, 16}, opt, *par)
+		hops, err := experiments.HopLatencySweep(ws, impls, 4, []uint64{1, 2, 4, 8, 16}, opt, *par)
 		check(err)
-		fmt.Println("Multi-node: MD/AM elapsed-tick ratio vs per-hop delay (4 nodes)")
+		fmt.Println("Multi-node: MD-relative elapsed-tick ratio vs per-hop delay (4 nodes)")
 		fmt.Print(report.HopLatency(hops))
 		fmt.Println()
 	}
@@ -228,7 +242,7 @@ func dumpMetrics(dir string, ds *experiments.Dataset) error {
 			if r == nil || r.Metrics == nil {
 				continue
 			}
-			path := filepath.Join(dir, fmt.Sprintf("%s_%s.json", w.Name, strings.ToLower(impl.String())))
+			path := filepath.Join(dir, fmt.Sprintf("%s_%s.json", w.Name, impl))
 			f, err := os.Create(path)
 			if err != nil {
 				return err

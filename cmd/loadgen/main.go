@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"jmtam/api"
+	"jmtam/internal/core"
 )
 
 type tenantSpec struct {
@@ -143,6 +144,11 @@ var (
 	wantHits = flag.Bool("expect-cache-hits", false, "assert at least one job was served from the result cache")
 	readyFor = flag.Duration("ready-timeout", 10*time.Second, "wait this long for the daemon's /readyz before loading (0 = skip preflight)")
 	out      = flag.String("o", "", "write the JSON summary here (default stdout)")
+	implsArg = flag.String("impls", "am", "comma-separated backends the generated jobs run (known: "+strings.Join(core.BackendNames(), ", ")+")")
+
+	// implNames is the validated -impls list; run jobs use the first
+	// entry and sweep jobs the full list.
+	implNames []string
 )
 
 // awaitReady polls /readyz until the daemon reports ready or the
@@ -184,6 +190,15 @@ func main() {
 	if *kind != "run" && *kind != "sweep" && *kind != "mix" {
 		fmt.Fprintln(os.Stderr, "loadgen: -kind must be run|sweep|mix")
 		os.Exit(2)
+	}
+	impls, err := core.ParseImpls(*implsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	implNames = make([]string, len(impls))
+	for i, impl := range impls {
+		implNames[i] = impl.Name()
 	}
 
 	base := strings.TrimRight(*addr, "/")
@@ -297,12 +312,12 @@ func request(kind string, arg int) ([]byte, string) {
 			Workloads: []api.WorkloadSpec{{Program: "ss", Arg: arg}},
 			SizesKB:   []int{8},
 			Penalties: []int{12},
-			Impls:     []string{"am"},
+			Impls:     implNames,
 		}
 		b, _ := json.Marshal(req)
 		return b, "/v1/sweeps"
 	}
-	req := api.RunRequest{Program: "ss", Arg: arg, Impl: "am", Penalties: []int{12}}
+	req := api.RunRequest{Program: "ss", Arg: arg, Impl: implNames[0], Penalties: []int{12}}
 	b, _ := json.Marshal(req)
 	return b, "/v1/runs"
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"jmtam/api"
+	"jmtam/internal/core"
 )
 
 var apiKey string
@@ -52,8 +53,14 @@ func main() {
 	metricz := flag.Bool("metricz", false, "print the daemon's /metricz registry and exit")
 	key := flag.String("key", os.Getenv("TAMSIM_API_KEY"), "API key for a tenanted daemon (default $TAMSIM_API_KEY)")
 	retries := flag.Int("retries", 4, "max resubmissions of a retryable rejection (quota, unavailable)")
+	implsArg := flag.String("impls", "", "comma-separated backends to sweep (known: "+strings.Join(core.BackendNames(), ", ")+"; empty = daemon default md,am)")
 	flag.Parse()
 	apiKey = *key
+
+	impls, err := implList(*implsArg)
+	if err != nil {
+		fatal(err)
+	}
 
 	base := strings.TrimRight(*addr, "/")
 	switch {
@@ -64,8 +71,26 @@ func main() {
 	case *cancel != "":
 		del(base + "/v1/runs/" + *cancel)
 	default:
-		submit(base, *scale, *reqFile, *detail, *detach, *out, *retries)
+		submit(base, *scale, *reqFile, impls, *detail, *detach, *out, *retries)
 	}
+}
+
+// implList validates -impls against the backend registry before the
+// request leaves the client, so typos fail with the full list of known
+// backends instead of a round-trip to the daemon.
+func implList(arg string) ([]string, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	impls, err := core.ParseImpls(arg)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(impls))
+	for i, impl := range impls {
+		names[i] = impl.Name()
+	}
+	return names, nil
 }
 
 func fatal(err error) {
@@ -135,7 +160,7 @@ func del(url string) {
 // or a request document from a file/stdin (strictly validated against
 // api.SweepRequest — unknown fields are an error here, not on the
 // daemon).
-func buildRequest(scale, reqFile string, detail bool) ([]byte, error) {
+func buildRequest(scale, reqFile string, impls []string, detail bool) ([]byte, error) {
 	var req api.SweepRequest
 	switch reqFile {
 	case "":
@@ -157,14 +182,17 @@ func buildRequest(scale, reqFile string, detail bool) ([]byte, error) {
 			return nil, fmt.Errorf("%s: %w", reqFile, err)
 		}
 	}
+	if len(impls) > 0 {
+		req.Impls = impls
+	}
 	if detail {
 		req.Detail = true
 	}
 	return json.Marshal(req)
 }
 
-func submit(base, scale, reqFile string, detail, detach bool, out string, retries int) {
-	body, err := buildRequest(scale, reqFile, detail)
+func submit(base, scale, reqFile string, impls []string, detail, detach bool, out string, retries int) {
+	body, err := buildRequest(scale, reqFile, impls, detail)
 	if err != nil {
 		fatal(err)
 	}

@@ -45,7 +45,7 @@ import (
 func main() {
 	prog := flag.String("prog", "ss", "benchmark: mmt|qs|dtw|paraffins|wavefront|ss")
 	arg := flag.Int("arg", 0, "problem size (0 = paper argument)")
-	implName := flag.String("impl", "md", "implementation: am|md|am-enabled|oam")
+	implName := flag.String("impl", "md", "backend: "+strings.Join(core.BackendNames(), "|"))
 	sizesKB := flag.String("cache", "8", "cache size(s) in Kbytes (I and D), comma-separated")
 	assocs := flag.String("assoc", "4", "set associativity list, comma-separated")
 	blocks := flag.String("block", "64", "block size(s) in bytes, comma-separated")
@@ -59,18 +59,9 @@ func main() {
 	pairedQW := flag.Bool("paired-queue-writes", false, "model the MDP's two-word-per-cycle queue write-through (halves charged queue-buffer writes)")
 	flag.Parse()
 
-	var impl core.Impl
-	switch *implName {
-	case "am":
-		impl = core.ImplAM
-	case "md":
-		impl = core.ImplMD
-	case "am-enabled":
-		impl = core.ImplAMEnabled
-	case "oam":
-		impl = core.ImplOAM
-	default:
-		fail(fmt.Errorf("unknown -impl %q", *implName))
+	impl, err := core.ParseImpl(*implName)
+	if err != nil {
+		fail(err)
 	}
 
 	placement, err := core.ParsePlacement(*placementName)
@@ -127,6 +118,14 @@ func main() {
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
+	// NIC-offload backends split the trace by execution locus: inlets
+	// and system handlers record into their own stream and replay
+	// against the NIC engine's private cache pair.
+	var nicRec *trace.Recording
+	if impl.Caps().NICInlets {
+		nicRec = &trace.Recording{}
+		sim.NICTracer = nicRec
+	}
 	if err := sim.Run(); err != nil {
 		fail(err)
 	}
@@ -173,6 +172,15 @@ func main() {
 			if _, err := rec.MissDensityTrack(sink.Events, int32(sim.M.Node()), geoms[0], 1000); err != nil {
 				fail(err)
 			}
+			if nicRec != nil {
+				// A second labeled track for the NIC engine's stream at
+				// its own geometry, so handler-side miss bursts are
+				// visually separable from compute misses.
+				if _, err := nicRec.MissDensityTrackLabeled(sink.Events, int32(sim.M.Node()),
+					experiments.NICGeom(opt), 1000, "nic"); err != nil {
+					fail(err)
+				}
+			}
 		}
 		// The recording replaced the inline collector; fold its
 		// per-class reference counts into the registry here.
@@ -184,6 +192,37 @@ func main() {
 		}
 	}
 	res := resultOf(sim, rec, caches)
+
+	// Replay the NIC engine's stream (if any) against its private
+	// geometry; the cycle model then takes the slower of the two engines
+	// per geometry, as the experiments package does.
+	var nic *experiments.NICStats
+	if nicRec != nil {
+		ng := experiments.NICGeom(opt)
+		p, err := trace.NewPair(ng)
+		if err != nil {
+			fail(err)
+		}
+		nicRec.Replay(p)
+		nic = &experiments.NICStats{
+			Instructions: sim.M.HighInstructions(),
+			Config:       ng,
+			IMisses:      p.I.Stats().Misses,
+			DMisses:      p.D.Stats().Misses,
+			Writebacks:   p.D.Stats().Writebacks,
+		}
+	}
+	cycles := func(i, p int) uint64 {
+		if nic == nil {
+			return res.Cycles(i, p)
+		}
+		compute := res.Instructions - nic.Instructions + uint64(p)*(caches[i].IMisses+caches[i].DMisses)
+		n := nic.Instructions + uint64(p)*(nic.IMisses+nic.DMisses)
+		if n > compute {
+			return n
+		}
+		return compute
+	}
 
 	fmt.Printf("%s %d under %v\n", spec.Name, n, impl)
 	fmt.Printf("  %s\n\n", spec.Doc)
@@ -202,8 +241,16 @@ func main() {
 		fmt.Printf("  D-misses          %12d\n", c.DMisses)
 		fmt.Printf("  writebacks        %12d\n", c.Writebacks)
 		for _, p := range []int{12, 24, 48} {
-			fmt.Printf("  cycles (miss=%2d)  %12d\n", p, res.Cycles(i, p))
+			fmt.Printf("  cycles (miss=%2d)  %12d\n", p, cycles(i, p))
 		}
+	}
+	if nic != nil {
+		fmt.Printf("\n  nic engine (private cache %v)\n", nic.Config)
+		fmt.Printf("  instructions      %12d\n", nic.Instructions)
+		fmt.Printf("  trace             %12d refs\n", nicRec.Len())
+		fmt.Printf("  I-misses          %12d\n", nic.IMisses)
+		fmt.Printf("  D-misses          %12d\n", nic.DMisses)
+		fmt.Printf("  writebacks        %12d\n", nic.Writebacks)
 	}
 
 	if *hist {
@@ -278,6 +325,17 @@ func runCluster(impl core.Impl, placement core.Placement, spec programs.Spec, ar
 		recs[k] = &trace.Recording{}
 		cs.Tracers[k] = recs[k]
 	}
+	// NIC-offload backends record each node's high-priority stream
+	// separately; it replays against the node's private NIC cache pair.
+	var nicRecs []*trace.Recording
+	if impl.Caps().NICInlets {
+		nicRecs = make([]*trace.Recording, cs.Nodes)
+		cs.NICTracers = make([]machine.Tracer, cs.Nodes)
+		for k := range nicRecs {
+			nicRecs[k] = &trace.Recording{}
+			cs.NICTracers[k] = nicRecs[k]
+		}
+	}
 	if err := cs.Run(); err != nil {
 		fail(err)
 	}
@@ -329,11 +387,49 @@ func runCluster(impl core.Impl, placement core.Placement, spec programs.Spec, ar
 					fail(err)
 				}
 			}
+			for k, rec := range nicRecs {
+				if _, err := rec.MissDensityTrackLabeled(sink.Events, int32(k),
+					experiments.NICGeom(opt), 1000, "nic"); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+
+	// Sum the per-node NIC streams (if any) through private pairs of the
+	// NIC geometry; the cycle lines below then take the slower engine.
+	var nic *experiments.NICStats
+	if nicRecs != nil {
+		ng := experiments.NICGeom(opt)
+		nic = &experiments.NICStats{Config: ng}
+		for _, m := range cs.C.Machines {
+			nic.Instructions += m.HighInstructions()
+		}
+		for _, rec := range nicRecs {
+			p, err := trace.NewPair(ng)
+			if err != nil {
+				fail(err)
+			}
+			rec.Replay(p)
+			nic.IMisses += p.I.Stats().Misses
+			nic.DMisses += p.D.Stats().Misses
+			nic.Writebacks += p.D.Stats().Writebacks
 		}
 	}
 
 	g := cs.MergedGran()
 	instrs := cs.Instructions()
+	cycles := func(i, p int) uint64 {
+		c := instrs + uint64(p)*(caches[i].IMisses+caches[i].DMisses)
+		if nic == nil {
+			return c
+		}
+		c -= nic.Instructions
+		if n := nic.Instructions + uint64(p)*(nic.IMisses+nic.DMisses); n > c {
+			return n
+		}
+		return c
+	}
 	fmt.Printf("%s %d under %v on %d nodes (%v placement)\n", spec.Name, arg, impl, cs.Nodes, placement)
 	fmt.Printf("  %s\n\n", spec.Doc)
 	fmt.Printf("  instructions      %12d\n", instrs)
@@ -365,9 +461,15 @@ func runCluster(impl core.Impl, placement core.Placement, spec programs.Spec, ar
 		fmt.Printf("  D-misses          %12d\n", c.DMisses)
 		fmt.Printf("  writebacks        %12d\n", c.Writebacks)
 		for _, p := range []int{12, 24, 48} {
-			fmt.Printf("  cycles (miss=%2d)  %12d\n", p,
-				instrs+uint64(p)*(caches[i].IMisses+caches[i].DMisses))
+			fmt.Printf("  cycles (miss=%2d)  %12d\n", p, cycles(i, p))
 		}
+	}
+	if nic != nil {
+		fmt.Printf("\n  nic engines (private cache %v per node)\n", nic.Config)
+		fmt.Printf("  instructions      %12d\n", nic.Instructions)
+		fmt.Printf("  I-misses          %12d\n", nic.IMisses)
+		fmt.Printf("  D-misses          %12d\n", nic.DMisses)
+		fmt.Printf("  writebacks        %12d\n", nic.Writebacks)
 	}
 
 	if hist {

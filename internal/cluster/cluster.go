@@ -39,6 +39,15 @@ type Cluster struct {
 	// running.
 	Classify func(pri int, ws []word.Word) string
 
+	// Service, when non-nil, is consulted for every network delivery
+	// before the message is buffered into the destination's hardware
+	// queue. Returning true consumes the message — the node's memory
+	// interface serviced it directly, without dispatching a handler
+	// (Active Access style remote memory operations). Returning false
+	// falls through to normal queue injection. The hook may send reply
+	// messages via Net.Send at the given tick. Set before running.
+	Service func(tick uint64, m *netsim.Message) (bool, error)
+
 	tick uint64
 }
 
@@ -161,6 +170,12 @@ func (c *Cluster) RunContext(ctx context.Context, maxTicks uint64) error {
 
 func (c *Cluster) deliverDue() error {
 	return c.Net.Deliver(c.tick, func(m *netsim.Message) error {
+		if c.Service != nil {
+			done, err := c.Service(c.tick, m)
+			if done || err != nil {
+				return err
+			}
+		}
 		return c.Machines[m.Dst].Inject(m.Pri, m.Words)
 	})
 }

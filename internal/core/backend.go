@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jmtam/internal/machine"
+)
+
+// The two post-1995 backends, built on the registry below. Both share
+// the AM implementation's code generation (high-priority inlets, frame-
+// resident continuation vectors, background scheduler) and differ only
+// in where message handling executes:
+//
+//   - ImplOffload runs inlets on a per-node NIC engine with its own
+//     small instruction/data cache, so handler code and inlet data never
+//     touch the compute caches ("Network-accelerated Active Messages").
+//     The instruction stream is identical to AM; the reference trace is
+//     split by execution locus and attributed to separate cache pairs.
+//
+//   - ImplAA (Active Access, after Besta) services remote I-structure
+//     fetches and stores directly against the owning node's memory at
+//     message-delivery time — no inlet dispatch, no handler
+//     instructions — while frame/heap allocation still runs as
+//     handlers. On one node it is exactly AM.
+const (
+	ImplOffload Impl = iota + ImplOAM + 1
+	ImplAA
+)
+
+// SchedulerKind says how a backend activates ready frames.
+type SchedulerKind int
+
+const (
+	// SchedNone: no frame scheduler; the hardware message queue is the
+	// task queue (MD).
+	SchedNone SchedulerKind = iota
+	// SchedBackground: a low-priority library routine spins over the
+	// ready-frame queue and is booted at startup (AM, AM-enabled).
+	SchedBackground
+	// SchedMessage: the scheduler runs as low-priority scheduling
+	// messages posted when the ready queue becomes non-empty (OAM).
+	SchedMessage
+)
+
+// InterruptKind is the backend's interrupt discipline around threads.
+type InterruptKind int
+
+const (
+	// IntNone: threads never toggle interrupts (MD, OAM — inlets share
+	// the computation priority, so there is nothing to window).
+	IntNone InterruptKind = iota
+	// IntPulse: a brief EI;DI pulse at the top of every thread — the
+	// paper's unenabled AM discipline (§2.4).
+	IntPulse
+	// IntEnabled: interrupts stay enabled during threads except a DI/EI
+	// guard around continuation-vector access — the Figure 2 enabled
+	// variant.
+	IntEnabled
+)
+
+// Caps declares what a backend's code generator and runtime actually
+// need to know: every former `impl == Impl*` conditional in codegen,
+// the cluster driver and the machine now branches on one of these
+// fields, so a new backend is a registry entry, not a scatter of enum
+// checks.
+type Caps struct {
+	// InletPri is the hardware priority at which user inlets run.
+	InletPri int64
+	// RCV: frames carry a remote continuation vector (4-word header,
+	// per-frame ready-thread list). Without it frames have a 2-word
+	// header and enabled threads push onto the global LCV (MD §3.1).
+	RCV bool
+	// Scheduler picks how ready frames are activated.
+	Scheduler SchedulerKind
+	// Interrupts is the thread-body interrupt discipline.
+	Interrupts InterruptKind
+	// StaticOpt: the §2.3 message-driven static optimizations
+	// (fall-through transfer, suspend conversion) apply, subject to
+	// Options.NoMDOptimize.
+	StaticOpt bool
+	// DirectTransfer: inlets pass control directly to DirectOnly
+	// threads instead of posting them (OAM's optimistic path).
+	DirectTransfer bool
+	// NICInlets: high-priority execution (inlets and system handlers)
+	// runs on a per-node NIC engine with its own I/D cache; the
+	// machine splits the reference trace by locus.
+	NICInlets bool
+	// DirectAccess: remote I-structure reads/writes are serviced
+	// against the owning node's memory at delivery time, bypassing
+	// inlet dispatch (Active Access).
+	DirectAccess bool
+}
+
+// HeaderWords returns the frame header size implied by the caps.
+func (c Caps) HeaderWords() int {
+	if c.RCV {
+		return amHeaderWords
+	}
+	return mdHeaderWords
+}
+
+// Backend is one registry entry: a backend's identity (wire name,
+// display name, table tag) plus its capability declaration.
+type Backend struct {
+	Impl Impl
+	// Name is the canonical wire/CLI name ("md", "am", "am-enabled",
+	// "oam", "offload", "aa").
+	Name string
+	// Display is the presentation name used in tables, store
+	// descriptors and result documents ("MD", "AM", "AM-enabled", ...).
+	// It is part of the persisted wire format: existing backends'
+	// display names must never change.
+	Display string
+	// Tag is the short table tag.
+	Tag string
+	// Aliases lists extra accepted spellings ("" means "default when
+	// the field is absent").
+	Aliases []string
+	Caps    Caps
+}
+
+// amCaps is the shared capability set of the AM family.
+var amCaps = Caps{
+	InletPri:   machine.High,
+	RCV:        true,
+	Scheduler:  SchedBackground,
+	Interrupts: IntPulse,
+}
+
+// registry lists every backend in canonical (display/report) order.
+var registry = []*Backend{
+	{Impl: ImplMD, Name: "md", Display: "MD", Tag: "MD", Aliases: []string{""},
+		Caps: Caps{InletPri: machine.Low, Scheduler: SchedNone, Interrupts: IntNone, StaticOpt: true}},
+	{Impl: ImplAM, Name: "am", Display: "AM", Tag: "AM", Caps: amCaps},
+	{Impl: ImplAMEnabled, Name: "am-enabled", Display: "AM-enabled", Tag: "AM",
+		Caps: Caps{InletPri: machine.High, RCV: true, Scheduler: SchedBackground, Interrupts: IntEnabled}},
+	{Impl: ImplOAM, Name: "oam", Display: "OAM", Tag: "OAM",
+		Caps: Caps{InletPri: machine.Low, RCV: true, Scheduler: SchedMessage, Interrupts: IntNone, DirectTransfer: true}},
+	{Impl: ImplOffload, Name: "offload", Display: "offload", Tag: "OFF",
+		Caps: func() Caps { c := amCaps; c.NICInlets = true; return c }()},
+	{Impl: ImplAA, Name: "aa", Display: "aa", Tag: "AA",
+		Caps: func() Caps { c := amCaps; c.DirectAccess = true; return c }()},
+}
+
+var (
+	byImpl map[Impl]*Backend
+	byName map[string]*Backend
+)
+
+func init() {
+	byImpl = make(map[Impl]*Backend, len(registry))
+	byName = make(map[string]*Backend, len(registry))
+	for _, b := range registry {
+		byImpl[b.Impl] = b
+		byName[b.Name] = b
+		// Display names are accepted on input too: normalized requests
+		// carry them (e.g. a journaled job whose impl field was rewritten
+		// to "MD"), and parsing must round-trip them.
+		byName[b.Display] = b
+		for _, a := range b.Aliases {
+			byName[a] = b
+		}
+	}
+}
+
+// Backends returns the registry in canonical order. The slice is
+// shared; callers must not mutate it.
+func Backends() []*Backend { return registry }
+
+// BackendNames returns every canonical wire name in registry order.
+func BackendNames() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Backend returns the registry entry for the implementation, or nil for
+// an unknown value.
+func (i Impl) Backend() *Backend { return byImpl[i] }
+
+// Caps returns the implementation's capability declaration. Unknown
+// values get the zero Caps, which codegen rejects at Compile.
+func (i Impl) Caps() Caps {
+	if b := byImpl[i]; b != nil {
+		return b.Caps
+	}
+	return Caps{}
+}
+
+// Name returns the canonical wire name ("md", "am", ...).
+func (i Impl) Name() string {
+	if b := byImpl[i]; b != nil {
+		return b.Name
+	}
+	return fmt.Sprintf("impl(%d)", int(i))
+}
+
+// Registered reports whether the value names a known backend.
+func (i Impl) Registered() bool { return byImpl[i] != nil }
+
+// knownNames renders the accepted backend names for error messages.
+func knownNames() string { return strings.Join(BackendNames(), ", ") }
+
+// ParseImpl resolves a wire/CLI backend name against the registry. The
+// empty string resolves to MD (the historical default for an absent
+// field).
+func ParseImpl(s string) (Impl, error) {
+	if b, ok := byName[s]; ok {
+		return b.Impl, nil
+	}
+	return 0, fmt.Errorf("unknown impl %q (known backends: %s)", s, knownNames())
+}
+
+// ParseImpls resolves a comma-separated list of backend names,
+// rejecting duplicates. An empty list is an error: callers supply their
+// own defaults.
+func ParseImpls(list string) ([]Impl, error) {
+	var impls []Impl
+	seen := make(map[Impl]bool)
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		impl, err := ParseImpl(f)
+		if err != nil {
+			return nil, err
+		}
+		if seen[impl] {
+			return nil, fmt.Errorf("duplicate impl %q", f)
+		}
+		seen[impl] = true
+		impls = append(impls, impl)
+	}
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("no impls given (known backends: %s)", knownNames())
+	}
+	return impls, nil
+}
+
+// SortImpls orders implementations by registry (canonical report)
+// order; unknown values sort last by numeric value.
+func SortImpls(impls []Impl) {
+	pos := make(map[Impl]int, len(registry))
+	for i, b := range registry {
+		pos[b.Impl] = i
+	}
+	sort.SliceStable(impls, func(a, b int) bool {
+		pa, oka := pos[impls[a]]
+		pb, okb := pos[impls[b]]
+		if oka != okb {
+			return oka
+		}
+		if !oka {
+			return impls[a] < impls[b]
+		}
+		return pa < pb
+	})
+}

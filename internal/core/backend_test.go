@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseImplAcceptsWireDisplayAndAliases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Impl
+	}{
+		{"md", ImplMD},
+		{"MD", ImplMD},
+		{"", ImplMD}, // historical default for an absent field
+		{"am", ImplAM},
+		{"AM", ImplAM},
+		{"am-enabled", ImplAMEnabled},
+		{"AM-enabled", ImplAMEnabled},
+		{"oam", ImplOAM},
+		{"OAM", ImplOAM},
+		{"offload", ImplOffload},
+		{"aa", ImplAA},
+	}
+	for _, c := range cases {
+		got, err := ParseImpl(c.in)
+		if err != nil {
+			t.Errorf("ParseImpl(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseImpl(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Display names are persisted in journals and store descriptors;
+// parsing must round-trip them for every registered backend.
+func TestParseImplRoundTripsEveryBackend(t *testing.T) {
+	for _, b := range Backends() {
+		for _, s := range []string{b.Name, b.Display, b.Impl.String()} {
+			got, err := ParseImpl(s)
+			if err != nil {
+				t.Errorf("ParseImpl(%q): %v", s, err)
+				continue
+			}
+			if got != b.Impl {
+				t.Errorf("ParseImpl(%q) = %v, want %v", s, got, b.Impl)
+			}
+		}
+		if b.Impl.Name() != b.Name {
+			t.Errorf("%v.Name() = %q, want %q", b.Impl, b.Impl.Name(), b.Name)
+		}
+		if !b.Impl.Registered() {
+			t.Errorf("%v not registered", b.Impl)
+		}
+	}
+}
+
+func TestParseImplUnknownListsBackends(t *testing.T) {
+	_, err := ParseImpl("vax")
+	if err == nil {
+		t.Fatal("ParseImpl(vax) succeeded")
+	}
+	for _, name := range BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list known backend %q", err, name)
+		}
+	}
+}
+
+func TestParseImpls(t *testing.T) {
+	impls, err := ParseImpls("md, am,offload,aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Impl{ImplMD, ImplAM, ImplOffload, ImplAA}
+	if len(impls) != len(want) {
+		t.Fatalf("got %v, want %v", impls, want)
+	}
+	for i := range want {
+		if impls[i] != want[i] {
+			t.Fatalf("got %v, want %v", impls, want)
+		}
+	}
+	if _, err := ParseImpls("md,md"); err == nil {
+		t.Error("duplicate impl accepted")
+	}
+	if _, err := ParseImpls("md,AM,am"); err == nil {
+		t.Error("duplicate impl via alias accepted")
+	}
+	if _, err := ParseImpls(" , "); err == nil || !strings.Contains(err.Error(), "known backends") {
+		t.Errorf("empty list error %v does not list known backends", err)
+	}
+	if _, err := ParseImpls("md,pdp11"); err == nil {
+		t.Error("unknown impl accepted in list")
+	}
+}
+
+func TestSortImplsUsesRegistryOrder(t *testing.T) {
+	impls := []Impl{ImplAA, ImplOAM, ImplMD, ImplOffload, ImplAM}
+	SortImpls(impls)
+	want := []Impl{ImplMD, ImplAM, ImplOAM, ImplOffload, ImplAA}
+	for i := range want {
+		if impls[i] != want[i] {
+			t.Fatalf("got %v, want %v", impls, want)
+		}
+	}
+}
+
+// The new backends are the AM capability set plus exactly one locality
+// flag each: codegen must treat them as AM (byte-identical programs),
+// with the difference confined to where handling executes.
+func TestOffloadAndAAShareAMCodegenCaps(t *testing.T) {
+	am := ImplAM.Caps()
+	off := ImplOffload.Caps()
+	aa := ImplAA.Caps()
+	if !off.NICInlets || off.DirectAccess {
+		t.Errorf("offload caps flags wrong: %+v", off)
+	}
+	if !aa.DirectAccess || aa.NICInlets {
+		t.Errorf("aa caps flags wrong: %+v", aa)
+	}
+	off.NICInlets = false
+	aa.DirectAccess = false
+	if off != am {
+		t.Errorf("offload caps diverge from AM beyond NICInlets: %+v vs %+v", off, am)
+	}
+	if aa != am {
+		t.Errorf("aa caps diverge from AM beyond DirectAccess: %+v vs %+v", aa, am)
+	}
+}

@@ -38,16 +38,12 @@ type Body struct {
 func (b *Body) impl() Impl { return b.rt.Impl }
 
 // directStyle reports whether DirectOnly threads are entered by a direct
-// control transfer with registers intact: the MD implementation (when
-// the §2.3 optimizations are on) and the OAM hybrid's short-thread path.
+// control transfer with registers intact: backends with the §2.3 static
+// optimizations (when enabled) and backends with OAM-style direct
+// transfer.
 func (b *Body) directStyle() bool {
-	switch b.impl() {
-	case ImplMD:
-		return b.rt.mdOpt
-	case ImplOAM:
-		return true
-	}
-	return false
+	c := b.impl().Caps()
+	return (c.StaticOpt && b.rt.mdOpt) || c.DirectTransfer
 }
 
 func (b *Body) mustInlet(macro string) {
@@ -129,11 +125,12 @@ func (b *Body) StoreResult(i int, rs uint8) {
 // --- Continuation-vector pushes ---------------------------------------------
 
 // pushCV appends the thread's address to the continuation vector: the
-// frame-resident ready list under AM, the global LCV under MD.
+// frame-resident ready list when the backend keeps an RCV, the global
+// LCV otherwise.
 func (b *Body) pushCV(t *Thread) {
 	b.pushed = true
 	b.MovALabel(4, t.Label())
-	if b.impl() == ImplMD {
+	if !b.impl().Caps().RCV {
 		b.LDAbs(3, GLCVTop)
 		b.Mark(isa.MarkLCVPush)
 		b.STPost(3, 4)
@@ -159,7 +156,7 @@ func (b *Body) decCount(t *Thread) {
 // the enabled-AM variant, which otherwise leaves interrupts on during
 // thread execution (§2.4, Figure 2b).
 func (b *Body) guard(f func()) {
-	if b.impl() == ImplAMEnabled && b.thread != nil {
+	if b.impl().Caps().Interrupts == IntEnabled && b.thread != nil {
 		b.DI()
 		f()
 		b.EI()
@@ -177,7 +174,7 @@ func (b *Body) Fork(t *Thread) {
 	b.mustThread("Fork")
 	b.mustLive("Fork")
 	noteTarget(t, b)
-	if b.impl() == ImplOAM {
+	if b.impl().Caps().DirectTransfer {
 		// A directly-running thread is outside any activation, so the
 		// fork must go through the post routine, which also links the
 		// frame into the ready queue.
@@ -206,14 +203,14 @@ func (b *Body) ForkEnd(t *Thread) {
 	b.mustLive("ForkEnd")
 	noteTarget(t, b)
 	if t.Sync < 0 {
-		if b.impl() == ImplAMEnabled {
+		if b.impl().Caps().Interrupts == IntEnabled {
 			b.DI() // leaving the thread; the target re-enables
 		}
 		b.BR(t.Label())
 		b.terminated = true
 		return
 	}
-	if b.impl() == ImplAMEnabled {
+	if b.impl().Caps().Interrupts == IntEnabled {
 		b.DI()
 	}
 	b.decCount(t)
@@ -228,7 +225,7 @@ func (b *Body) ForkEnd(t *Thread) {
 func (b *Body) Stop() {
 	b.mustThread("Stop")
 	b.mustLive("Stop")
-	if b.impl() == ImplAMEnabled {
+	if b.impl().Caps().Interrupts == IntEnabled {
 		b.DI()
 	}
 	b.stopTail()
@@ -238,7 +235,9 @@ func (b *Body) Stop() {
 // stopTail emits the backend's end-of-task sequence (without marking the
 // body terminated, so ForkEnd can reuse it for the not-enabled path).
 func (b *Body) stopTail() {
-	if b.impl() == ImplOAM {
+	c := b.impl().Caps()
+	switch c.Scheduler {
+	case SchedMessage:
 		if (b.thread != nil && b.thread.DirectOnly) || b.inlet != nil {
 			// Directly-executed code: the task simply ends; pending
 			// frames run via the scheduling message.
@@ -247,14 +246,13 @@ func (b *Body) stopTail() {
 			b.BRA(b.rt.popAddr)
 		}
 		return
-	}
-	if b.impl() != ImplMD {
+	case SchedBackground:
 		b.BRA(b.rt.popAddr)
 		return
 	}
-	// MD: when the LCV is statically known to be empty, the stop
-	// converts to a suspend (§2.3).
-	if b.rt.mdOpt {
+	// No frame scheduler: when the LCV is statically known to be empty,
+	// the stop converts to a suspend (§2.3).
+	if c.StaticOpt && b.rt.mdOpt {
 		if b.thread != nil && b.thread.DirectOnly && b.thread.entryLCVEmpty && !b.pushed {
 			b.Suspend()
 			return
@@ -295,7 +293,7 @@ func (b *Body) Post(t *Thread) {
 }
 
 func (b *Body) postBody(t *Thread) {
-	if b.impl() != ImplMD {
+	if b.impl().Caps().Scheduler != SchedNone {
 		b.MovALabel(1, t.Label())
 		if t.Sync >= 0 {
 			b.LEA(2, isa.RFP, b.cb.countOff(b.impl(), t.Sync))
@@ -325,13 +323,13 @@ func (b *Body) PostEnd(t *Thread) {
 	b.mustInlet("PostEnd")
 	b.mustLive("PostEnd")
 	noteTarget(t, b)
-	if b.impl() == ImplOAM && t.DirectOnly {
+	if b.impl().Caps().DirectTransfer && t.DirectOnly {
 		// Short thread: pass control directly, MD-style.
 		b.jumpOrFall(t)
 		b.terminated = true
 		return
 	}
-	if b.impl() != ImplMD {
+	if b.impl().Caps().Scheduler != SchedNone {
 		b.postBody(t)
 		b.Suspend()
 		b.terminated = true
@@ -363,7 +361,7 @@ func (b *Body) PostEnd(t *Thread) {
 // inlet has further Case paths after the PostEnd.
 func (b *Body) jumpOrFall(t *Thread) {
 	b.BR(t.Label())
-	if (b.rt.mdOpt || b.impl() == ImplOAM) && !t.emitted && b.fallthroughTo == nil {
+	if b.directStyle() && !t.emitted && b.fallthroughTo == nil {
 		b.fallthroughTo = t
 		b.fallBRPC = b.Segment.PC()
 	}
@@ -385,7 +383,7 @@ func (b *Body) Case(label string) {
 func (b *Body) EndInlet() {
 	b.mustInlet("EndInlet")
 	b.mustLive("EndInlet")
-	if b.impl() != ImplMD {
+	if b.impl().Caps().Scheduler != SchedNone {
 		b.Suspend()
 	} else {
 		b.stopTail()

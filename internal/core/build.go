@@ -58,6 +58,15 @@ type Options struct {
 	// Net overrides the mesh geometry and latency model for multi-node
 	// runs (nil = netsim.DefaultConfig for the node count).
 	Net *netsim.Config
+	// NICCacheKB, NICCacheBlockBytes and NICCacheAssoc size the NIC
+	// engine's private I/D cache pair for backends with NIC-offloaded
+	// inlets (Caps.NICInlets); zero values select 4 KB, 64-byte blocks,
+	// direct-mapped. The NIC cache is a replay-time parameter (like the
+	// compute-cache geometry grid) and does not affect simulation
+	// results; ignored for other backends.
+	NICCacheKB         int
+	NICCacheBlockBytes int
+	NICCacheAssoc      int
 }
 
 // Sim is one ready-to-run simulation: a program compiled by one backend,
@@ -77,6 +86,12 @@ type Sim struct {
 	// a *trace.Recording here so the simulation loop appends packed
 	// trace words instead of probing caches inline.
 	Tracer machine.Tracer
+	// NICTracer, when non-nil on a backend with NIC-offloaded inlets
+	// (Caps.NICInlets), receives the high-priority share of the
+	// reference stream — inlet and system-handler execution on the NIC
+	// engine — while Tracer sees only compute-side references. The
+	// union of the two streams is exactly the single-tracer stream.
+	NICTracer machine.Tracer
 	// Gran accumulates granularity statistics during Run.
 	Gran *stats.Granularity
 	// Obs is the observability sink from Options, or nil.
@@ -147,13 +162,13 @@ func (rt *Runtime) emitThread(t *Thread) {
 	t.addr = s.Label(t.Label())
 	b := &Body{Segment: s, rt: rt, cb: t.cb, thread: t}
 	s.Mark(isa.MarkThreadStart)
-	switch rt.Impl {
-	case ImplAM:
+	switch rt.Impl.Caps().Interrupts {
+	case IntPulse:
 		// Unenabled AM: interrupts are enabled only briefly at the top
 		// of each thread (Figure 2a).
 		s.EI()
 		s.DI()
-	case ImplAMEnabled:
+	case IntEnabled:
 		// Enabled AM: interrupts stay on except around CV access.
 		s.EI()
 	}
@@ -182,6 +197,9 @@ func (s *Sim) RunContext(ctx context.Context) error {
 		s.M.SetTracer(s.Tracer)
 	} else {
 		s.M.SetTracer(s.Collector)
+	}
+	if s.NICTracer != nil {
+		s.M.SetNICTracer(s.NICTracer)
 	}
 	s.M.SetObserver(s.Gran)
 	if err := s.M.RunContext(ctx); err != nil {
@@ -339,7 +357,7 @@ func (h *Host) AllocFrame(cb *Codeblock) uint32 {
 	}
 	m.Store(GFrameBump, word.Ptr(nb))
 	m.Store(f+fhDesc, word.Ptr(cb.descAddr))
-	if h.impl != ImplMD {
+	if h.impl.Caps().RCV {
 		_, rcvOff := cb.layout(h.impl)
 		m.Store(f+uint32(rcvOff), word.Int(0)) // bottom sentinel
 		m.Store(f+fhRCVTail, word.Ptr(f+uint32(rcvOff)+4))

@@ -36,6 +36,11 @@ type ClusterSim struct {
 	// reference consumers during Run (one per node, for the
 	// record/replay engine).
 	Tracers []machine.Tracer
+	// NICTracers, when non-nil, receive each node's high-priority
+	// reference share (NIC-offloaded inlet execution) instead of the
+	// node's main tracer; only meaningful for backends with the
+	// NICInlets capability.
+	NICTracers []machine.Tracer
 	// Grans accumulate per-node granularity statistics during Run.
 	Grans []*stats.Granularity
 	// Obs is the observability sink from Options, or nil.
@@ -173,12 +178,170 @@ func (c *Compiled) NewCluster(prog *Program, opt Options) (cs *ClusterSim, err e
 			return nil, fmt.Errorf("core: %s setup: %w", prog.Name, err)
 		}
 	}
-	if impl == ImplAM || impl == ImplAMEnabled {
+	if impl.Caps().Scheduler == SchedBackground {
 		for _, m := range ms {
 			m.Boot(c.RT.schedAddr)
 		}
 	}
+	if impl.Caps().DirectAccess {
+		cs.installAAService()
+	}
 	return cs, nil
+}
+
+// nodeTracer returns the reference consumer attached to node k during
+// Run: the explicit tracer when the record/replay engine supplied one,
+// the node's collector otherwise.
+func (cs *ClusterSim) nodeTracer(k int) machine.Tracer {
+	if cs.Tracers != nil && cs.Tracers[k] != nil {
+		return cs.Tracers[k]
+	}
+	return cs.Collectors[k]
+}
+
+// installAAService wires the Active-Access hook: remote I-structure
+// reads and writes are serviced directly against the owning node's
+// memory at message-delivery time — the memory footprint of the iread/
+// iwrite handlers (traced into the owner's reference stream) without
+// dispatching any handler instructions. Frame and heap allocation still
+// run as ordinary handlers, and on one node the backend degenerates to
+// plain AM (local operations never cross the network).
+func (cs *ClusterSim) installAAService() {
+	rt := cs.RT
+	cs.C.Service = func(tick uint64, m *netsim.Message) (bool, error) {
+		if len(m.Words) == 0 {
+			return false, nil
+		}
+		switch m.Words[0].Addr() {
+		case rt.ireadAddr, rt.iwriteAddr:
+		default:
+			return false, nil
+		}
+		// A locally issued request bypasses the network and dispatches
+		// the handler on the owning node, whose read-modify-write of the
+		// cell spans many ticks. Servicing a delivery directly while that
+		// engine is mid-handler would interleave with it and lose
+		// updates, so fall back to ordinary handler injection whenever
+		// the node's high-priority engine is busy — both paths implement
+		// the same I-structure transition, only atomicity matters.
+		if cs.C.Machines[m.Dst].Busy(machine.High) {
+			return false, nil
+		}
+		if m.Words[0].Addr() == rt.ireadAddr {
+			return true, cs.aaRead(tick, m)
+		}
+		return true, cs.aaWrite(tick, m)
+	}
+}
+
+// aaReply sends an I-structure reply [inlet, frame, value] at the
+// requested priority to the node owning the continuation frame.
+func (cs *ClusterSim) aaReply(tick uint64, src int, pri, inlet, frame, val word.Word) error {
+	dst := int(frame.Addr()>>cs.RT.frameShift) & (cs.RT.nodes - 1)
+	ws := []word.Word{inlet, frame, val}
+	return cs.C.Net.Send(src, dst, int(pri.AsInt()), ws, tick)
+}
+
+// aaRead services an iread request [handler, heapAddr, replyPri,
+// replyInlet, replyFrame] against node m.Dst's memory, mirroring
+// emitIRead's data accesses: a present cell replies immediately, an
+// empty or deferred cell chains the continuation onto the cell's
+// deferred-reader list (nodes allocated from the owner's pool).
+func (cs *ClusterSim) aaRead(tick uint64, m *netsim.Message) error {
+	k := m.Dst
+	mm := cs.C.Machines[k].Mem
+	trc := cs.nodeTracer(k)
+	addr := m.Words[1].Addr()
+	trc.Read(addr)
+	cell := mm.Load(addr)
+	switch cell.Tag {
+	case word.TagEmpty, word.TagDefer:
+		link := word.Int(0)
+		if cell.Tag == word.TagDefer {
+			link = cell
+			link.Tag = word.TagPtr
+		}
+		trc.Read(GNodeFree)
+		free := mm.Load(GNodeFree)
+		var node uint32
+		if free.AsInt() != 0 {
+			node = free.Addr()
+			trc.Read(node + nNext)
+			next := mm.Load(node + nNext)
+			trc.Write(GNodeFree)
+			mm.Store(GNodeFree, next)
+		} else {
+			trc.Read(GNodeBump)
+			node = mm.Load(GNodeBump).Addr()
+			trc.Write(GNodeBump)
+			mm.Store(GNodeBump, word.Ptr(node+nodeBytes))
+		}
+		trc.Write(node + nNext)
+		mm.Store(node+nNext, link)
+		trc.Write(node + nPri)
+		mm.Store(node+nPri, m.Words[2])
+		trc.Write(node + nInlet)
+		mm.Store(node+nInlet, m.Words[3])
+		trc.Write(node + nFrame)
+		mm.Store(node+nFrame, m.Words[4])
+		head := word.Ptr(node)
+		head.Tag = word.TagDefer
+		trc.Write(addr)
+		mm.Store(addr, head)
+		return nil
+	}
+	return cs.aaReply(tick, k, m.Words[2], m.Words[3], m.Words[4], cell)
+}
+
+// aaWrite services an iwrite request [handler, heapAddr, value]:
+// storing into an empty cell, draining the deferred-reader chain of a
+// deferred cell (one reply per waiting continuation, nodes returned to
+// the owner's free list), and failing on a double write exactly as the
+// handler's trap would.
+func (cs *ClusterSim) aaWrite(tick uint64, m *netsim.Message) error {
+	k := m.Dst
+	mm := cs.C.Machines[k].Mem
+	trc := cs.nodeTracer(k)
+	addr := m.Words[1].Addr()
+	val := m.Words[2]
+	trc.Read(addr)
+	cell := mm.Load(addr)
+	switch cell.Tag {
+	case word.TagEmpty:
+		trc.Write(addr)
+		mm.Store(addr, val)
+	case word.TagDefer:
+		trc.Write(addr)
+		mm.Store(addr, val)
+		node := cell.Addr()
+		for node != 0 {
+			trc.Read(node + nPri)
+			pri := mm.Load(node + nPri)
+			trc.Read(node + nInlet)
+			inlet := mm.Load(node + nInlet)
+			trc.Read(node + nFrame)
+			frame := mm.Load(node + nFrame)
+			if err := cs.aaReply(tick, k, pri, inlet, frame, val); err != nil {
+				return err
+			}
+			trc.Read(node + nNext)
+			next := mm.Load(node + nNext)
+			trc.Read(GNodeFree)
+			free := mm.Load(GNodeFree)
+			trc.Write(node + nNext)
+			mm.Store(node+nNext, free)
+			trc.Write(GNodeFree)
+			mm.Store(GNodeFree, word.Ptr(node))
+			if next.AsInt() == 0 {
+				break
+			}
+			node = next.Addr()
+		}
+	default:
+		return fmt.Errorf("core: %w: trap %d (aa double write at %#x on node %d)",
+			machine.ErrTrap, TrapDoubleWrite, addr, k)
+	}
+	return nil
 }
 
 // BuildCluster compiles prog with the given backend for opt.Nodes mesh
@@ -235,6 +398,9 @@ func (cs *ClusterSim) RunContext(ctx context.Context) error {
 			m.SetTracer(cs.Tracers[k])
 		} else {
 			m.SetTracer(cs.Collectors[k])
+		}
+		if cs.NICTracers != nil && cs.NICTracers[k] != nil {
+			m.SetNICTracer(cs.NICTracers[k])
 		}
 		m.SetObserver(cs.Grans[k])
 	}

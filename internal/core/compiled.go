@@ -245,9 +245,9 @@ func (c *Compiled) NewSim(prog *Program, opt Options) (sim *Sim, err error) {
 			return nil, fmt.Errorf("core: %s setup: %w", prog.Name, err)
 		}
 	}
-	if impl == ImplAM || impl == ImplAMEnabled {
-		// The AM backends run their scheduler as a background loop;
-		// the MD and OAM backends are driven entirely by messages.
+	if impl.Caps().Scheduler == SchedBackground {
+		// Backends with a background scheduler enter its loop at boot;
+		// the others are driven entirely by messages.
 		mach.Boot(c.RT.schedAddr)
 	}
 	return sim, nil

@@ -52,28 +52,18 @@ const (
 	ImplOAM
 )
 
-// String names the backend.
+// String names the backend (its display name, from the registry).
 func (i Impl) String() string {
-	switch i {
-	case ImplAM:
-		return "AM"
-	case ImplMD:
-		return "MD"
-	case ImplAMEnabled:
-		return "AM-enabled"
-	case ImplOAM:
-		return "OAM"
+	if b := i.Backend(); b != nil {
+		return b.Display
 	}
 	return fmt.Sprintf("Impl(%d)", int(i))
 }
 
 // Short returns the short tag used in tables.
 func (i Impl) Short() string {
-	switch i {
-	case ImplMD:
-		return "MD"
-	case ImplOAM:
-		return "OAM"
+	if b := i.Backend(); b != nil {
+		return b.Tag
 	}
 	return "AM"
 }
@@ -163,23 +153,12 @@ func Mapping() []MappingRow {
 	}
 }
 
-// inletPri returns the hardware priority at which inlets run. Under
-// both the MD implementation and the OAM hybrid, user message handlers
-// run at the same priority as computation.
-func (i Impl) inletPri() int64 {
-	if i == ImplMD || i == ImplOAM {
-		return machine.Low
-	}
-	return machine.High
-}
+// inletPri returns the hardware priority at which inlets run, from the
+// backend's capability declaration.
+func (i Impl) inletPri() int64 { return i.Caps().InletPri }
 
 // headerWords returns the frame header size for the backend.
-func (i Impl) headerWords() int {
-	if i == ImplMD {
-		return mdHeaderWords
-	}
-	return amHeaderWords
-}
+func (i Impl) headerWords() int { return i.Caps().HeaderWords() }
 
 // Placement selects the frame/heap placement policy for multi-node
 // runs: where falloc and halloc requests are sent, and therefore which

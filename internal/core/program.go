@@ -191,7 +191,7 @@ func (cb *Codeblock) countOff(impl Impl, i int) int64 {
 // layout computes the frame size and RCV offset for the backend.
 func (cb *Codeblock) layout(impl Impl) (frameWords int, rcvOffBytes int64) {
 	rcv := 0
-	if impl != ImplMD {
+	if impl.Caps().RCV {
 		rcv = cb.RCVCap
 		if rcv == 0 {
 			rcv = DefaultRCVCap

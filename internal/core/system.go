@@ -105,11 +105,13 @@ func (rt *Runtime) emitSystem() {
 	rt.iwriteAddr = rt.emitIWrite()
 	rt.hallocAddr = rt.emitHAlloc()
 
-	switch rt.Impl {
-	case ImplAM, ImplAMEnabled:
+	switch rt.Impl.Caps().Scheduler {
+	case SchedBackground:
 		rt.postAddr = rt.emitPost()
 		rt.schedAddr, rt.popAddr = rt.emitScheduler()
-	case ImplOAM:
+	case SchedMessage:
+		// The message-driven scheduler is emitted first: post references
+		// rt.schedAddr when it enqueues a scheduling message.
 		rt.schedAddr, rt.popAddr = rt.emitOAMScheduler()
 		rt.postAddr = rt.emitPost()
 	}
@@ -156,7 +158,7 @@ func (rt *Runtime) emitFAlloc() uint32 {
 	s.ST(0, dFreeHead, 2)
 	s.Label("fa.init")
 	s.ST(1, fhDesc, 0)
-	if rt.Impl != ImplMD {
+	if rt.Impl.Caps().RCV {
 		s.LD(2, 0, dRCVOff)
 		s.Add(2, 1, 2)
 		s.MovI(3, 0)
@@ -394,7 +396,7 @@ func (rt *Runtime) emitPost() uint32 {
 	s.BR("post.qtail")
 	s.Label("post.qempty")
 	s.STAbs(GReadyHead, 6)
-	if rt.Impl == ImplOAM {
+	if rt.Impl.Caps().Scheduler == SchedMessage {
 		// The OAM scheduler is message-driven: when the ready-frame
 		// queue transitions from empty to non-empty, enqueue a
 		// low-priority scheduling message so the queued frames run

@@ -7,6 +7,7 @@ import (
 	"jmtam/internal/mem"
 	"jmtam/internal/parallel"
 	"jmtam/internal/programs"
+	"jmtam/internal/trace"
 )
 
 // MDOptRow compares the MD implementation with and without the §2.3
@@ -222,6 +223,96 @@ func InstructionMix(ws []Workload, opt core.Options, parallelism int) ([]MixRow,
 			case "machine":
 				row.Machine += f
 			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// VictimRow reports one (workload, implementation) run of the
+// victim-cache ablation: total misses (I + D) under an 8K direct-mapped
+// cache pair backed by victim buffers of each candidate size, plus the
+// 8K 4-way set-associative baseline the paper's headline geometry uses.
+type VictimRow struct {
+	Program string
+	Impl    string // registry wire name
+	Entries []int  // victim buffer sizes, Misses/VictimHits index-aligned
+	// Per-entry-count combined I+D statistics of the direct-mapped +
+	// victim hierarchy.
+	Misses     []uint64
+	VictimHits []uint64
+	// Combined I+D misses at 8K 4-way — the fully set-associative
+	// comparison point.
+	SetAssocMisses uint64
+	Instructions   uint64
+}
+
+// VictimEntries is the default victim-buffer size ladder.
+var VictimEntries = []int{0, 1, 2, 4, 8}
+
+// VictimSweep runs the victim-cache ablation: every workload under
+// every requested backend (nil = the registry's MD and AM) records one
+// reference stream, which then replays through an 8K direct-mapped
+// cache pair backed by victim buffers of each size in entries (nil =
+// VictimEntries), and through the 8K 4-way baseline. A direct-mapped
+// cache whose conflict misses a few victim entries recover explains a
+// set-associativity gap as mapping conflicts; a residual gap is working
+// set. Rows come back workload-major in registry order. The len(ws) *
+// len(impls) simulations run on at most parallelism workers
+// (0 = GOMAXPROCS).
+func VictimSweep(ws []Workload, impls []core.Impl, entries []int, opt core.Options, parallelism int) ([]VictimRow, error) {
+	impls = defaultRatioImpls(impls)
+	if entries == nil {
+		entries = VictimEntries
+	}
+	direct := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 1}
+	setAssoc := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+	rows := make([]VictimRow, len(ws)*len(impls))
+	err := parallel.ForEach(parallelism, len(rows), func(i int) error {
+		w, impl := ws[i/len(impls)], impls[i%len(impls)]
+		r, rec, err := RecordOne(w, impl, opt)
+		if err != nil {
+			return err
+		}
+		row := VictimRow{
+			Program:      w.Name,
+			Impl:         impl.Name(),
+			Entries:      entries,
+			Misses:       make([]uint64, len(entries)),
+			VictimHits:   make([]uint64, len(entries)),
+			Instructions: r.Instructions,
+		}
+		p, err := trace.NewPair(setAssoc)
+		if err != nil {
+			return err
+		}
+		rec.Replay(p)
+		row.SetAssocMisses = p.I.Stats().Misses + p.D.Stats().Misses
+		for ei, n := range entries {
+			vi, err := cache.NewVictim(direct, n)
+			if err != nil {
+				return err
+			}
+			vd, err := cache.NewVictim(direct, n)
+			if err != nil {
+				return err
+			}
+			rec.Do(func(k trace.Kind, addr uint32) {
+				switch k {
+				case trace.KindFetch:
+					vi.Access(addr, false)
+				case trace.KindRead:
+					vd.Access(addr, false)
+				default:
+					vd.Access(addr, true)
+				}
+			})
+			row.Misses[ei] = vi.Stats().Misses + vd.Stats().Misses
+			row.VictimHits[ei] = vi.Stats().VictimHits + vd.Stats().VictimHits
 		}
 		rows[i] = row
 		return nil

@@ -128,8 +128,8 @@ func TestPenaltySweepAndCrossover(t *testing.T) {
 	// get dearer, and vice versa.
 	g := ds.GeomIndex(8, 4)
 	for _, w := range ds.Sweep.Workloads {
-		md := ds.Runs[w.Name][core.ImplMD].Caches[g]
-		am := ds.Runs[w.Name][core.ImplAM].Caches[g]
+		md := ds.Run(w.Name, core.ImplMD).Caches[g]
+		am := ds.Run(w.Name, core.ImplAM).Caches[g]
 		mdMiss := md.IMisses + md.DMisses
 		amMiss := am.IMisses + am.DMisses
 		lo := ds.Ratio(w.Name, 8, 4, pens[0])

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"jmtam/internal/core"
+	"jmtam/internal/trace"
+)
+
+// On one node Active Access has nothing to intercept — every
+// I-structure request dispatches locally — so the aa backend must be
+// bit-for-bit the AM implementation: same instruction stream, same
+// reference trace, same granularity.
+func TestAAUniprocessorMatchesAM(t *testing.T) {
+	for _, w := range QuickWorkloads() {
+		am, amRec, err := RecordOne(w, core.ImplAM, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aa, aaRec, err := RecordOne(w, core.ImplAA, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aa.Instructions != am.Instructions {
+			t.Errorf("%s: aa instructions %d != am %d", w.Name, aa.Instructions, am.Instructions)
+		}
+		if aa.Threads != am.Threads || aa.Quanta != am.Quanta {
+			t.Errorf("%s: aa granularity (%d threads, %d quanta) != am (%d, %d)",
+				w.Name, aa.Threads, aa.Quanta, am.Threads, am.Quanta)
+		}
+		if got, want := hashRecordings([]*trace.Recording{aaRec}), hashRecordings([]*trace.Recording{amRec}); got != want {
+			t.Errorf("%s: aa trace diverged from am", w.Name)
+		}
+	}
+}
+
+// Offload executes the same program as AM — the NIC engine runs the
+// very instructions AM's compute pipeline would — so total instruction
+// counts match and the split traces sum to AM's single stream. On a
+// mesh, the lockstep tick count matches too: the split changes cache
+// attribution, never execution.
+func TestOffloadMatchesAMExecution(t *testing.T) {
+	for _, w := range QuickWorkloads() {
+		am, amRec, err := RecordOne(w, core.ImplAM, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, offRec, err := RecordOne(w, core.ImplOffload, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Instructions != am.Instructions {
+			t.Errorf("%s: offload instructions %d != am %d", w.Name, off.Instructions, am.Instructions)
+		}
+		if off.NIC == nil || len(off.nicRecs) != 1 {
+			t.Fatalf("%s: offload run has no NIC stream", w.Name)
+		}
+		if got, want := offRec.Len()+off.nicRecs[0].Len(), amRec.Len(); got != want {
+			t.Errorf("%s: split streams total %d refs, am has %d", w.Name, got, want)
+		}
+	}
+
+	opt := core.Options{Nodes: 4}
+	for _, w := range QuickWorkloads() {
+		am, _, err := RecordCluster(w, core.ImplAM, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, _, err := RecordCluster(w, core.ImplOffload, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Ticks != am.Ticks || off.Instructions != am.Instructions {
+			t.Errorf("%s N=4: offload (instr %d, ticks %d) != am (instr %d, ticks %d)",
+				w.Name, off.Instructions, off.Ticks, am.Instructions, am.Ticks)
+		}
+	}
+}

@@ -8,9 +8,9 @@
 // geometry as independent, parallelizable passes. Total cycles for each
 // miss penalty are derived from the miss counts, exactly as in a
 // trace-driven simulator where penalties do not affect replacement.
-// Simulations and replays both run on a bounded worker pool; results
-// are assembled by position, so a sweep's Dataset is identical at every
-// parallelism setting.
+// Simulations and replays both run on a bounded worker pool; a sweep's
+// Dataset keys its runs by backend name (registry order, core.Backends)
+// and is identical at every parallelism setting.
 package experiments
 
 import (
@@ -142,11 +142,51 @@ type Run struct {
 	// sweep's geometries (size-major, then associativity).
 	Caches []CacheStats
 
+	// NIC carries the NIC engine's share for backends with NIC-offloaded
+	// inlets (Caps.NICInlets): the high-priority instructions executed on
+	// the engine and the miss statistics of its private I/D cache pair
+	// (one pair per node, misses summed). Nil for other backends.
+	NIC *NICStats
+
 	// Metrics is this run's observability registry when the sweep ran
 	// with CollectMetrics (or an Obs sink was passed in Options); nil
 	// otherwise. Replay fills per-geometry cache.miss.* attribution
 	// into it.
 	Metrics *obs.Registry
+
+	// nicRecs holds the NIC engine's recorded reference streams (one per
+	// node) between record and replay; the replay fan-out consumes them
+	// into NIC's miss statistics.
+	nicRecs []*trace.Recording
+}
+
+// NICStats captures the NIC engine's share of an offloaded run. The
+// engine runs inlets and system handlers concurrently with the compute
+// pipeline, against its own small cache pair (Config); the cycle model
+// takes the slower of the two engines per geometry.
+type NICStats struct {
+	Instructions uint64
+	Counts       trace.Counts
+	Config       cache.Config
+	IMisses      uint64
+	DMisses      uint64
+	Writebacks   uint64
+}
+
+// NICGeom resolves the NIC cache geometry from the options' knobs
+// (defaults: 4 KB, 64-byte blocks, direct-mapped).
+func NICGeom(opt core.Options) cache.Config {
+	kb, bb, as := opt.NICCacheKB, opt.NICCacheBlockBytes, opt.NICCacheAssoc
+	if kb == 0 {
+		kb = 4
+	}
+	if bb == 0 {
+		bb = 64
+	}
+	if as == 0 {
+		as = 1
+	}
+	return cache.Config{SizeBytes: kb * 1024, BlockBytes: bb, Assoc: as}
 }
 
 // CacheStats captures one geometry's outcome.
@@ -157,12 +197,29 @@ type CacheStats struct {
 	Writebacks uint64
 }
 
-// Cycles returns total cycles under the given miss penalty.
+// Cycles returns total cycles under the given miss penalty. For
+// NIC-offload runs the compute pipeline executes only the low-priority
+// share of the instructions while the NIC engine runs the rest against
+// its own caches; the two proceed concurrently, so completion is
+// bounded by the slower engine.
 func (r *Run) Cycles(geom int, penalty int, countWB bool) uint64 {
 	c := r.Caches[geom]
-	cycles := r.Instructions + uint64(penalty)*(c.IMisses+c.DMisses)
+	instr := r.Instructions
+	if r.NIC != nil && r.NIC.Instructions < instr {
+		instr -= r.NIC.Instructions
+	}
+	cycles := instr + uint64(penalty)*(c.IMisses+c.DMisses)
 	if countWB {
 		cycles += uint64(penalty) * c.Writebacks
+	}
+	if r.NIC != nil {
+		nic := r.NIC.Instructions + uint64(penalty)*(r.NIC.IMisses+r.NIC.DMisses)
+		if countWB {
+			nic += uint64(penalty) * r.NIC.Writebacks
+		}
+		if nic > cycles {
+			cycles = nic
+		}
 	}
 	return cycles
 }
@@ -173,9 +230,15 @@ type Dataset struct {
 	Sweep *Sweep
 	// Geoms lists the cache geometries in index order.
 	Geoms []cache.Config
-	// Runs[workloadName][impl] (impl indexed 0=MD, 1=AM by position
-	// in Sweep.Impls).
-	Runs map[string]map[core.Impl]*Run
+	// Runs[workloadName][backendName] keys runs by the backend's
+	// canonical registry name ("md", "am", ...), never by position in
+	// Sweep.Impls.
+	Runs map[string]map[string]*Run
+}
+
+// Run returns the run for (workload, backend), or nil.
+func (d *Dataset) Run(name string, impl core.Impl) *Run {
+	return d.Runs[name][impl.Name()]
 }
 
 // GeomIndex returns the geometry index for (sizeKB, assoc), or -1.
@@ -195,8 +258,8 @@ func (d *Dataset) Ratio(name string, sizeKB, assoc, penalty int) float64 {
 	if g < 0 {
 		return 0
 	}
-	md := d.Runs[name][core.ImplMD]
-	am := d.Runs[name][core.ImplAM]
+	md := d.Run(name, core.ImplMD)
+	am := d.Run(name, core.ImplAM)
 	if md == nil || am == nil {
 		return 0
 	}
@@ -306,14 +369,14 @@ func (s *Sweep) ExecuteContext(ctx context.Context) (*Dataset, error) {
 		return nil, err
 	}
 
-	ds := &Dataset{Sweep: s, Geoms: geoms, Runs: make(map[string]map[core.Impl]*Run)}
+	ds := &Dataset{Sweep: s, Geoms: geoms, Runs: make(map[string]map[string]*Run)}
 	for i, j := range jobs {
 		m := ds.Runs[j.w.Name]
 		if m == nil {
-			m = make(map[core.Impl]*Run)
+			m = make(map[string]*Run)
 			ds.Runs[j.w.Name] = m
 		}
-		m[j.impl] = runs[i]
+		m[j.impl.Name()] = runs[i]
 	}
 	return ds, nil
 }
@@ -343,6 +406,11 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 	}
 	rec := &trace.Recording{}
 	sim.Tracer = rec
+	var nicRec *trace.Recording
+	if impl.Caps().NICInlets {
+		nicRec = &trace.Recording{}
+		sim.NICTracer = nicRec
+	}
 	defer sim.Close()
 	if err := sim.RunContext(ctx); err != nil {
 		return nil, nil, err
@@ -359,6 +427,14 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 		Threads:      sim.Gran.Threads,
 		Quanta:       sim.Gran.Quanta,
 	}
+	if nicRec != nil {
+		r.NIC = &NICStats{
+			Instructions: sim.M.HighInstructions(),
+			Counts:       nicRec.Counts,
+			Config:       NICGeom(opt),
+		}
+		r.nicRecs = []*trace.Recording{nicRec}
+	}
 	if sim.Obs != nil {
 		r.Metrics = sim.Obs.Metrics
 		// The recording replaced the inline collector, so the run
@@ -368,6 +444,11 @@ func RecordOneContext(ctx context.Context, w Workload, impl core.Impl, opt core.
 			r.Metrics.Counter("ref.fetch." + name).Add(rec.Fetches[cls])
 			r.Metrics.Counter("ref.read." + name).Add(rec.Reads[cls])
 			r.Metrics.Counter("ref.write." + name).Add(rec.Writes[cls])
+			if nicRec != nil {
+				r.Metrics.Counter("nic.ref.fetch." + name).Add(nicRec.Fetches[cls])
+				r.Metrics.Counter("nic.ref.read." + name).Add(nicRec.Reads[cls])
+				r.Metrics.Counter("nic.ref.write." + name).Add(nicRec.Writes[cls])
+			}
 		}
 	}
 	return r, rec, nil
@@ -432,6 +513,36 @@ func ReplayFanOutContext(ctx context.Context, r *Run, rec *trace.Recording, geom
 	}
 	for g := range mcs {
 		mcs[g].AddTo(r.Metrics, geoms[g].String())
+	}
+	return replayNIC(r)
+}
+
+// replayNIC consumes the run's recorded NIC reference streams (if any)
+// into r.NIC: each node's stream replays through its own private cache
+// pair of the NIC geometry, and the misses are summed. The NIC cache is
+// a single fixed geometry, not a grid, so this is one cheap pass per
+// node. When the run carries a metrics registry, the NIC totals land
+// under nic.* counters.
+func replayNIC(r *Run) error {
+	if r.NIC == nil || r.nicRecs == nil {
+		return nil
+	}
+	for _, rec := range r.nicRecs {
+		p, err := trace.NewPair(r.NIC.Config)
+		if err != nil {
+			return err
+		}
+		rec.Replay(p)
+		r.NIC.IMisses += p.I.Stats().Misses
+		r.NIC.DMisses += p.D.Stats().Misses
+		r.NIC.Writebacks += p.D.Stats().Writebacks
+	}
+	r.nicRecs = nil
+	if r.Metrics != nil {
+		r.Metrics.Counter("nic.instructions").Add(r.NIC.Instructions)
+		r.Metrics.Counter("nic.miss.fetch").Add(r.NIC.IMisses)
+		r.Metrics.Counter("nic.miss.data").Add(r.NIC.DMisses)
+		r.Metrics.Counter("nic.writebacks").Add(r.NIC.Writebacks)
 	}
 	return nil
 }
@@ -583,8 +694,8 @@ type Table2Row struct {
 func Table2(d *Dataset) []Table2Row {
 	var rows []Table2Row
 	for _, w := range d.Sweep.Workloads {
-		md := d.Runs[w.Name][core.ImplMD]
-		am := d.Runs[w.Name][core.ImplAM]
+		md := d.Run(w.Name, core.ImplMD)
+		am := d.Run(w.Name, core.ImplAM)
 		rows = append(rows, Table2Row{
 			Program: w.Name,
 			TPQMD:   md.TPQ, TPQAM: am.TPQ,
@@ -683,8 +794,8 @@ func AccessRatios(d *Dataset) []AccessRatioRow {
 	var rows []AccessRatioRow
 	var sr, sw, sf float64
 	for _, w := range d.Sweep.Workloads {
-		md := d.Runs[w.Name][core.ImplMD]
-		am := d.Runs[w.Name][core.ImplAM]
+		md := d.Run(w.Name, core.ImplMD)
+		am := d.Run(w.Name, core.ImplAM)
 		row := AccessRatioRow{
 			Program: w.Name,
 			Reads:   ratio64(md.Counts.TotalReads(), am.Counts.TotalReads()),

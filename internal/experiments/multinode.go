@@ -43,6 +43,15 @@ func RecordClusterContext(ctx context.Context, w Workload, impl core.Impl, opt c
 		recs[k] = &trace.Recording{}
 		cs.Tracers[k] = recs[k]
 	}
+	var nicRecs []*trace.Recording
+	if impl.Caps().NICInlets {
+		nicRecs = make([]*trace.Recording, cs.Nodes)
+		cs.NICTracers = make([]machine.Tracer, cs.Nodes)
+		for k := range nicRecs {
+			nicRecs[k] = &trace.Recording{}
+			cs.NICTracers[k] = nicRecs[k]
+		}
+	}
 	if err := cs.RunContext(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -65,6 +74,22 @@ func RecordClusterContext(ctx context.Context, w Workload, impl core.Impl, opt c
 			r.Counts.Reads[cls] += rec.Reads[cls]
 			r.Counts.Writes[cls] += rec.Writes[cls]
 		}
+	}
+	if nicRecs != nil {
+		var hi uint64
+		for _, m := range cs.C.Machines {
+			hi += m.HighInstructions()
+		}
+		nic := &NICStats{Instructions: hi, Config: NICGeom(opt)}
+		for _, rec := range nicRecs {
+			for cls := mem.Class(0); cls < mem.NumClasses; cls++ {
+				nic.Counts.Fetches[cls] += rec.Fetches[cls]
+				nic.Counts.Reads[cls] += rec.Reads[cls]
+				nic.Counts.Writes[cls] += rec.Writes[cls]
+			}
+		}
+		r.NIC = nic
+		r.nicRecs = nicRecs
 	}
 	if cs.Obs != nil {
 		r.Metrics = cs.Obs.Metrics
@@ -136,7 +161,7 @@ func ReplayClusterFanOutContext(ctx context.Context, r *Run, recs []*trace.Recor
 	for g := range mcs {
 		mcs[g].AddTo(r.Metrics, geoms[g].String())
 	}
-	return nil
+	return replayNIC(r)
 }
 
 // RunClusterParContext simulates one workload on an opt.Nodes mesh,
@@ -162,34 +187,62 @@ func RunClusterParContext(ctx context.Context, w Workload, impl core.Impl, geoms
 	return r, nil
 }
 
-// --- MD/AM ratio versus node count and hop latency ---------------------------
+// --- backend ratios versus node count and hop latency ------------------------
 
-// NodeRatioRow compares the two implementations on one mesh size: the
-// MD/AM ratio by aggregate cycles (instructions plus miss penalties,
-// summed over nodes — the paper's uniprocessor metric extended to N
-// processors' total work) and by elapsed lockstep ticks (wall-clock on
-// the mesh, where idle processors cost time but not work).
-type NodeRatioRow struct {
-	Nodes              int
-	MDCycles, AMCycles uint64
-	MDTicks, AMTicks   uint64
-	RatioCycles        float64
-	RatioTicks         float64
+// defaultRatioImpls resolves an impl list for the multi-node sweeps:
+// nil/empty selects the paper's MD-versus-AM pair. The list is
+// reordered into registry (canonical report) order.
+func defaultRatioImpls(impls []core.Impl) []core.Impl {
+	if len(impls) == 0 {
+		impls = []core.Impl{core.ImplMD, core.ImplAM}
+	}
+	out := append([]core.Impl(nil), impls...)
+	core.SortImpls(out)
+	return out
 }
 
-// NodeRatioSweep runs every workload under MD and AM at each node
+func implNames(impls []core.Impl) []string {
+	names := make([]string, len(impls))
+	for i, impl := range impls {
+		names[i] = impl.Name()
+	}
+	return names
+}
+
+// NodeRatioRow compares the swept backends on one mesh size, keyed by
+// backend registry name: aggregate cycles (instructions plus miss
+// penalties, summed over nodes — the paper's uniprocessor metric
+// extended to N processors' total work) and elapsed lockstep ticks
+// (wall-clock on the mesh, where idle processors cost time but not
+// work). RatioCycles and RatioTicks are MD-relative — MD's total
+// divided by the named backend's, so RatioCycles["am"] is the paper's
+// MD/AM headline and values above 1 mean the backend beats MD. When MD
+// is not among the swept backends the ratio maps are empty.
+type NodeRatioRow struct {
+	Nodes int
+	// Impls lists the swept backend names in registry order; the maps
+	// below are keyed by these names.
+	Impls       []string
+	Cycles      map[string]uint64
+	Ticks       map[string]uint64
+	RatioCycles map[string]float64
+	RatioTicks  map[string]float64
+}
+
+// NodeRatioSweep runs every workload under every backend at each node
 // count and aggregates per node count: total cycles at the given cache
-// geometry and miss penalty, and total elapsed ticks. The 2 x
-// len(nodeCounts) x len(ws) cluster simulations run on at most
-// parallelism workers (0 = GOMAXPROCS); totals accumulate in job
-// order, so rows are identical at every parallelism setting. Node
-// counts must be powers of two (1 selects the uniprocessor-equivalent
-// 1-node cluster so elapsed ticks stay comparable).
-func NodeRatioSweep(ws []Workload, nodeCounts []int, geom cache.Config, penalty int, opt core.Options, parallelism int) ([]NodeRatioRow, error) {
+// geometry and miss penalty, and total elapsed ticks. A nil impls list
+// selects {MD, AM}. The len(impls) x len(nodeCounts) x len(ws) cluster
+// simulations run on at most parallelism workers (0 = GOMAXPROCS);
+// totals accumulate in job order, so rows are identical at every
+// parallelism setting. Node counts must be powers of two (1 selects the
+// uniprocessor-equivalent 1-node cluster so elapsed ticks stay
+// comparable).
+func NodeRatioSweep(ws []Workload, impls []core.Impl, nodeCounts []int, geom cache.Config, penalty int, opt core.Options, parallelism int) ([]NodeRatioRow, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
-	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+	impls = defaultRatioImpls(impls)
 	type job struct {
 		n    int
 		impl core.Impl
@@ -219,47 +272,60 @@ func NodeRatioSweep(ws []Workload, nodeCounts []int, geom cache.Config, penalty 
 	if err != nil {
 		return nil, err
 	}
+	names := implNames(impls)
 	rowIdx := make(map[int]int, len(nodeCounts))
 	rows := make([]NodeRatioRow, len(nodeCounts))
 	for i, n := range nodeCounts {
 		rowIdx[n] = i
-		rows[i].Nodes = n
+		rows[i] = NodeRatioRow{
+			Nodes: n, Impls: names,
+			Cycles: make(map[string]uint64), Ticks: make(map[string]uint64),
+			RatioCycles: make(map[string]float64), RatioTicks: make(map[string]float64),
+		}
 	}
 	for i, j := range jobs {
 		row := &rows[rowIdx[j.n]]
-		c := runs[i].Cycles(0, penalty, false)
-		if j.impl == core.ImplMD {
-			row.MDCycles += c
-			row.MDTicks += runs[i].Ticks
-		} else {
-			row.AMCycles += c
-			row.AMTicks += runs[i].Ticks
-		}
+		name := j.impl.Name()
+		row.Cycles[name] += runs[i].Cycles(0, penalty, false)
+		row.Ticks[name] += runs[i].Ticks
 	}
 	for i := range rows {
-		rows[i].RatioCycles = ratio64(rows[i].MDCycles, rows[i].AMCycles)
-		rows[i].RatioTicks = ratio64(rows[i].MDTicks, rows[i].AMTicks)
+		row := &rows[i]
+		md, haveMD := row.Cycles[core.ImplMD.Name()]
+		if !haveMD {
+			continue
+		}
+		mdTicks := row.Ticks[core.ImplMD.Name()]
+		for _, name := range names {
+			row.RatioCycles[name] = ratio64(md, row.Cycles[name])
+			row.RatioTicks[name] = ratio64(mdTicks, row.Ticks[name])
+		}
 	}
 	return rows, nil
 }
 
-// HopRatioRow compares the two implementations at one per-hop routing
-// delay on a fixed mesh: total elapsed ticks and their MD/AM ratio.
+// HopRatioRow compares the swept backends at one per-hop routing delay
+// on a fixed mesh, keyed by backend registry name: total elapsed ticks
+// and their MD-relative ratios (MD's ticks over the named backend's).
 // Remote I-structure fetches are themselves active messages, so hop
-// latency stretches both systems' split-phase round trips; the ratio
+// latency stretches every backend's split-phase round trips; the ratio
 // isolates how each scheduling discipline hides it.
 type HopRatioRow struct {
-	PerHop           uint64
-	MDTicks, AMTicks uint64
-	RatioTicks       float64
+	PerHop uint64
+	// Impls lists the swept backend names in registry order; the maps
+	// below are keyed by these names.
+	Impls      []string
+	Ticks      map[string]uint64
+	RatioTicks map[string]float64
 }
 
-// HopLatencySweep runs every workload under MD and AM on a nodes-sized
-// mesh at each per-hop delay, aggregating elapsed lockstep ticks per
-// delay. The base and per-word costs come from the netsim default
-// configuration; only PerHop varies.
-func HopLatencySweep(ws []Workload, nodes int, perHops []uint64, opt core.Options, parallelism int) ([]HopRatioRow, error) {
-	impls := [2]core.Impl{core.ImplMD, core.ImplAM}
+// HopLatencySweep runs every workload under every backend on a
+// nodes-sized mesh at each per-hop delay, aggregating elapsed lockstep
+// ticks per delay. A nil impls list selects {MD, AM}. The base and
+// per-word costs come from the netsim default configuration; only
+// PerHop varies.
+func HopLatencySweep(ws []Workload, impls []core.Impl, nodes int, perHops []uint64, opt core.Options, parallelism int) ([]HopRatioRow, error) {
+	impls = defaultRatioImpls(impls)
 	type job struct {
 		hop  int
 		impl core.Impl
@@ -292,19 +358,26 @@ func HopLatencySweep(ws []Workload, nodes int, perHops []uint64, opt core.Option
 	if err != nil {
 		return nil, err
 	}
+	names := implNames(impls)
 	rows := make([]HopRatioRow, len(perHops))
 	for i, h := range perHops {
-		rows[i].PerHop = h
-	}
-	for i, j := range jobs {
-		if j.impl == core.ImplMD {
-			rows[j.hop].MDTicks += ticks[i]
-		} else {
-			rows[j.hop].AMTicks += ticks[i]
+		rows[i] = HopRatioRow{
+			PerHop: h, Impls: names,
+			Ticks: make(map[string]uint64), RatioTicks: make(map[string]float64),
 		}
 	}
+	for i, j := range jobs {
+		rows[j.hop].Ticks[j.impl.Name()] += ticks[i]
+	}
 	for i := range rows {
-		rows[i].RatioTicks = ratio64(rows[i].MDTicks, rows[i].AMTicks)
+		row := &rows[i]
+		md, haveMD := row.Ticks[core.ImplMD.Name()]
+		if !haveMD {
+			continue
+		}
+		for _, name := range names {
+			row.RatioTicks[name] = ratio64(md, row.Ticks[name])
+		}
 	}
 	return rows, nil
 }

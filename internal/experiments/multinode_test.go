@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
 	"jmtam/internal/cache"
@@ -57,7 +58,7 @@ func TestSweepNodesAxis(t *testing.T) {
 	}
 	for _, w := range tinyWorkloads {
 		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
-			r := d.Runs[w.Name][impl]
+			r := d.Run(w.Name, impl)
 			if r == nil {
 				t.Fatalf("%s/%s missing", w.Name, impl)
 			}
@@ -73,12 +74,13 @@ func TestSweepNodesAxis(t *testing.T) {
 
 func TestNodeRatioSweepDeterministic(t *testing.T) {
 	geom := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
-	rows1, err := NodeRatioSweep(tinyWorkloads, []int{1, 2, 4}, geom, 24,
+	impls := []core.Impl{core.ImplMD, core.ImplAM, core.ImplOffload, core.ImplAA}
+	rows1, err := NodeRatioSweep(tinyWorkloads, impls, []int{1, 2, 4}, geom, 24,
 		core.Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows2, err := NodeRatioSweep(tinyWorkloads, []int{1, 2, 4}, geom, 24,
+	rows2, err := NodeRatioSweep(tinyWorkloads, impls, []int{1, 2, 4}, geom, 24,
 		core.Options{}, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -87,17 +89,40 @@ func TestNodeRatioSweepDeterministic(t *testing.T) {
 		t.Fatalf("got %d rows, want 3", len(rows1))
 	}
 	for i := range rows1 {
-		if rows1[i] != rows2[i] {
+		if !reflect.DeepEqual(rows1[i], rows2[i]) {
 			t.Errorf("row %d differs across parallelism: %+v vs %+v", i, rows1[i], rows2[i])
 		}
-		if rows1[i].RatioCycles <= 0 || rows1[i].RatioTicks <= 0 {
-			t.Errorf("row %d: non-positive ratios %+v", i, rows1[i])
+		for _, impl := range impls {
+			name := impl.Name()
+			if rows1[i].Cycles[name] == 0 || rows1[i].Ticks[name] == 0 {
+				t.Errorf("row %d: %s missing totals: %+v", i, name, rows1[i])
+			}
+			if rows1[i].RatioCycles[name] <= 0 || rows1[i].RatioTicks[name] <= 0 {
+				t.Errorf("row %d: %s non-positive ratios %+v", i, name, rows1[i])
+			}
 		}
 	}
 }
 
+// The default impl list reproduces the paper's MD-versus-AM pair.
+func TestNodeRatioSweepDefaultImpls(t *testing.T) {
+	geom := cache.Config{SizeBytes: 8 * 1024, BlockBytes: 64, Assoc: 4}
+	rows, err := NodeRatioSweep(tinyWorkloads[:1], nil, []int{1}, geom, 24,
+		core.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{core.ImplMD.Name(), core.ImplAM.Name()}
+	if !reflect.DeepEqual(rows[0].Impls, want) {
+		t.Errorf("default impls = %v, want %v", rows[0].Impls, want)
+	}
+	if rows[0].RatioCycles[core.ImplAM.Name()] <= 0 {
+		t.Errorf("MD/AM ratio missing: %+v", rows[0])
+	}
+}
+
 func TestHopLatencySweepStretchesTicks(t *testing.T) {
-	rows, err := HopLatencySweep(tinyWorkloads[:1], 4, []uint64{1, 16},
+	rows, err := HopLatencySweep(tinyWorkloads[:1], nil, 4, []uint64{1, 16},
 		core.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +131,8 @@ func TestHopLatencySweepStretchesTicks(t *testing.T) {
 		t.Fatalf("got %d rows, want 2", len(rows))
 	}
 	// A 16x per-hop delay must not make the mesh faster.
-	if rows[1].AMTicks < rows[0].AMTicks || rows[1].MDTicks < rows[0].MDTicks {
+	am, md := core.ImplAM.Name(), core.ImplMD.Name()
+	if rows[1].Ticks[am] < rows[0].Ticks[am] || rows[1].Ticks[md] < rows[0].Ticks[md] {
 		t.Errorf("higher hop latency reduced ticks: %+v", rows)
 	}
 }

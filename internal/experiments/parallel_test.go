@@ -149,7 +149,7 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	for _, w := range serial.Sweep.Workloads {
 		for _, impl := range []core.Impl{core.ImplMD, core.ImplAM} {
-			a, b := serial.Runs[w.Name][impl], wide.Runs[w.Name][impl]
+			a, b := serial.Run(w.Name, impl), wide.Run(w.Name, impl)
 			if a == nil || b == nil {
 				t.Fatalf("%s/%v missing run", w.Name, impl)
 			}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jmtam/internal/core"
+	"jmtam/internal/parallel"
+	"jmtam/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// goldenRun pins one (implementation, workload, mesh size) simulation:
+// the SHA-256 of its recorded reference stream(s) plus the headline
+// counters. The goldens were generated before the backend registry
+// refactor, so this suite asserts the capability-driven codegen emits
+// byte-identical instruction streams and reference traces for every
+// pre-registry backend.
+type goldenRun struct {
+	Impl         string `json:"impl"`
+	Program      string `json:"program"`
+	Arg          int    `json:"arg"`
+	Nodes        int    `json:"nodes"`
+	Instructions uint64 `json:"instructions"`
+	Ticks        uint64 `json:"ticks"`
+	TraceSHA256  string `json:"trace_sha256"`
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "registry_golden.json")
+}
+
+// hashRecordings digests the decoded reference streams of one run:
+// per-node in node order, each reference as a packed little-endian
+// word, with a node-boundary marker so stream boundaries participate.
+func hashRecordings(recs []*trace.Recording) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint32(buf[:], 0xffffffff)
+		h.Write(buf[:])
+		rec.Do(func(k trace.Kind, addr uint32) {
+			binary.LittleEndian.PutUint32(buf[:], trace.Encode(k, addr))
+			h.Write(buf[:])
+		})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// recordGolden runs one golden cell and returns its pinned form.
+func recordGolden(w Workload, impl core.Impl, nodes int) (goldenRun, error) {
+	g := goldenRun{
+		Impl: impl.String(), Program: w.Name, Arg: w.Arg, Nodes: nodes,
+	}
+	if nodes > 1 {
+		r, recs, err := RecordCluster(w, impl, core.Options{Nodes: nodes})
+		if err != nil {
+			return g, err
+		}
+		g.Instructions = r.Instructions
+		g.Ticks = r.Ticks
+		g.TraceSHA256 = hashRecordings(recs)
+		return g, nil
+	}
+	r, rec, err := RecordOne(w, impl, core.Options{})
+	if err != nil {
+		return g, err
+	}
+	g.Instructions = r.Instructions
+	g.TraceSHA256 = hashRecordings([]*trace.Recording{rec})
+	return g, nil
+}
+
+// TestRegistryEquivalence asserts that every pre-registry backend still
+// produces byte-identical reference traces and identical instruction and
+// tick counts for the six benchmarks at N=1 and N=4. Regenerate with
+// `go test ./internal/experiments -run TestRegistryEquivalence -update`
+// only when an intentional simulator-semantics change lands.
+func TestRegistryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden matrix skipped in -short mode")
+	}
+	impls := []core.Impl{core.ImplMD, core.ImplAM, core.ImplAMEnabled, core.ImplOAM}
+	type cell struct {
+		w     Workload
+		impl  core.Impl
+		nodes int
+	}
+	var cells []cell
+	for _, impl := range impls {
+		for _, w := range QuickWorkloads() {
+			for _, n := range []int{1, 4} {
+				cells = append(cells, cell{w, impl, n})
+			}
+		}
+	}
+	got := make([]goldenRun, len(cells))
+	err := parallel.ForEach(0, len(cells), func(i int) error {
+		g, err := recordGolden(cells[i].w, cells[i].impl, cells[i].nodes)
+		if err != nil {
+			return err
+		}
+		got[i] = g
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := goldenPath(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden runs to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update to generate): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	idx := make(map[goldenRun]bool, len(want))
+	wantByKey := make(map[string]goldenRun, len(want))
+	for _, g := range want {
+		idx[g] = true
+		wantByKey[goldenKey(g)] = g
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden count %d, got %d runs", len(want), len(got))
+	}
+	for _, g := range got {
+		if idx[g] {
+			continue
+		}
+		if w, ok := wantByKey[goldenKey(g)]; ok {
+			t.Errorf("%s %s/%d N=%d diverged from pre-registry baseline:\n  want instr=%d ticks=%d trace=%s\n  got  instr=%d ticks=%d trace=%s",
+				g.Impl, g.Program, g.Arg, g.Nodes,
+				w.Instructions, w.Ticks, w.TraceSHA256,
+				g.Instructions, g.Ticks, g.TraceSHA256)
+		} else {
+			t.Errorf("no golden for %s %s/%d N=%d", g.Impl, g.Program, g.Arg, g.Nodes)
+		}
+	}
+}
+
+func goldenKey(g goldenRun) string {
+	b, _ := json.Marshal([]any{g.Impl, g.Program, g.Arg, g.Nodes})
+	return string(b)
+}

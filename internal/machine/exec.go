@@ -11,8 +11,12 @@ import (
 // step executes one instruction at priority pri.
 func (m *Machine) step(pri int) {
 	in := m.Code.Fetch(m.ip[pri])
-	m.tracer.Fetch(m.ip[pri])
+	trc := m.trc[pri]
+	trc.Fetch(m.ip[pri])
 	m.instrs++
+	if pri == High {
+		m.hiInstrs++
+	}
 	m.opCounts[in.Op]++
 
 	if m.probe != nil && (!m.probe.havePri || m.probe.lastPri != pri) {
@@ -61,21 +65,21 @@ func (m *Machine) step(pri int) {
 
 	case isa.OpLD:
 		addr := uint32(m.reg(pri, in.Ra).AsInt() + in.Imm)
-		m.tracer.Read(addr)
+		trc.Read(addr)
 		r[in.Rd] = m.Mem.Load(addr)
 	case isa.OpST:
 		addr := uint32(m.reg(pri, in.Ra).AsInt() + in.Imm)
-		m.tracer.Write(addr)
+		trc.Write(addr)
 		m.Mem.Store(addr, m.reg(pri, in.Rb))
 	case isa.OpLDPre:
 		base := m.reg(pri, in.Ra)
 		addr := uint32(base.AsInt() - mem.WordBytes)
 		r[in.Ra] = word.Ptr(addr)
-		m.tracer.Read(addr)
+		trc.Read(addr)
 		r[in.Rd] = m.Mem.Load(addr)
 	case isa.OpSTPost:
 		addr := m.reg(pri, in.Ra).Addr()
-		m.tracer.Write(addr)
+		trc.Write(addr)
 		m.Mem.Store(addr, m.reg(pri, in.Rb))
 		r[in.Ra] = word.Ptr(addr + mem.WordBytes)
 
@@ -298,6 +302,7 @@ func (m *Machine) deliver(pri int) {
 		return
 	}
 	m.qwSeq = 0
+	m.qwPri = m.sendPri[pri]
 	msg, err := m.queues[m.sendPri[pri]].Enqueue(m.sendBuf[pri], m.queueStore)
 	if err != nil {
 		panic(err)

@@ -101,9 +101,16 @@ type Machine struct {
 	curMsg [2]queue.Msg
 	inMsg  [2]bool
 
-	tracer   Tracer
-	observer Observer
-	probe    *probe
+	tracer Tracer
+	// nicTracer, when non-nil, receives the high-priority share of the
+	// reference stream (NIC-offloaded inlet/handler execution); trc
+	// caches the per-priority routing so step pays one index, not a
+	// branch. The union of the two streams is exactly the single-tracer
+	// stream.
+	nicTracer Tracer
+	trc       [2]Tracer
+	observer  Observer
+	probe     *probe
 
 	cfg      Config
 	instrs   uint64
@@ -113,9 +120,12 @@ type Machine struct {
 	// alive so the cluster driver can wake it with a network delivery.
 	stalled bool
 	// qwSeq indexes words within the message currently being buffered,
-	// for the paired (two-word-per-cycle) queue write-through model.
+	// for the paired (two-word-per-cycle) queue write-through model;
+	// qwPri is the destination queue's priority, for trace attribution.
 	qwSeq   int
-	trapErr error
+	qwPri   int
+	hiInstrs uint64
+	trapErr  error
 }
 
 // NewMachine builds a machine around the given memory and code store.
@@ -137,16 +147,37 @@ func NewMachine(m *mem.Memory, code *CodeStore, cfg Config) *Machine {
 	}
 	mach.queues[Low] = queue.New(queueLowBase, capw)
 	mach.queues[High] = queue.New(queueLowBase+queueAreaSize, capw)
+	mach.retrace()
 	return mach
 }
 
 // SetTracer attaches t; nil restores the no-op tracer.
 func (m *Machine) SetTracer(t Tracer) {
 	if t == nil {
-		m.tracer = nopTracer{}
-		return
+		t = nopTracer{}
 	}
 	m.tracer = t
+	m.retrace()
+}
+
+// SetNICTracer splits the reference stream by execution locus: all
+// high-priority activity (instruction fetch, message-queue buffering,
+// dispatch header reads, handler data access) is reported to t instead
+// of the main tracer, modelling inlets that run on a per-node NIC
+// engine with its own caches. nil restores the single-stream default.
+func (m *Machine) SetNICTracer(t Tracer) {
+	m.nicTracer = t
+	m.retrace()
+}
+
+// retrace recomputes the per-priority tracer routing.
+func (m *Machine) retrace() {
+	m.trc[Low] = m.tracer
+	if m.nicTracer != nil {
+		m.trc[High] = m.nicTracer
+	} else {
+		m.trc[High] = m.tracer
+	}
 }
 
 // SetObserver attaches o; nil restores the no-op observer.
@@ -163,6 +194,10 @@ func (m *Machine) Queue(pri int) *queue.Queue { return m.queues[pri] }
 
 // Instructions returns the number of instructions executed so far.
 func (m *Machine) Instructions() uint64 { return m.instrs }
+
+// HighInstructions returns how many of those executed at high priority
+// (the NIC engine's share when a NIC tracer is attached).
+func (m *Machine) HighInstructions() uint64 { return m.hiInstrs }
 
 // OpCounts returns the dynamic execution count of every opcode.
 func (m *Machine) OpCounts() [isa.NumOps]uint64 { return m.opCounts }
@@ -218,10 +253,15 @@ func (m *Machine) StepOne() (progress bool, err error) {
 // queues (it may still receive network messages).
 func (m *Machine) Idle() bool { return m.quiescent() && !m.run[Low] }
 
+// Busy reports whether the engine at pri is mid-task: a message has
+// been dispatched (or a task resumed) and has not yet suspended.
+func (m *Machine) Busy(pri int) bool { return m.run[pri] }
+
 // Inject enqueues a message from the host (outside the simulation), used
 // to bootstrap programs. Queue stores are traced like hardware buffering.
 func (m *Machine) Inject(pri int, ws []word.Word) error {
 	m.qwSeq = 0
+	m.qwPri = pri
 	msg, err := m.queues[pri].Enqueue(ws, m.queueStore)
 	if err != nil {
 		return err
@@ -239,7 +279,7 @@ func (m *Machine) queueStore(addr uint32, w word.Word) {
 		// message words per data write, so odd-indexed words ride along
 		// with their predecessor.
 		if !m.cfg.PairedQueueWrites || m.qwSeq%2 == 0 {
-			m.tracer.Write(addr)
+			m.trc[m.qwPri].Write(addr)
 		}
 		m.qwSeq++
 	}
@@ -288,7 +328,7 @@ func (m *Machine) dispatch(pri int) {
 	if !ok {
 		panic("machine: dispatch on empty queue")
 	}
-	m.tracer.Read(msg.Base)
+	m.trc[pri].Read(msg.Base)
 	handler := m.Mem.Load(msg.Base)
 	m.curMsg[pri] = msg
 	m.inMsg[pri] = true

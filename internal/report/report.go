@@ -8,6 +8,7 @@ import (
 	"math"
 	"strings"
 
+	"jmtam/internal/core"
 	"jmtam/internal/experiments"
 )
 
@@ -76,30 +77,137 @@ func Assocs(rows []experiments.AssocRow) string {
 	return b.String()
 }
 
-// NodeRatios renders the multi-node MD/AM comparison: one row per mesh
-// size, with the ratio by aggregate cycles (total work across nodes)
-// and by elapsed lockstep ticks (mesh wall-clock).
+// ratioNames returns the backend names that get an MD-relative ratio
+// column: every swept backend except MD itself, provided MD is in the
+// sweep (without an MD baseline there are no ratios to show).
+func ratioNames(names []string) []string {
+	md := core.ImplMD.Name()
+	haveMD := false
+	for _, n := range names {
+		if n == md {
+			haveMD = true
+		}
+	}
+	if !haveMD {
+		return nil
+	}
+	var out []string
+	for _, n := range names {
+		if n != md {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodeRatios renders the multi-node backend comparison: one row per
+// mesh size, with each backend's aggregate cycles (total work across
+// nodes) and elapsed lockstep ticks (mesh wall-clock), plus
+// MD-relative ratios (MD's total over the backend's; >1 means the
+// backend beats MD). Columns follow the sweep's registry order.
 func NodeRatios(rows []experiments.NodeRatioRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	names := rows[0].Impls
+	ratios := ratioNames(names)
+	var head strings.Builder
+	fmt.Fprintf(&head, "%-6s", "Nodes")
+	for _, n := range names {
+		fmt.Fprintf(&head, "  %14s", n+" cycles")
+	}
+	for _, n := range ratios {
+		fmt.Fprintf(&head, "  %10s", "MD/"+n)
+	}
+	for _, n := range names {
+		fmt.Fprintf(&head, "  %12s", n+" ticks")
+	}
+	for _, n := range ratios {
+		fmt.Fprintf(&head, "  %10s", "MD/"+n+" t")
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s  %14s %14s %10s  %12s %12s %10s\n",
-		"Nodes", "MD cycles", "AM cycles", "MD/AM", "MD ticks", "AM ticks", "MD/AM")
-	b.WriteString(strings.Repeat("-", 88) + "\n")
+	b.WriteString(head.String() + "\n")
+	b.WriteString(strings.Repeat("-", len(head.String())) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-6d  %14d %14d %10.3f  %12d %12d %10.3f\n",
-			r.Nodes, r.MDCycles, r.AMCycles, r.RatioCycles,
-			r.MDTicks, r.AMTicks, r.RatioTicks)
+		fmt.Fprintf(&b, "%-6d", r.Nodes)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %14d", r.Cycles[n])
+		}
+		for _, n := range ratios {
+			fmt.Fprintf(&b, "  %10.3f", r.RatioCycles[n])
+		}
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %12d", r.Ticks[n])
+		}
+		for _, n := range ratios {
+			fmt.Fprintf(&b, "  %10.3f", r.RatioTicks[n])
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
 
-// HopLatency renders the per-hop-delay sensitivity comparison.
+// HopLatency renders the per-hop-delay sensitivity comparison, one
+// ticks column per swept backend plus MD-relative ratios.
 func HopLatency(rows []experiments.HopRatioRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	names := rows[0].Impls
+	ratios := ratioNames(names)
+	var head strings.Builder
+	fmt.Fprintf(&head, "%-8s", "PerHop")
+	for _, n := range names {
+		fmt.Fprintf(&head, "  %12s", n+" ticks")
+	}
+	for _, n := range ratios {
+		fmt.Fprintf(&head, "  %10s", "MD/"+n)
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s  %12s %12s %10s\n", "PerHop", "MD ticks", "AM ticks", "MD/AM")
-	b.WriteString(strings.Repeat("-", 48) + "\n")
+	b.WriteString(head.String() + "\n")
+	b.WriteString(strings.Repeat("-", len(head.String())) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8d  %12d %12d %10.3f\n",
-			r.PerHop, r.MDTicks, r.AMTicks, r.RatioTicks)
+		fmt.Fprintf(&b, "%-8d", r.PerHop)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %12d", r.Ticks[n])
+		}
+		for _, n := range ratios {
+			fmt.Fprintf(&b, "  %10.3f", r.RatioTicks[n])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Victims renders the victim-cache ablation: combined I+D misses under
+// an 8K direct-mapped pair backed by victim buffers of each size, the
+// 8K 4-way set-associative baseline, and the fraction of the
+// direct-mapped-to-4-way gap that the largest buffer recovers.
+func Victims(rows []experiments.VictimRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	entries := rows[0].Entries
+	var head strings.Builder
+	fmt.Fprintf(&head, "%-10s %-10s", "Program", "impl")
+	for _, n := range entries {
+		fmt.Fprintf(&head, "  %10s", fmt.Sprintf("V=%d", n))
+	}
+	fmt.Fprintf(&head, "  %10s  %10s", "4-way", "recovered")
+	var b strings.Builder
+	b.WriteString(head.String() + "\n")
+	b.WriteString(strings.Repeat("-", len(head.String())) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10s", r.Program, r.Impl)
+		for _, m := range r.Misses {
+			fmt.Fprintf(&b, "  %10d", m)
+		}
+		last := r.Misses[len(r.Misses)-1]
+		recovered := 0.0
+		if gap := float64(r.Misses[0]) - float64(r.SetAssocMisses); gap > 0 {
+			recovered = (float64(r.Misses[0]) - float64(last)) / gap
+		}
+		fmt.Fprintf(&b, "  %10d  %9.0f%%\n", r.SetAssocMisses, 100*recovered)
 	}
 	return b.String()
 }

@@ -55,20 +55,11 @@ func specOf(g cache.Config) CacheSpec {
 	return CacheSpec{SizeKB: g.SizeBytes / 1024, BlockBytes: g.BlockBytes, Assoc: g.Assoc}
 }
 
-// parseImpl accepts the CLI's implementation names.
-func parseImpl(s string) (core.Impl, error) {
-	switch s {
-	case "am":
-		return core.ImplAM, nil
-	case "md", "":
-		return core.ImplMD, nil
-	case "am-enabled":
-		return core.ImplAMEnabled, nil
-	case "oam":
-		return core.ImplOAM, nil
-	}
-	return 0, fmt.Errorf("unknown impl %q (want am|md|am-enabled|oam)", s)
-}
+// parseImpl resolves a wire implementation name against the backend
+// registry, so the serving layer accepts every registered backend
+// (including display-name spellings from normalized, journaled
+// requests) without its own name table.
+func parseImpl(s string) (core.Impl, error) { return core.ParseImpl(s) }
 
 // RunRequest is the wire request plus the server-side resolution of its
 // fields (parsed implementation, validated geometries). The embedded

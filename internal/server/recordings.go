@@ -107,6 +107,11 @@ func (s *Server) storeSweepUnits(ctx context.Context, job *Job, req *SweepReques
 			})
 			return nil
 		}
+		// For backends with NIC-resident inlets the recorded stream is
+		// the compute engine's references only — the NIC's stream
+		// replays against its own fixed geometry, never the sweep grid —
+		// so a store-served unit is identical to a locally simulated one
+		// for every backend.
 		desc := tracestore.Desc{Program: uj.program, Arg: uj.arg, Impl: uj.impl.String(), Nodes: 1}
 		data, src, err := s.fleet.GetOrRecord(ctx, desc.Key(), func(ctx context.Context) ([]byte, error) {
 			r, rec, err := experiments.RecordOneContext(ctx,

@@ -121,17 +121,6 @@ type UnitResult struct {
 	Caches       []GeomStats `json:"caches"`
 }
 
-// parseImpl accepts the CLI's implementation names.
-func parseImpl(s string) (core.Impl, error) {
-	switch s {
-	case "am":
-		return core.ImplAM, nil
-	case "md", "":
-		return core.ImplMD, nil
-	case "am-enabled":
-		return core.ImplAMEnabled, nil
-	case "oam":
-		return core.ImplOAM, nil
-	}
-	return 0, fmt.Errorf("unknown impl %q (want am|md|am-enabled|oam)", s)
-}
+// parseImpl resolves a wire implementation name against the backend
+// registry, accepting every registered backend.
+func parseImpl(s string) (core.Impl, error) { return core.ParseImpl(s) }

@@ -395,3 +395,20 @@ func (r *Recording) MissDensityTrack(b *obs.EventBuffer, pid int32, cfg cache.Co
 	})
 	return p, nil
 }
+
+// MissDensityTrackLabeled is MissDensityTrack with a label prefixed to
+// the counter-track names, so a second reference stream on the same pid
+// (e.g. a NIC engine's share under an offload backend) gets its own
+// pair of tracks ("nic.I-miss density") instead of colliding with the
+// compute-side tracks.
+func (r *Recording) MissDensityTrackLabeled(b *obs.EventBuffer, pid int32, cfg cache.Config, every int, label string) (Pair, error) {
+	p, err := NewPair(cfg)
+	if err != nil {
+		return Pair{}, err
+	}
+	r.ReplaySampled(p, every, func(instrs, iMiss, dMiss uint64) {
+		b.Counter(label+"I-miss density", "miss-density", pid, instrs, "misses", iMiss)
+		b.Counter(label+"D-miss density", "miss-density", pid, instrs, "misses", dMiss)
+	})
+	return p, nil
+}

@@ -46,15 +46,21 @@ import (
 // Impl selects a TAM backend.
 type Impl = core.Impl
 
-// The four backends: the paper's (unenabled) Active Messages
+// The registered backends: the paper's (unenabled) Active Messages
 // implementation, the Message-Driven implementation, the enabled-AM
-// uniprocessor variant of §2.4, and the Optimistic-Active-Messages-style
-// hybrid of §2.4 / [KWW+94].
+// uniprocessor variant of §2.4, the Optimistic-Active-Messages-style
+// hybrid of §2.4 / [KWW+94], the NIC-offload variant (inlets execute on
+// a per-node NIC engine with its own small cache), and the
+// Active-Access variant (remote I-structure reads and writes serviced
+// directly against the owning node's memory, no inlet dispatch). Use
+// core.ParseImpl / core.Backends for name-driven discovery.
 const (
 	AM        = core.ImplAM
 	MD        = core.ImplMD
 	AMEnabled = core.ImplAMEnabled
 	OAM       = core.ImplOAM
+	Offload   = core.ImplOffload
+	AA        = core.ImplAA
 )
 
 // Re-exported program-building types: a Program is a set of Codeblocks,

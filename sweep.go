@@ -8,7 +8,8 @@ import (
 )
 
 // Sweep re-exports the full-evaluation driver: it runs a set of
-// workloads under both implementations across a grid of cache geometries
+// workloads under the configured backends (Sweep.Impls, default
+// {MD, AM}) across a grid of cache geometries
 // and derives the paper's tables and figures. Simulations record their
 // reference streams once; the geometry fan-out splits the grid into one
 // group per replay worker and drives each group with a vectorized
@@ -23,8 +24,9 @@ type (
 )
 
 // Multi-node comparison re-exports: NodeRatioSweep runs every workload
-// under MD and AM at each mesh size and aggregates the MD/AM ratio by
-// total cycles and by elapsed lockstep ticks; HopLatencySweep varies
+// under each requested backend (any name in the core registry; nil
+// selects {MD, AM}) at each mesh size and aggregates the MD-relative
+// cycle and elapsed-lockstep-tick ratios; HopLatencySweep varies
 // the mesh's per-hop routing delay at a fixed node count. Set
 // Sweep.Options.Nodes to add a nodes axis to the full cache-geometry
 // sweep instead (Table 2 at any mesh size).
@@ -33,16 +35,17 @@ type (
 	HopRatioRow  = experiments.HopRatioRow
 )
 
-// NodeRatioSweep compares MD and AM across mesh sizes; see
-// experiments.NodeRatioSweep.
-func NodeRatioSweep(ws []Workload, nodeCounts []int, geom CacheConfig, penalty int, opt Options, parallelism int) ([]NodeRatioRow, error) {
-	return experiments.NodeRatioSweep(ws, nodeCounts, geom, penalty, opt, parallelism)
+// NodeRatioSweep compares backends across mesh sizes (nil impls
+// selects {MD, AM}); see experiments.NodeRatioSweep.
+func NodeRatioSweep(ws []Workload, impls []Impl, nodeCounts []int, geom CacheConfig, penalty int, opt Options, parallelism int) ([]NodeRatioRow, error) {
+	return experiments.NodeRatioSweep(ws, impls, nodeCounts, geom, penalty, opt, parallelism)
 }
 
-// HopLatencySweep compares MD and AM across per-hop routing delays on
-// a fixed mesh; see experiments.HopLatencySweep.
-func HopLatencySweep(ws []Workload, nodes int, perHops []uint64, opt Options, parallelism int) ([]HopRatioRow, error) {
-	return experiments.HopLatencySweep(ws, nodes, perHops, opt, parallelism)
+// HopLatencySweep compares backends across per-hop routing delays on
+// a fixed mesh (nil impls selects {MD, AM}); see
+// experiments.HopLatencySweep.
+func HopLatencySweep(ws []Workload, impls []Impl, nodes int, perHops []uint64, opt Options, parallelism int) ([]HopRatioRow, error) {
+	return experiments.HopLatencySweep(ws, impls, nodes, perHops, opt, parallelism)
 }
 
 // ReportNodeRatios renders the node-count comparison table.
